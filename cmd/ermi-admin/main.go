@@ -1,0 +1,140 @@
+// Command ermi-admin is the operations CLI for a running ElasticRMI
+// deployment: it lists the bound elastic pools and shows each pool's
+// membership and workload statistics, using the same discovery and stats
+// methods stubs and the runtime use.
+//
+// Usage:
+//
+//	ermi-admin -registry host:7099 list
+//	ermi-admin -registry host:7099 status <pool-name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/transport"
+)
+
+func main() {
+	registry := flag.String("registry", "127.0.0.1:7099", "registry address")
+	flag.Parse()
+	if err := run(*registry, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ermi-admin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(registry string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ermi-admin [-registry addr] list | status <pool>")
+	}
+	reg, err := core.DialRegistry(registry)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	switch args[0] {
+	case "list":
+		return list(reg)
+	case "status":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: ermi-admin status <pool>")
+		}
+		return status(reg, args[1])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func list(reg *core.RegistryClient) error {
+	names, err := reg.List()
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("no pools bound")
+		return nil
+	}
+	for _, name := range names {
+		eps, err := reg.Lookup(name)
+		if err != nil {
+			fmt.Printf("%-24s (lookup failed: %v)\n", name, err)
+			continue
+		}
+		fmt.Printf("%-24s %d members, sentinel %s\n", name, len(eps), eps[0])
+	}
+	return nil
+}
+
+func status(reg *core.RegistryClient, pool string) error {
+	eps, err := reg.Lookup(pool)
+	if err != nil {
+		return fmt.Errorf("lookup %s: %w", pool, err)
+	}
+	if len(eps) == 0 {
+		return fmt.Errorf("pool %s has no endpoints", pool)
+	}
+	// Discover the authoritative roster through the sentinel.
+	roster, err := discover(pool, eps[0])
+	if err != nil {
+		return fmt.Errorf("discover via sentinel: %w", err)
+	}
+	fmt.Printf("pool %s: %d members (sentinel first)\n", pool, len(roster))
+	fmt.Printf("%-22s %6s %8s %9s %7s %7s  %s\n",
+		"address", "uid", "pending", "draining", "cpu%", "ram%", "methods (rate/s @ avg latency)")
+	for _, m := range roster {
+		st, err := memberStats(pool, m.Addr)
+		if err != nil {
+			fmt.Printf("%-22s %6d %8s %9s (stats unavailable: %v)\n", m.Addr, m.UID, "-", "-", err)
+			continue
+		}
+		fmt.Printf("%-22s %6d %8d %9v %7.1f %7.1f ",
+			m.Addr, st.UID, st.Pending, st.Draining, st.CPU, st.RAM)
+		for _, ms := range st.Methods {
+			fmt.Printf(" %s:%.1f/s@%s", ms.Method, ms.RatePerSec, ms.AvgLatency.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func discover(pool, sentinel string) ([]core.MemberInfo, error) {
+	c, err := transport.Dial(sentinel)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	out, err := c.Call(pool, core.MethodDiscover, nil, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var rep core.DiscoverReply
+	if err := transport.Decode(out, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Members, nil
+}
+
+func memberStats(pool, addr string) (core.StatsReply, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return core.StatsReply{}, err
+	}
+	defer c.Close()
+	out, err := c.Call(pool, core.MethodStats, nil, 5*time.Second)
+	if err != nil {
+		return core.StatsReply{}, err
+	}
+	var rep core.StatsReply
+	if err := transport.Decode(out, &rep); err != nil {
+		return core.StatsReply{}, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,267 @@
+// Command ermi-bench regenerates the paper's evaluation (MIDDLEWARE 2013,
+// "Elastic Remote Methods"): the workload patterns of Figures 7a/7b, the
+// agility series of Figures 7c-7j for all four applications x two workloads
+// x four deployments, the provisioning-latency series of Figures 8a/8b, and
+// the §5.5 summary ratios.
+//
+// Usage:
+//
+//	ermi-bench                  # run everything
+//	ermi-bench -experiment fig7c
+//	ermi-bench -experiment summary
+//	ermi-bench -csv             # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"elasticrmi/internal/benchsim"
+	"elasticrmi/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, fig7a, fig7b, fig7c..fig7j, fig8a, fig8b, summary")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	if err := run(*experiment, *csv, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ermi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type figure struct {
+	id      string
+	app     benchsim.AppModel
+	pattern func(benchsim.AppModel) workload.Pattern
+}
+
+func abruptOf(app benchsim.AppModel) workload.Pattern { return workload.Abrupt(app.PeakA) }
+func cyclicOf(app benchsim.AppModel) workload.Pattern { return workload.Cyclic(app.PeakB()) }
+
+func figures() []figure {
+	return []figure{
+		{"fig7c", benchsim.MarketceteraModel(), abruptOf},
+		{"fig7d", benchsim.MarketceteraModel(), cyclicOf},
+		{"fig7e", benchsim.HedwigModel(), abruptOf},
+		{"fig7f", benchsim.HedwigModel(), cyclicOf},
+		{"fig7g", benchsim.PaxosModel(), abruptOf},
+		{"fig7h", benchsim.PaxosModel(), cyclicOf},
+		{"fig7i", benchsim.DCSModel(), abruptOf},
+		{"fig7j", benchsim.DCSModel(), cyclicOf},
+	}
+}
+
+func run(experiment string, csv bool, out io.Writer) error {
+	experiment = strings.ToLower(experiment)
+	did := false
+	if experiment == "all" || experiment == "fig7a" {
+		printPattern(out, "Figure 7a: abruptly changing workload (fraction of Point A)",
+			workload.Abrupt(1), csv)
+		did = true
+	}
+	if experiment == "all" || experiment == "fig7b" {
+		printPattern(out, "Figure 7b: cyclical workload (fraction of Point B)",
+			workload.Cyclic(1), csv)
+		did = true
+	}
+	for _, f := range figures() {
+		if experiment == "all" || experiment == f.id {
+			printAgility(out, f, csv)
+			did = true
+		}
+	}
+	if experiment == "all" || experiment == "fig8a" {
+		printProvisioning(out, "Figure 8a: provisioning latency (s) — abrupt workload", abruptOf, csv)
+		did = true
+	}
+	if experiment == "all" || experiment == "fig8b" {
+		printProvisioning(out, "Figure 8b: provisioning latency (s) — cyclic workload", cyclicOf, csv)
+		did = true
+	}
+	if experiment == "all" || experiment == "summary" {
+		printSummary(out)
+		did = true
+	}
+	if experiment == "all" || experiment == "ablation" {
+		printAblations(out)
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func printPattern(out io.Writer, title string, p workload.Pattern, csv bool) {
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	if csv {
+		fmt.Fprintln(out, "minute,load")
+	}
+	for t := time.Duration(0); t <= p.Duration(); t += 10 * time.Minute {
+		frac := p.Rate(t) / p.Peak()
+		if csv {
+			fmt.Fprintf(out, "%d,%.4f\n", int(t.Minutes()), frac)
+		} else {
+			bar := strings.Repeat("#", int(frac*50))
+			fmt.Fprintf(out, "%4dm %6.1f%% %s\n", int(t.Minutes()), 100*frac, bar)
+		}
+	}
+}
+
+func printAgility(out io.Writer, f figure, csv bool) {
+	p := f.pattern(f.app)
+	title := fmt.Sprintf("Figure %s: %s agility — %s workload (Point %s = %.0f req/s)",
+		strings.TrimPrefix(f.id, "fig"), f.app.Name, p.Name(),
+		map[string]string{"abrupt": "A", "cyclic": "B"}[p.Name()], p.Peak())
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+
+	e := benchsim.RunExperiment(f.app, p)
+	deps := benchsim.Deployments()
+	if csv {
+		cols := make([]string, 0, len(deps)+1)
+		cols = append(cols, "minute")
+		for _, d := range deps {
+			cols = append(cols, string(d))
+		}
+		fmt.Fprintln(out, strings.Join(cols, ","))
+	} else {
+		fmt.Fprintf(out, "%6s", "minute")
+		for _, d := range deps {
+			fmt.Fprintf(out, " %18s", d)
+		}
+		fmt.Fprintln(out)
+	}
+	n := len(e.Results[benchsim.DeployElasticRMI].Plotted)
+	for i := 0; i < n; i++ {
+		at := e.Results[benchsim.DeployElasticRMI].Plotted[i].At
+		if csv {
+			fmt.Fprintf(out, "%d", int(at.Minutes()))
+			for _, d := range deps {
+				fmt.Fprintf(out, ",%.2f", e.Results[d].Plotted[i].Agility)
+			}
+			fmt.Fprintln(out)
+		} else {
+			fmt.Fprintf(out, "%5dm", int(at.Minutes()))
+			for _, d := range deps {
+				fmt.Fprintf(out, " %18.2f", e.Results[d].Plotted[i].Agility)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	fmt.Fprintf(out, "avg   ")
+	for _, d := range deps {
+		fmt.Fprintf(out, " %18.2f", e.Results[d].AvgAgility())
+	}
+	fmt.Fprintln(out)
+}
+
+func printProvisioning(out io.Writer, title string, pat func(benchsim.AppModel) workload.Pattern, csv bool) {
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintln(out, "(Overprovisioning is always 0 s; CloudWatch is several minutes and omitted, as in the paper)")
+	if csv {
+		fmt.Fprintln(out, "app,minute,latency_s")
+	}
+	for _, app := range benchsim.Models() {
+		res := benchsim.Run(benchsim.RunConfig{App: app, Pattern: pat(app), Deploy: benchsim.DeployElasticRMI})
+		if csv {
+			for _, ev := range res.Provisioning {
+				fmt.Fprintf(out, "%s,%d,%.1f\n", app.Name, int(ev.At.Minutes()), ev.Latency.Seconds())
+			}
+			continue
+		}
+		fmt.Fprintf(out, "%-13s events=%3d  mean=%5.1fs  max=%5.1fs  series:",
+			app.Name, len(res.Provisioning),
+			meanLatencySeconds(res), res.MaxProvisioningLatency().Seconds())
+		for i, ev := range res.Provisioning {
+			if i%8 == 0 {
+				fmt.Fprintf(out, "\n    ")
+			}
+			fmt.Fprintf(out, "%4dm:%4.1fs ", int(ev.At.Minutes()), ev.Latency.Seconds())
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func meanLatencySeconds(res benchsim.Result) float64 {
+	if len(res.Provisioning) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, ev := range res.Provisioning {
+		sum += ev.Latency
+	}
+	return (sum / time.Duration(len(res.Provisioning))).Seconds()
+}
+
+func printSummary(out io.Writer) {
+	title := "Section 5.5 summary: average agility and ratios vs ElasticRMI"
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(out, "%-13s %-7s %10s %7s %12s %8s %12s %8s %14s %8s\n",
+		"app", "pattern", "ERMI", "zero%", "CloudWatch", "ratio", "ERMI-CPUMem", "ratio", "Overprovision", "ratio")
+	for _, app := range benchsim.Models() {
+		for _, p := range []workload.Pattern{workload.Abrupt(app.PeakA), workload.Cyclic(app.PeakB())} {
+			e := benchsim.RunExperiment(app, p)
+			ermi := e.Results[benchsim.DeployElasticRMI]
+			fmt.Fprintf(out, "%-13s %-7s %10.2f %6.0f%% %12.2f %7.1fx %12.2f %7.1fx %14.2f %7.1fx\n",
+				app.Name, p.Name(),
+				ermi.AvgAgility(), 100*ermi.ZeroFraction(),
+				e.Results[benchsim.DeployCloudWatch].AvgAgility(), e.RatioVsElasticRMI(benchsim.DeployCloudWatch),
+				e.Results[benchsim.DeployElasticRMICPUMem].AvgAgility(), e.RatioVsElasticRMI(benchsim.DeployElasticRMICPUMem),
+				e.Results[benchsim.DeployOverprovision].AvgAgility(), e.RatioVsElasticRMI(benchsim.DeployOverprovision),
+			)
+		}
+	}
+	fmt.Fprintln(out, "\nPaper reference points: ElasticRMI avg 1.37 (Marketcetera, abrupt); CloudWatch")
+	fmt.Fprintln(out, "3.4x/4.5x/6.6x/7.2x ElasticRMI (abrupt, per app); overprovisioning avg 24.1")
+	fmt.Fprintln(out, "abrupt / 17.2 cyclic (Marketcetera); ElasticRMI provisioning latency < 30 s.")
+}
+
+// printAblations quantifies the design choices (see DESIGN.md): the
+// common-mode metric error, the per-member ChangePoolSize bound, the
+// threshold monitoring period and the provisioning-latency regime.
+func printAblations(out io.Writer) {
+	title := "Ablations (Marketcetera, abrupt unless noted): average agility"
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	app := benchsim.MarketceteraModel()
+	abrupt := workload.Abrupt(app.PeakA)
+
+	base := benchsim.RunConfig{App: app, Pattern: abrupt, Deploy: benchsim.DeployElasticRMI}
+	runWith := func(mod func(*benchsim.RunConfig)) float64 {
+		cfg := base
+		if mod != nil {
+			mod(&cfg)
+		}
+		return benchsim.Run(cfg).AvgAgility()
+	}
+	fmt.Fprintf(out, "application-metric quality:  noisy (paper) %5.2f | perfect observability %5.2f\n",
+		runWith(nil),
+		runWith(func(c *benchsim.RunConfig) { c.DisableCommonModeError = true }))
+	fmt.Fprintf(out, "ChangePoolSize bound:        +/-1 %5.2f | +/-2 (paper) %5.2f | +/-4 %5.2f | unbounded %5.2f\n",
+		runWith(func(c *benchsim.RunConfig) { c.FineDeltaCap = 1 }),
+		runWith(func(c *benchsim.RunConfig) { c.FineDeltaCap = 2 }),
+		runWith(func(c *benchsim.RunConfig) { c.FineDeltaCap = 4 }),
+		runWith(func(c *benchsim.RunConfig) { c.FineDeltaCap = -1 }))
+
+	cw := benchsim.RunConfig{App: app, Pattern: abrupt, Deploy: benchsim.DeployCloudWatch}
+	runCW := func(mod func(*benchsim.RunConfig)) float64 {
+		cfg := cw
+		if mod != nil {
+			mod(&cfg)
+		}
+		return benchsim.Run(cfg).AvgAgility()
+	}
+	fmt.Fprintf(out, "CloudWatch monitor period:   1min %5.2f | 5min (paper) %5.2f | 10min %5.2f\n",
+		runCW(func(c *benchsim.RunConfig) { c.ThresholdPeriodSteps = 1 }),
+		runCW(func(c *benchsim.RunConfig) { c.ThresholdPeriodSteps = 5 }),
+		runCW(func(c *benchsim.RunConfig) { c.ThresholdPeriodSteps = 10 }))
+	fmt.Fprintf(out, "CloudWatch VM provisioning:  ~containers (0.01x) %5.2f | VMs (paper) %5.2f | slow VMs (3x) %5.2f\n",
+		runCW(func(c *benchsim.RunConfig) { c.CloudWatchLatencyScale = 0.01 }),
+		runCW(nil),
+		runCW(func(c *benchsim.RunConfig) { c.CloudWatchLatencyScale = 3 }))
+}

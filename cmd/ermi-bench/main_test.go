@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllProducesEveryFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("all", false, &buf); err != nil {
+		t.Fatalf("run(all): %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 7a", "Figure 7b",
+		"Figure 7c", "Figure 7d", "Figure 7e", "Figure 7f",
+		"Figure 7g", "Figure 7h", "Figure 7i", "Figure 7j",
+		"Figure 8a", "Figure 8b",
+		"Section 5.5 summary", "Ablations",
+		"Marketcetera", "Hedwig", "Paxos", "DCS",
+		"ElasticRMI", "Overprovisioning", "CloudWatch", "ElasticRMI-CPUMem",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig7g", false, &buf); err != nil {
+		t.Fatalf("run(fig7g): %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Paxos agility") {
+		t.Fatalf("fig7g output wrong: %s", out[:200])
+	}
+	if strings.Contains(out, "Figure 7c") {
+		t.Fatal("fig7g run also produced fig7c")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig7c", true, &buf); err != nil {
+		t.Fatalf("run csv: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "minute,ElasticRMI,Overprovisioning,CloudWatch,ElasticRMI-CPUMem") {
+		t.Fatalf("csv header missing:\n%s", out[:300])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig99", false, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

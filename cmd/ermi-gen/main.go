@@ -1,0 +1,58 @@
+// Command ermi-gen is the ElasticRMI preprocessor for Go — the rmic
+// counterpart. It reads a Go file declaring interfaces marked with
+// `//ermi:elastic` and writes the generated stubs and skeletons next to it.
+//
+// Usage:
+//
+//	ermi-gen -in service.go            # writes service_ermi.go
+//	ermi-gen -in service.go -out x.go
+//
+// Every method of an elastic interface must have the canonical remote
+// signature `Method(arg ArgType) (ReplyType, error)`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"elasticrmi/internal/gen"
+)
+
+func main() {
+	in := flag.String("in", "", "input Go file declaring //ermi:elastic interfaces")
+	out := flag.String("out", "", "output file (default <in>_ermi.go)")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ermi-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	parsed, err := gen.Parse(in, src)
+	if err != nil {
+		return err
+	}
+	code, err := gen.Generate(parsed, filepath.Base(in))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = strings.TrimSuffix(in, ".go") + "_ermi.go"
+	}
+	if err := os.WriteFile(out, code, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ermi-gen: %s -> %s (%d services)\n", in, out, len(parsed.Services))
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command ermi-registry runs a standalone ElasticRMI naming service — the
+// counterpart of rmiregistry. Elastic pools bind their class name to the
+// current pool endpoints (sentinel first); stubs look names up on startup.
+//
+// Usage:
+//
+//	ermi-registry -addr :7099
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"elasticrmi/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":7099", "listen address")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "ermi-registry:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string) error {
+	srv, err := core.NewRegistryServer(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("ermi-registry listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package elasticrmi is a from-scratch Go reproduction of "Elastic Remote
+// Methods" (K. R. Jayaram, MIDDLEWARE 2013): a middleware for elastic
+// distributed objects, where a remote class is instantiated into a pool of
+// objects that behaves toward clients as a single remote object, and the
+// runtime grows and shrinks the pool from coarse-grained (CPU/RAM) or
+// fine-grained (application-defined) workload signals.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the ElasticRMI runtime (pools, stubs, skeletons,
+//     sentinel, scaling policies, registry, shared state).
+//   - internal/transport, internal/kvstore, internal/cluster,
+//     internal/group, internal/metrics, internal/simclock — the substrates
+//     (wire protocol, HyperDex-like store, Mesos-like cluster manager,
+//     JGroups-like group communication, workload metering, virtual time).
+//   - internal/apps — the evaluation applications (Marketcetera order
+//     routing, Hedwig pub/sub, Paxos, DCS) plus the paper's running cache
+//     example.
+//   - internal/workload, internal/agility, internal/benchsim — the
+//     evaluation harness reproducing every figure of the paper.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each figure: run
+//
+//	go test -bench=. -benchmem .
+package elasticrmi

@@ -1,0 +1,107 @@
+// Example: application-level scaling decisions across multiple elastic
+// pools (§3.3, "Making Application-Level Scaling Decisions"). A two-tier
+// application — a front cache tier and a backend order-routing tier — uses
+// a Decider as its monitoring component: the front tier reports its demand,
+// and the runtime polls the decider every burst interval to size the
+// backend tier proportionally.
+//
+// Run with:
+//
+//	go run ./examples/multitier
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"elasticrmi/internal/apps/cache"
+	"elasticrmi/internal/apps/marketcetera"
+	"elasticrmi/internal/cluster"
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/kvstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	mgr, err := cluster.New(cluster.Config{Nodes: 16, SlicesPerNode: 1})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	store, err := kvstore.NewCluster(2, nil)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	regSrv, err := core.NewRegistryServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer regSrv.Close()
+	reg, err := core.DialRegistry(regSrv.Addr())
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	deps := core.Deps{Cluster: mgr, Store: store, Registry: reg}
+
+	// The monitoring component: backend keeps half the front tier's
+	// demand, the analytics tier a quarter.
+	decider := core.NewProportionalDecider(map[string]float64{
+		"backend": 0.5,
+	}, 2)
+
+	// Front tier: elastic cache with its own (fine-grained) scaling.
+	front, err := core.NewPool(core.Config{
+		Name: "frontend", MinPoolSize: 2, MaxPoolSize: 8,
+		BurstInterval: time.Second,
+	}, cache.New(cache.Config{Mode: cache.ExplicitFine}), deps)
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+
+	// Backend tier: order routing, sized by the application-level decider
+	// (a Decider overrides the pool's own mechanisms).
+	backend, err := core.NewPool(core.Config{
+		Name: "backend", MinPoolSize: 2, MaxPoolSize: 8,
+		BurstInterval: time.Second,
+		Decider:       decider,
+	}, marketcetera.New(marketcetera.Config{}), deps)
+	if err != nil {
+		return err
+	}
+	defer backend.Close()
+	fmt.Printf("front=%d members, backend=%d members\n", front.Size(), backend.Size())
+
+	// The application reports front-tier demand to the decider; here the
+	// proxy is the front pool size times an amplification factor.
+	report := func() {
+		demand := float64(front.Size() * 2)
+		decider.Observe(demand)
+		fmt.Printf("observed front demand %.0f -> decider wants backend=%d\n",
+			demand, decider.DesiredPoolSize("backend", backend.Size()))
+	}
+
+	// Simulate front-tier growth (as its own workload would produce) and
+	// watch the backend follow on its burst interval.
+	for _, target := range []int{4, 8, 2} {
+		if err := front.Resize(target - front.Size()); err != nil {
+			return err
+		}
+		report()
+		deadline := time.Now().Add(5 * time.Second)
+		want := decider.DesiredPoolSize("backend", backend.Size())
+		for time.Now().Before(deadline) && backend.Size() != want {
+			time.Sleep(100 * time.Millisecond)
+		}
+		fmt.Printf("front=%d -> backend=%d\n", front.Size(), backend.Size())
+	}
+	return nil
+}

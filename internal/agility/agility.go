@@ -1,0 +1,134 @@
+// Package agility implements the SPEC elasticity metrics the paper's
+// evaluation is built on (§5.1):
+//
+//   - Agility over [t,t'] divided into N sub-intervals is
+//     (1/N)(Σ Excess(i) + Σ Shortage(i)), where Excess(i) =
+//     max(0, CapProv(i)-ReqMin(i)) and Shortage(i) =
+//     max(0, ReqMin(i)-CapProv(i)). For an ideal system agility is zero.
+//   - Provisioning interval: the time needed to bring up or drop a
+//     resource, from initiating the request to the resource serving its
+//     first request.
+package agility
+
+import "time"
+
+// Sample is one sub-interval observation: the capacity provisioned and the
+// minimum capacity required to meet the application's QoS at the interval's
+// workload level.
+type Sample struct {
+	At      time.Duration // offset from the start of the measurement period
+	CapProv int           // recorded capacity provisioned (compute nodes)
+	ReqMin  int           // minimum capacity needed to meet QoS
+}
+
+// Excess returns the over-provisioned capacity of the sample.
+func (s Sample) Excess() int {
+	if s.CapProv > s.ReqMin {
+		return s.CapProv - s.ReqMin
+	}
+	return 0
+}
+
+// Shortage returns the under-provisioned capacity of the sample.
+func (s Sample) Shortage() int {
+	if s.CapProv < s.ReqMin {
+		return s.ReqMin - s.CapProv
+	}
+	return 0
+}
+
+// Value returns the sample's contribution to agility: Excess + Shortage.
+func (s Sample) Value() int { return s.Excess() + s.Shortage() }
+
+// Agility computes the SPEC agility over the samples: the mean of
+// Excess+Shortage. An empty series has agility 0.
+func Agility(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range samples {
+		sum += s.Value()
+	}
+	return float64(sum) / float64(len(samples))
+}
+
+// Series computes the per-sample agility values, i.e. the curve Figures
+// 7c-7j plot.
+func Series(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = float64(s.Value())
+	}
+	return out
+}
+
+// ZeroFraction reports the fraction of samples with agility exactly zero —
+// the paper's "oscillates between 0 and a positive value" observation for
+// ElasticRMI.
+func ZeroFraction(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	zero := 0
+	for _, s := range samples {
+		if s.Value() == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(samples))
+}
+
+// MeanExcess returns the average excess across samples.
+func MeanExcess(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range samples {
+		sum += s.Excess()
+	}
+	return float64(sum) / float64(len(samples))
+}
+
+// MeanShortage returns the average shortage across samples.
+func MeanShortage(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, s := range samples {
+		sum += s.Shortage()
+	}
+	return float64(sum) / float64(len(samples))
+}
+
+// ProvisioningEvent is one resource bring-up, for the provisioning-interval
+// plots of Fig. 8.
+type ProvisioningEvent struct {
+	At      time.Duration // when the request was initiated
+	Latency time.Duration // request initiation → first request served
+}
+
+// MaxLatency returns the largest provisioning latency in the series.
+func MaxLatency(events []ProvisioningEvent) time.Duration {
+	var max time.Duration
+	for _, e := range events {
+		if e.Latency > max {
+			max = e.Latency
+		}
+	}
+	return max
+}
+
+// MeanLatency returns the average provisioning latency.
+func MeanLatency(events []ProvisioningEvent) time.Duration {
+	if len(events) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, e := range events {
+		sum += e.Latency
+	}
+	return sum / time.Duration(len(events))
+}

@@ -1,0 +1,139 @@
+package agility
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleExcessShortage(t *testing.T) {
+	tests := []struct {
+		name     string
+		s        Sample
+		excess   int
+		shortage int
+	}{
+		{"exact", Sample{CapProv: 5, ReqMin: 5}, 0, 0},
+		{"over", Sample{CapProv: 8, ReqMin: 5}, 3, 0},
+		{"under", Sample{CapProv: 2, ReqMin: 5}, 0, 3},
+		{"zero", Sample{}, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Excess(); got != tc.excess {
+				t.Errorf("excess = %d, want %d", got, tc.excess)
+			}
+			if got := tc.s.Shortage(); got != tc.shortage {
+				t.Errorf("shortage = %d, want %d", got, tc.shortage)
+			}
+			if got := tc.s.Value(); got != tc.excess+tc.shortage {
+				t.Errorf("value = %d", got)
+			}
+		})
+	}
+}
+
+func TestAgilityMean(t *testing.T) {
+	samples := []Sample{
+		{CapProv: 5, ReqMin: 5}, // 0
+		{CapProv: 7, ReqMin: 5}, // 2
+		{CapProv: 3, ReqMin: 5}, // 2
+		{CapProv: 9, ReqMin: 5}, // 4
+	}
+	if got := Agility(samples); got != 2 {
+		t.Fatalf("agility = %v, want 2", got)
+	}
+	if got := Agility(nil); got != 0 {
+		t.Fatalf("agility(nil) = %v", got)
+	}
+}
+
+func TestSeriesAndZeroFraction(t *testing.T) {
+	samples := []Sample{
+		{CapProv: 5, ReqMin: 5},
+		{CapProv: 6, ReqMin: 5},
+		{CapProv: 5, ReqMin: 5},
+		{CapProv: 1, ReqMin: 5},
+	}
+	series := Series(samples)
+	want := []float64{0, 1, 0, 4}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series = %v, want %v", series, want)
+		}
+	}
+	if zf := ZeroFraction(samples); zf != 0.5 {
+		t.Fatalf("zero fraction = %v, want 0.5", zf)
+	}
+	if ZeroFraction(nil) != 0 {
+		t.Fatal("zero fraction of empty series")
+	}
+}
+
+func TestMeanExcessShortage(t *testing.T) {
+	samples := []Sample{
+		{CapProv: 8, ReqMin: 5},
+		{CapProv: 2, ReqMin: 5},
+	}
+	if got := MeanExcess(samples); got != 1.5 {
+		t.Fatalf("mean excess = %v", got)
+	}
+	if got := MeanShortage(samples); got != 1.5 {
+		t.Fatalf("mean shortage = %v", got)
+	}
+}
+
+// Properties of the SPEC agility metric:
+//   - non-negative;
+//   - zero iff provisioned tracks required exactly;
+//   - invariant under sample order (it is a mean);
+//   - exactly |cap-req| for a single sample.
+func TestAgilityProperties(t *testing.T) {
+	type pair struct{ Cap, Req uint8 }
+	prop := func(pairs []pair) bool {
+		samples := make([]Sample, len(pairs))
+		exact := true
+		for i, p := range pairs {
+			samples[i] = Sample{CapProv: int(p.Cap), ReqMin: int(p.Req)}
+			if p.Cap != p.Req {
+				exact = false
+			}
+		}
+		a := Agility(samples)
+		if a < 0 {
+			return false
+		}
+		if len(samples) > 0 && exact && a != 0 {
+			return false
+		}
+		if len(samples) > 0 && !exact && a == 0 {
+			return false
+		}
+		// Order invariance: reverse.
+		rev := make([]Sample, len(samples))
+		for i := range samples {
+			rev[i] = samples[len(samples)-1-i]
+		}
+		return Agility(rev) == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisioningLatencyAggregates(t *testing.T) {
+	events := []ProvisioningEvent{
+		{At: 0, Latency: 10 * time.Second},
+		{At: time.Minute, Latency: 30 * time.Second},
+		{At: 2 * time.Minute, Latency: 20 * time.Second},
+	}
+	if got := MaxLatency(events); got != 30*time.Second {
+		t.Fatalf("max = %v", got)
+	}
+	if got := MeanLatency(events); got != 20*time.Second {
+		t.Fatalf("mean = %v", got)
+	}
+	if MeanLatency(nil) != 0 || MaxLatency(nil) != 0 {
+		t.Fatal("empty aggregates")
+	}
+}

@@ -1,0 +1,98 @@
+package paxos_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/apps/paxos"
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/ermitest"
+)
+
+// capturePool starts a pool and returns the replicas the factory created.
+func capturePool(t *testing.T, name string, size int) []*paxos.Replica {
+	t.Helper()
+	env := ermitest.New(t, 10)
+	var mu sync.Mutex
+	var replicas []*paxos.Replica
+	base := paxos.New(paxos.Config{RoundTimeout: time.Second})
+	factory := func(ctx *core.MemberContext) (core.Object, error) {
+		obj, err := base(ctx)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		replicas = append(replicas, obj.(*paxos.Replica))
+		mu.Unlock()
+		return obj, nil
+	}
+	env.StartPool(t, core.Config{
+		Name: name, MinPoolSize: size, MaxPoolSize: size,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, factory)
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]*paxos.Replica(nil), replicas...)
+}
+
+// TestProposeAtDecidedSlotReturnsExistingValue: re-proposing at a decided
+// slot must return the original decision, never overwrite it.
+func TestProposeAtDecidedSlotReturnsExistingValue(t *testing.T) {
+	rs := capturePool(t, "paxos-redecide", 3)
+	v1, err := rs[0].ProposeAt(5, []byte("first"))
+	if err != nil {
+		t.Fatalf("first proposal: %v", err)
+	}
+	if string(v1) != "first" {
+		t.Fatalf("decided %q", v1)
+	}
+	// A different replica proposes a different value for the same slot.
+	v2, err := rs[1].ProposeAt(5, []byte("second"))
+	if err != nil {
+		t.Fatalf("second proposal: %v", err)
+	}
+	if string(v2) != "first" {
+		t.Fatalf("slot 5 re-decided to %q — safety violation", v2)
+	}
+	// And the original proposer still sees the same value.
+	v3, err := rs[0].ProposeAt(5, []byte("third"))
+	if err != nil || string(v3) != "first" {
+		t.Fatalf("slot 5 = %q, %v", v3, err)
+	}
+}
+
+// TestBallotPreemptionEventuallyDecides: many replicas racing on one slot
+// preempt each other's ballots but consensus still terminates with a single
+// value within the retry budget.
+func TestBallotPreemptionEventuallyDecides(t *testing.T) {
+	rs := capturePool(t, "paxos-preempt", 5)
+	const slot = int64(11)
+	var wg sync.WaitGroup
+	values := make(chan string, len(rs))
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r *paxos.Replica) {
+			defer wg.Done()
+			v, err := r.ProposeAt(slot, []byte{byte('a' + i)})
+			if err == nil {
+				values <- string(v)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	close(values)
+	var first string
+	count := 0
+	for v := range values {
+		count++
+		if first == "" {
+			first = v
+		} else if v != first {
+			t.Fatalf("two values decided: %q and %q", first, v)
+		}
+	}
+	if count == 0 {
+		t.Fatal("no proposer terminated")
+	}
+}

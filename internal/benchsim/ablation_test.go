@@ -1,0 +1,78 @@
+package benchsim
+
+import (
+	"testing"
+
+	"elasticrmi/internal/workload"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out. Each test
+// asserts the direction of the effect; the Ablation* benchmarks in
+// bench_test.go report the magnitudes.
+
+// Removing the common-mode estimation error makes ElasticRMI nearly ideal —
+// the residual agility in the paper comes from imperfect application
+// metrics, not from the mechanism.
+func TestAblationCommonModeError(t *testing.T) {
+	app := MarketceteraModel()
+	base := Run(RunConfig{App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployElasticRMI})
+	ideal := Run(RunConfig{
+		App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployElasticRMI,
+		DisableCommonModeError: true,
+	})
+	if ideal.AvgAgility() >= base.AvgAgility() {
+		t.Fatalf("perfect observability agility %.2f >= noisy %.2f", ideal.AvgAgility(), base.AvgAgility())
+	}
+	if ideal.AvgAgility() > 0.5 {
+		t.Fatalf("perfect observability agility %.2f, want near-ideal < 0.5", ideal.AvgAgility())
+	}
+}
+
+// Bounding per-member ChangePoolSize returns slows reaction to abrupt
+// jumps: a tighter cap gives strictly worse agility, an unbounded return
+// strictly better.
+func TestAblationFineDeltaCap(t *testing.T) {
+	app := MarketceteraModel()
+	run := func(cap int) float64 {
+		return Run(RunConfig{
+			App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployElasticRMI,
+			FineDeltaCap: cap,
+		}).AvgAgility()
+	}
+	tight, paper, unbounded := run(1), run(2), run(-1)
+	if !(unbounded < paper && paper < tight) {
+		t.Fatalf("agility ordering wrong: cap1=%.2f cap2=%.2f unbounded=%.2f (want decreasing)",
+			tight, paper, unbounded)
+	}
+}
+
+// A longer CloudWatch monitoring period worsens its agility.
+func TestAblationThresholdPeriod(t *testing.T) {
+	app := DCSModel()
+	run := func(period int) float64 {
+		return Run(RunConfig{
+			App: app, Pattern: workload.Cyclic(app.PeakB()), Deploy: DeployCloudWatch,
+			ThresholdPeriodSteps: period,
+		}).AvgAgility()
+	}
+	fast, paper, slow := run(1), run(5), run(10)
+	if !(fast < paper && paper < slow) {
+		t.Fatalf("agility ordering wrong: 1m=%.2f 5m=%.2f 10m=%.2f (want increasing)", fast, paper, slow)
+	}
+}
+
+// Longer VM provisioning hurts CloudWatch agility on abrupt workloads.
+func TestAblationCloudWatchLatency(t *testing.T) {
+	app := MarketceteraModel()
+	run := func(scale float64) float64 {
+		return Run(RunConfig{
+			App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployCloudWatch,
+			CloudWatchLatencyScale: scale,
+		}).AvgAgility()
+	}
+	container, vm, slowVM := run(0.01), run(1), run(3)
+	if !(container <= vm && vm < slowVM) {
+		t.Fatalf("agility ordering wrong: 0.01x=%.2f 1x=%.2f 3x=%.2f (want non-decreasing)",
+			container, vm, slowVM)
+	}
+}

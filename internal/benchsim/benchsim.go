@@ -1,0 +1,542 @@
+// Package benchsim is the deployment simulator that regenerates the paper's
+// evaluation (Figures 7c-7j, 8a, 8b and the §5.5 summary numbers).
+//
+// The paper runs four applications for 450-500 minutes on a Mesos cluster
+// under four deployments — ElasticRMI (fine-grained application metrics),
+// ElasticRMI-CPUMem (same runtime, CPU/RAM thresholds only), Amazon
+// CloudWatch+AutoScaling, and Overprovisioning — and reports the SPEC
+// agility metric and provisioning intervals. Those curves are functions of
+// the workload pattern, the scaling-decision code, the provisioning-latency
+// regime and the application's capacity requirement. benchsim models the
+// last two and drives the *same* policy implementations the live runtime
+// uses (core.FinePolicy, core.CoarsePolicy), stepping a virtual minute at a
+// time, so a 500-minute experiment replays in microseconds.
+//
+// Calibration: per-application Points A/B are the paper's (§5.3); per-node
+// service rates are chosen so the peak pool sizes and agility magnitudes
+// land in the ranges Figures 7c-7j show. Absolute values are not the claim —
+// the *shape* is: ElasticRMI lowest and oscillating to zero, CPUMem ≈
+// CloudWatch ≈ ~3-7x worse, Overprovisioning worst on average with zero
+// agility only at peak.
+package benchsim
+
+import (
+	"math"
+	"time"
+
+	"elasticrmi/internal/agility"
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/workload"
+)
+
+// Deployment identifies one of the four compared deployments (§5.4).
+type Deployment string
+
+// The four deployments of the evaluation.
+const (
+	// DeployElasticRMI uses fine-grained application metrics via
+	// ChangePoolSize (the paper's system).
+	DeployElasticRMI Deployment = "ElasticRMI"
+	// DeployElasticRMICPUMem is the ElasticRMI runtime restricted to
+	// CPU/Memory utilization conditions (the ElasticRMI-CPUMem baseline).
+	DeployElasticRMICPUMem Deployment = "ElasticRMI-CPUMem"
+	// DeployCloudWatch is Amazon CloudWatch + AutoScaling: the same
+	// CPU/Memory conditions with VM-provisioning latency in minutes.
+	DeployCloudWatch Deployment = "CloudWatch"
+	// DeployOverprovision provisions for the known peak ahead of time.
+	DeployOverprovision Deployment = "Overprovisioning"
+)
+
+// Deployments lists all four in plot order.
+func Deployments() []Deployment {
+	return []Deployment{DeployElasticRMI, DeployOverprovision, DeployCloudWatch, DeployElasticRMICPUMem}
+}
+
+// AppModel captures how one evaluation application turns offered load into a
+// minimum capacity requirement (ReqMin) and how its members perceive that
+// load, mirroring each application's real ChangePoolSize logic in
+// internal/apps.
+type AppModel struct {
+	// Name of the application.
+	Name string
+	// PeakA is Point A, the peak of the abrupt workload, in requests/s
+	// (orders, messages, consensus rounds, updates).
+	PeakA float64
+	// PerNode is the per-member service capacity in requests/s at the QoS
+	// target.
+	PerNode float64
+	// BaseNodes is load-independent capacity (e.g. replication overhead).
+	BaseNodes int
+	// ErraticNodes is the amplitude (in nodes) of deterministic ReqMin
+	// wobble; Hedwig's replication and at-most-once bookkeeping make its
+	// requirement "change more erratically" (§5.5).
+	ErraticNodes float64
+}
+
+// PeakB is Point B, 20% above Point A (§5.3).
+func (m AppModel) PeakB() float64 { return 1.2 * m.PeakA }
+
+// ReqMin returns the minimum node count meeting QoS at the given offered
+// rate and experiment time.
+func (m AppModel) ReqMin(rate float64, t time.Duration) int {
+	nodes := rate / m.PerNode
+	if m.ErraticNodes > 0 {
+		min := t.Minutes()
+		wobble := m.ErraticNodes * (0.6*math.Sin(0.9*min) + 0.4*math.Sin(0.23*min+1.3))
+		// The wobble scales with load: redistribution work only exists when
+		// there is traffic to redistribute.
+		nodes += wobble * math.Min(1, rate/m.PerNode/4)
+	}
+	req := m.BaseNodes + int(math.Ceil(nodes))
+	if req < 2 {
+		req = 2 // an elastic class always has at least two objects
+	}
+	return req
+}
+
+// The four evaluation applications (§5.2) with the paper's Point A values.
+
+// MarketceteraModel is the order-routing subsystem: A = 50 000 orders/s,
+// with 2-way persistence of every order (BaseNodes covers the persistence
+// pair).
+func MarketceteraModel() AppModel {
+	return AppModel{Name: "Marketcetera", PeakA: 50000, PerNode: 1600, BaseNodes: 2}
+}
+
+// HedwigModel is the pub/sub system: A = 30 000 msgs/s; topic ownership
+// redistribution and at-most-once delivery make ReqMin erratic.
+func HedwigModel() AppModel {
+	return AppModel{Name: "Hedwig", PeakA: 30000, PerNode: 1250, BaseNodes: 2, ErraticNodes: 1.6}
+}
+
+// PaxosModel is the consensus service: A = 24 000 rounds/s; consensus
+// quorums keep pools smaller.
+func PaxosModel() AppModel {
+	return AppModel{Name: "Paxos", PeakA: 24000, PerNode: 2400, BaseNodes: 3}
+}
+
+// DCSModel is the coordination service: A = 75 000 updates/s with totally
+// ordered updates.
+func DCSModel() AppModel {
+	return AppModel{Name: "DCS", PeakA: 75000, PerNode: 6000, BaseNodes: 2}
+}
+
+// Models returns the four applications in the paper's order.
+func Models() []AppModel {
+	return []AppModel{MarketceteraModel(), HedwigModel(), PaxosModel(), DCSModel()}
+}
+
+// PlotPoint is one plotted agility value: the mean of Excess+Shortage over
+// the sub-intervals of one sampling window (the 10-minute sampling of §5.5).
+type PlotPoint struct {
+	At      time.Duration
+	Agility float64
+}
+
+// Result is one deployment's run over one workload.
+type Result struct {
+	App        string
+	Deployment Deployment
+	Pattern    string
+	// Samples are the per-step (1-minute) observations.
+	Samples []agility.Sample
+	// Plotted is the 10-minute-window series of Figures 7c-7j.
+	Plotted []PlotPoint
+	// Provisioning holds one event per scale-up (Fig. 8).
+	Provisioning []agility.ProvisioningEvent
+}
+
+// AvgAgility is the SPEC agility over the full run.
+func (r Result) AvgAgility() float64 { return agility.Agility(r.Samples) }
+
+// ZeroFraction is the fraction of steps with zero agility.
+func (r Result) ZeroFraction() float64 { return agility.ZeroFraction(r.Samples) }
+
+// MaxProvisioningLatency is the worst provisioning interval of the run.
+func (r Result) MaxProvisioningLatency() time.Duration {
+	return agility.MaxLatency(r.Provisioning)
+}
+
+// RunConfig configures one simulated deployment run.
+type RunConfig struct {
+	App     AppModel
+	Pattern workload.Pattern
+	Deploy  Deployment
+	// Step is the simulation step; default one minute (the ElasticRMI burst
+	// interval used in the evaluation).
+	Step time.Duration
+	// SampleEvery is the plot sampling window; default 10 minutes (§5.5).
+	SampleEvery time.Duration
+	// MaxPool bounds the pool; default 64.
+	MaxPool int
+
+	// Ablation knobs (defaults reproduce the paper; the Ablation* benches
+	// sweep them to quantify each design choice).
+
+	// FineDeltaCap bounds each member's ChangePoolSize return; default 2
+	// (Fig. 5 returns increments of two). 0 keeps the default; negative
+	// means unbounded.
+	FineDeltaCap int
+	// DisableCommonModeError removes the shared estimation error, modelling
+	// members with perfect backlog observability.
+	DisableCommonModeError bool
+	// ThresholdPeriodSteps overrides the CloudWatch/CPUMem monitoring
+	// period (in steps); default 5.
+	ThresholdPeriodSteps int
+	// CloudWatchLatencyScale multiplies the VM provisioning latency;
+	// default 1.
+	CloudWatchLatencyScale float64
+}
+
+func (c *RunConfig) withDefaults() RunConfig {
+	out := *c
+	if out.Step == 0 {
+		out.Step = time.Minute
+	}
+	if out.SampleEvery == 0 {
+		out.SampleEvery = 10 * time.Minute
+	}
+	if out.MaxPool == 0 {
+		out.MaxPool = 64
+	}
+	if out.FineDeltaCap == 0 {
+		out.FineDeltaCap = 2
+	}
+	if out.ThresholdPeriodSteps == 0 {
+		out.ThresholdPeriodSteps = thresholdPeriodSteps
+	}
+	if out.CloudWatchLatencyScale == 0 {
+		out.CloudWatchLatencyScale = 1
+	}
+	return out
+}
+
+// Run simulates one deployment over one workload pattern.
+func Run(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	d := newDeploymentSim(cfg)
+	res := Result{
+		App:        cfg.App.Name,
+		Deployment: cfg.Deploy,
+		Pattern:    cfg.Pattern.Name(),
+	}
+	steps := int(cfg.Pattern.Duration() / cfg.Step)
+	for i := 0; i <= steps; i++ {
+		t := time.Duration(i) * cfg.Step
+		rate := cfg.Pattern.Rate(t)
+		req := cfg.App.ReqMin(rate, t)
+		capProv, events := d.step(t, rate, req)
+		res.Samples = append(res.Samples, agility.Sample{At: t, CapProv: capProv, ReqMin: req})
+		res.Provisioning = append(res.Provisioning, events...)
+	}
+	res.Plotted = plotWindows(res.Samples, cfg.Step, cfg.SampleEvery)
+	return res
+}
+
+func plotWindows(samples []agility.Sample, step, window time.Duration) []PlotPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	per := int(window / step)
+	if per <= 0 {
+		per = 1
+	}
+	var out []PlotPoint
+	for start := 0; start < len(samples); start += per {
+		end := start + per
+		if end > len(samples) {
+			end = len(samples)
+		}
+		sum := 0
+		for _, s := range samples[start:end] {
+			sum += s.Value()
+		}
+		out = append(out, PlotPoint{
+			At:      samples[start].At,
+			Agility: float64(sum) / float64(end-start),
+		})
+	}
+	return out
+}
+
+// deploymentSim is the per-deployment scaling state machine. It reuses the
+// live runtime's policy implementations.
+type deploymentSim struct {
+	cfg  RunConfig
+	size int
+	// pendingAdds models in-flight VM provisioning for CloudWatch: capacity
+	// requested but not yet serving.
+	pendingAdds []pendingAdd
+	peakReq     int
+	// lagReq is the requirement observed during the previous step: scaling
+	// decisions are made on metrics averaged over the completed burst
+	// interval, not the instantaneous load.
+	lagReq int
+}
+
+type pendingAdd struct {
+	ready time.Time
+	n     int
+}
+
+// thresholdPeriodSteps is the monitoring period of the CPU/RAM-threshold
+// deployments (CloudWatch alarms and the ElasticRMI-CPUMem burst interval of
+// the Fig. 4b example): five one-minute steps.
+const thresholdPeriodSteps = 5
+
+func newDeploymentSim(cfg RunConfig) *deploymentSim {
+	d := &deploymentSim{cfg: cfg}
+	// Peak requirement, known a priori to the overprovisioning oracle.
+	peak := 0
+	for t := time.Duration(0); t <= cfg.Pattern.Duration(); t += cfg.Step {
+		if r := cfg.App.ReqMin(cfg.Pattern.Rate(t), t); r > peak {
+			peak = r
+		}
+	}
+	d.peakReq = peak
+	switch cfg.Deploy {
+	case DeployOverprovision:
+		d.size = peak
+		if d.size > cfg.MaxPool {
+			// Even the oracle cannot provision beyond the cluster bound.
+			d.size = cfg.MaxPool
+		}
+	default:
+		d.size = cfg.App.ReqMin(cfg.Pattern.Rate(0), 0)
+		if d.size < 2 {
+			d.size = 2
+		}
+	}
+	return d
+}
+
+// avgCPU is the utilization model shared by the threshold deployments: each
+// member serves an equal share of the offered load against its PerNode
+// capacity. RAM tracks CPU with a fill factor, standing in for
+// queue/buffer occupancy.
+func (d *deploymentSim) avgCPU(rate float64) float64 {
+	util := 100 * rate / (float64(d.size) * d.cfg.App.PerNode)
+	if util > 100 {
+		util = 100
+	}
+	return util
+}
+
+func (d *deploymentSim) avgRAM(rate float64) float64 {
+	return 0.8 * d.avgCPU(rate)
+}
+
+// fineDeltas mirrors the applications' ChangePoolSize implementations: each
+// member estimates the required pool size from its own backlog (queue
+// depth, lock contention, pending proposals). The estimate is based on the
+// *previous* burst interval's workload (metrics are averages over the
+// completed window), differs per member by a deterministic +/-1 observation
+// error, and each member requests at most +/-2 objects per interval — the
+// increment the paper's CacheExplicit2 example returns (Fig. 5).
+func (d *deploymentSim) fineDeltas(lagReq int, t time.Duration) []int {
+	deltas := make([]int, d.size)
+	bias := 0
+	if !d.cfg.DisableCommonModeError {
+		bias = commonModeError(t, d.size)
+	}
+	maxDelta := d.cfg.FineDeltaCap
+	for i := range deltas {
+		est := lagReq + bias + memberNoise(i, t)
+		delta := est - d.size
+		if maxDelta > 0 {
+			if delta > maxDelta {
+				delta = maxDelta
+			}
+			if delta < -maxDelta {
+				delta = -maxDelta
+			}
+		}
+		deltas[i] = delta
+	}
+	return deltas
+}
+
+// commonModeError is the slowly varying shared error of queue-based
+// capacity estimation: all members read the same queues and locks, so their
+// estimates share a bias that averaging cannot remove. It is what keeps the
+// measured ElasticRMI agility "close to 1 most of the time" instead of
+// pinned at zero (§5.5), oscillating between zero and a positive value.
+// The error is proportional to the amount of shared state consulted, i.e.
+// it grows with the pool: a 30-node Marketcetera pool mis-estimates by +/-2
+// nodes where a 10-node Paxos pool mis-estimates by at most one.
+func commonModeError(t time.Duration, size int) int {
+	min := t.Minutes()
+	amp := float64(size) / 18
+	if amp > 1.4 {
+		amp = 1.4
+	}
+	if amp < 0.35 {
+		amp = 0.35
+	}
+	v := amp * (1.3*math.Sin(0.41*min) + 0.9*math.Sin(0.113*min+0.7))
+	return int(math.Round(v))
+}
+
+// memberNoise is a deterministic hash in {-1, 0, +1}.
+func memberNoise(member int, t time.Duration) int {
+	h := uint64(member)*1099511628211 + uint64(t/time.Minute)*14695981039346656037
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h%3) - 1
+}
+
+// ermiProvisionLatency models Fig. 8: container bring-up of a few seconds
+// plus load-dependent overhead from computing redirections and the
+// increasing demands on the sentinel, staying under 30 s (§5.6).
+func ermiProvisionLatency(rate, peak float64, adds int) time.Duration {
+	frac := 0.0
+	if peak > 0 {
+		frac = rate / peak
+	}
+	base := 4 * time.Second
+	loadPart := time.Duration(21 * frac * float64(time.Second))
+	batchPart := time.Duration(adds) * 500 * time.Millisecond
+	lat := base + loadPart + batchPart
+	if lat > 30*time.Second {
+		lat = 30 * time.Second
+	}
+	return lat
+}
+
+// cloudWatchProvisionLatency is VM provisioning: several minutes (§5.6).
+func cloudWatchProvisionLatency(rate, peak float64) time.Duration {
+	frac := 0.0
+	if peak > 0 {
+		frac = rate / peak
+	}
+	return 4*time.Minute + time.Duration(3*frac*float64(time.Minute))
+}
+
+// step advances one simulation step and returns the capacity provisioned
+// during the step plus any provisioning events initiated.
+func (d *deploymentSim) step(t time.Duration, rate float64, req int) (int, []agility.ProvisioningEvent) {
+	cfg := d.cfg
+	switch cfg.Deploy {
+	case DeployOverprovision:
+		// All resources always provisioned; provisioning latency zero.
+		return d.size, nil
+
+	case DeployElasticRMI:
+		lag := d.lagReq
+		if lag == 0 {
+			lag = req
+		}
+		d.lagReq = req
+		pm := core.PoolMetrics{
+			PoolSize:    d.size,
+			MinPool:     2,
+			MaxPool:     cfg.MaxPool,
+			FineDeltas:  d.fineDeltas(lag, t),
+			DesiredSize: -1,
+		}
+		delta := core.FinePolicy{}.Decide(pm)
+		var events []agility.ProvisioningEvent
+		if delta > 0 {
+			lat := ermiProvisionLatency(rate, cfg.Pattern.Peak(), delta)
+			events = append(events, agility.ProvisioningEvent{At: t, Latency: lat})
+		}
+		d.size += delta
+		return d.size, events
+
+	case DeployElasticRMICPUMem:
+		// Same conditions and monitoring period as the CloudWatch
+		// deployment (§5.4: "the same conditions are used to decide on
+		// elastic scaling"): evaluate every thresholdPeriod.
+		if int(t/cfg.Step)%cfg.ThresholdPeriodSteps != 0 {
+			return d.size, nil
+		}
+		pm := core.PoolMetrics{
+			AvgCPU:      d.avgCPU(rate),
+			AvgRAM:      d.avgRAM(rate),
+			PoolSize:    d.size,
+			MinPool:     2,
+			MaxPool:     cfg.MaxPool,
+			DesiredSize: -1,
+		}
+		delta := core.CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40}.Decide(pm)
+		var events []agility.ProvisioningEvent
+		if delta > 0 {
+			lat := ermiProvisionLatency(rate, cfg.Pattern.Peak(), delta)
+			events = append(events, agility.ProvisioningEvent{At: t, Latency: lat})
+		}
+		d.size += delta
+		return d.size, events
+
+	case DeployCloudWatch:
+		// Apply VM additions that have finished provisioning.
+		now := time.Time{}.Add(t)
+		remaining := d.pendingAdds[:0]
+		for _, p := range d.pendingAdds {
+			if !p.ready.After(now) {
+				d.size += p.n
+			} else {
+				remaining = append(remaining, p)
+			}
+		}
+		d.pendingAdds = remaining
+
+		if int(t/cfg.Step)%cfg.ThresholdPeriodSteps != 0 {
+			return d.size, nil
+		}
+		inFlight := 0
+		for _, p := range d.pendingAdds {
+			inFlight += p.n
+		}
+		pm := core.PoolMetrics{
+			AvgCPU:      d.avgCPU(rate),
+			AvgRAM:      d.avgRAM(rate),
+			PoolSize:    d.size + inFlight, // rules see requested capacity
+			MinPool:     2,
+			MaxPool:     cfg.MaxPool,
+			DesiredSize: -1,
+		}
+		delta := core.CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40}.Decide(pm)
+		var events []agility.ProvisioningEvent
+		if delta > 0 {
+			lat := time.Duration(float64(cloudWatchProvisionLatency(rate, cfg.Pattern.Peak())) * cfg.CloudWatchLatencyScale)
+			d.pendingAdds = append(d.pendingAdds, pendingAdd{ready: now.Add(lat), n: delta})
+			events = append(events, agility.ProvisioningEvent{At: t, Latency: lat})
+		} else if delta < 0 {
+			d.size += delta // terminating instances is immediate
+			if d.size < 2 {
+				d.size = 2
+			}
+		}
+		return d.size, events
+
+	default:
+		return d.size, nil
+	}
+}
+
+// Experiment bundles the four deployments over one app/pattern pair — one
+// sub-figure of Fig. 7.
+type Experiment struct {
+	App     AppModel
+	Pattern workload.Pattern
+	Results map[Deployment]Result
+}
+
+// RunExperiment runs all four deployments for an app and pattern.
+func RunExperiment(app AppModel, p workload.Pattern) Experiment {
+	e := Experiment{App: app, Pattern: p, Results: make(map[Deployment]Result, 4)}
+	for _, dep := range Deployments() {
+		e.Results[dep] = Run(RunConfig{App: app, Pattern: p, Deploy: dep})
+	}
+	return e
+}
+
+// RatioVsElasticRMI returns avg agility of dep divided by ElasticRMI's.
+func (e Experiment) RatioVsElasticRMI(dep Deployment) float64 {
+	base := e.Results[DeployElasticRMI].AvgAgility()
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return e.Results[dep].AvgAgility() / base
+}

@@ -1,0 +1,274 @@
+package benchsim
+
+import (
+	"testing"
+	"time"
+
+	"elasticrmi/internal/workload"
+)
+
+// experiments enumerates the eight app/pattern pairs of Fig. 7.
+func experiments() []struct {
+	app AppModel
+	p   workload.Pattern
+} {
+	var out []struct {
+		app AppModel
+		p   workload.Pattern
+	}
+	for _, app := range Models() {
+		out = append(out,
+			struct {
+				app AppModel
+				p   workload.Pattern
+			}{app, workload.Abrupt(app.PeakA)},
+			struct {
+				app AppModel
+				p   workload.Pattern
+			}{app, workload.Cyclic(app.PeakB())},
+		)
+	}
+	return out
+}
+
+// TestElasticRMIHasLowestAgility asserts the headline result of Figures
+// 7c-7j: the agility of ElasticRMI is better (lower) than CloudWatch,
+// ElasticRMI-CPUMem and Overprovisioning for every application and both
+// workloads.
+func TestElasticRMIHasLowestAgility(t *testing.T) {
+	for _, e := range experiments() {
+		ex := RunExperiment(e.app, e.p)
+		ermi := ex.Results[DeployElasticRMI].AvgAgility()
+		for _, dep := range []Deployment{DeployCloudWatch, DeployElasticRMICPUMem, DeployOverprovision} {
+			if other := ex.Results[dep].AvgAgility(); other <= ermi {
+				t.Errorf("%s/%s: %s agility %.2f <= ElasticRMI %.2f",
+					e.app.Name, e.p.Name(), dep, other, ermi)
+			}
+		}
+	}
+}
+
+// TestOverprovisioningWorstOnAverage: overprovisioning optimizes for the
+// peak; on average its agility is the worst of the four deployments.
+func TestOverprovisioningWorstOnAverage(t *testing.T) {
+	for _, e := range experiments() {
+		ex := RunExperiment(e.app, e.p)
+		over := ex.Results[DeployOverprovision].AvgAgility()
+		for _, dep := range []Deployment{DeployElasticRMI, DeployCloudWatch, DeployElasticRMICPUMem} {
+			if other := ex.Results[dep].AvgAgility(); other >= over {
+				t.Errorf("%s/%s: %s agility %.2f >= overprovisioning %.2f",
+					e.app.Name, e.p.Name(), dep, other, over)
+			}
+		}
+	}
+}
+
+// TestOverprovisioningZeroOnlyAtPeak: its agility reaches zero exactly when
+// the workload requirement touches the peak (§5.5: "its agility does reach
+// zero at peak workload").
+func TestOverprovisioningZeroOnlyAtPeak(t *testing.T) {
+	app := MarketceteraModel()
+	res := Run(RunConfig{App: app, Pattern: workload.Cyclic(app.PeakB()), Deploy: DeployOverprovision})
+	sawZero := false
+	for _, s := range res.Samples {
+		if s.Value() == 0 {
+			sawZero = true
+			if s.Excess() != 0 {
+				t.Fatalf("zero agility with excess at %v", s.At)
+			}
+		}
+	}
+	if !sawZero {
+		t.Fatal("overprovisioning never reached zero agility (should at Point B)")
+	}
+	if zf := res.ZeroFraction(); zf > 0.2 {
+		t.Fatalf("overprovisioning at zero %f of the time — should only touch zero at peaks", zf)
+	}
+}
+
+// TestElasticRMIOscillatesToZero: "the agility of ElasticRMI oscillates
+// between 0 and a positive value frequently" and returns to zero most often
+// among the deployments.
+func TestElasticRMIOscillatesToZero(t *testing.T) {
+	for _, e := range experiments() {
+		ex := RunExperiment(e.app, e.p)
+		ermiZero := ex.Results[DeployElasticRMI].ZeroFraction()
+		if ermiZero < 0.2 {
+			t.Errorf("%s/%s: ElasticRMI zero fraction %.2f, want >= 0.2", e.app.Name, e.p.Name(), ermiZero)
+		}
+		for _, dep := range []Deployment{DeployCloudWatch, DeployElasticRMICPUMem, DeployOverprovision} {
+			if z := ex.Results[dep].ZeroFraction(); z >= ermiZero {
+				t.Errorf("%s/%s: %s returns to zero more often (%.2f) than ElasticRMI (%.2f)",
+					e.app.Name, e.p.Name(), dep, z, ermiZero)
+			}
+		}
+	}
+}
+
+// TestCloudWatchRatioBand: the paper reports CloudWatch agility at 2.2x-7.2x
+// ElasticRMI's across the four applications; allow a generous band around
+// that (the claim is the factor's order of magnitude, not its digits).
+func TestCloudWatchRatioBand(t *testing.T) {
+	for _, e := range experiments() {
+		ex := RunExperiment(e.app, e.p)
+		ratio := ex.RatioVsElasticRMI(DeployCloudWatch)
+		if ratio < 2 || ratio > 15 {
+			t.Errorf("%s/%s: CloudWatch/ElasticRMI ratio %.1fx outside [2, 15]",
+				e.app.Name, e.p.Name(), ratio)
+		}
+	}
+}
+
+// TestCPUMemApproxCloudWatch: "the agility of ElasticRMI-CPUMem is
+// approximately equal to CloudWatch" (§5.5) — same conditions, provisioning
+// latency within the sampling interval.
+func TestCPUMemApproxCloudWatch(t *testing.T) {
+	for _, e := range experiments() {
+		ex := RunExperiment(e.app, e.p)
+		cw := ex.Results[DeployCloudWatch].AvgAgility()
+		cpumem := ex.Results[DeployElasticRMICPUMem].AvgAgility()
+		if cpumem < 0.5*cw || cpumem > 1.2*cw {
+			t.Errorf("%s/%s: CPUMem %.2f vs CloudWatch %.2f — not approximately equal",
+				e.app.Name, e.p.Name(), cpumem, cw)
+		}
+	}
+}
+
+// TestMarketceteraSummaryNumbers checks the §5.5 headline magnitudes for
+// Marketcetera: ElasticRMI average agility ~1.37 (we accept [0.5, 2.5]);
+// overprovisioning average ~24.1 abrupt / ~17.2 cyclic (accept +/-50%).
+func TestMarketceteraSummaryNumbers(t *testing.T) {
+	app := MarketceteraModel()
+	abrupt := RunExperiment(app, workload.Abrupt(app.PeakA))
+	ermi := abrupt.Results[DeployElasticRMI].AvgAgility()
+	if ermi < 0.5 || ermi > 2.5 {
+		t.Errorf("ElasticRMI abrupt avg agility %.2f outside [0.5, 2.5] (paper: 1.37)", ermi)
+	}
+	over := abrupt.Results[DeployOverprovision].AvgAgility()
+	if over < 12 || over > 36 {
+		t.Errorf("overprovision abrupt avg agility %.2f outside [12, 36] (paper: 24.1)", over)
+	}
+	cyclic := RunExperiment(app, workload.Cyclic(app.PeakB()))
+	overC := cyclic.Results[DeployOverprovision].AvgAgility()
+	if overC < 8.5 || overC > 26 {
+		t.Errorf("overprovision cyclic avg agility %.2f outside [8.5, 26] (paper: 17.2)", overC)
+	}
+	if overC >= over {
+		t.Errorf("cyclic overprovision agility %.2f should be below abrupt %.2f (paper: 17.2 < 24.1)", overC, over)
+	}
+}
+
+// TestProvisioningLatencyShape reproduces Fig. 8: ElasticRMI provisioning
+// latency stays under 30 s, grows with workload, and CloudWatch's is in
+// minutes; overprovisioning performs no provisioning at all.
+func TestProvisioningLatencyShape(t *testing.T) {
+	for _, e := range experiments() {
+		ermi := Run(RunConfig{App: e.app, Pattern: e.p, Deploy: DeployElasticRMI})
+		if len(ermi.Provisioning) == 0 {
+			t.Errorf("%s/%s: ElasticRMI never provisioned", e.app.Name, e.p.Name())
+			continue
+		}
+		if max := ermi.MaxProvisioningLatency(); max > 30*time.Second {
+			t.Errorf("%s/%s: ElasticRMI max provisioning %v > 30s", e.app.Name, e.p.Name(), max)
+		}
+		// Latency grows with workload: the event at the highest rate beats
+		// the one at the lowest.
+		var lowLat, highLat time.Duration
+		lowRate, highRate := 1e18, -1.0
+		for _, ev := range ermi.Provisioning {
+			r := e.p.Rate(ev.At)
+			if r < lowRate {
+				lowRate, lowLat = r, ev.Latency
+			}
+			if r > highRate {
+				highRate, highLat = r, ev.Latency
+			}
+		}
+		if highLat <= lowLat {
+			t.Errorf("%s/%s: provisioning latency does not grow with workload (%v at low vs %v at high)",
+				e.app.Name, e.p.Name(), lowLat, highLat)
+		}
+
+		cw := Run(RunConfig{App: e.app, Pattern: e.p, Deploy: DeployCloudWatch})
+		for _, ev := range cw.Provisioning {
+			if ev.Latency < time.Minute {
+				t.Errorf("%s/%s: CloudWatch provisioning %v < 1 minute", e.app.Name, e.p.Name(), ev.Latency)
+			}
+		}
+		over := Run(RunConfig{App: e.app, Pattern: e.p, Deploy: DeployOverprovision})
+		if len(over.Provisioning) != 0 {
+			t.Errorf("%s/%s: overprovisioning provisioned at runtime", e.app.Name, e.p.Name())
+		}
+	}
+}
+
+// TestHedwigErraticRequirement: Hedwig's ReqMin wobbles (replication and
+// at-most-once bookkeeping), Marketcetera's does not (§5.5).
+func TestHedwigErraticRequirement(t *testing.T) {
+	hw, mc := HedwigModel(), MarketceteraModel()
+	flips := func(m AppModel, rate float64) int {
+		n := 0
+		prev := m.ReqMin(rate, 0)
+		for min := 1; min <= 100; min++ {
+			cur := m.ReqMin(rate, time.Duration(min)*time.Minute)
+			if cur != prev {
+				n++
+			}
+			prev = cur
+		}
+		return n
+	}
+	hwFlips := flips(hw, 0.7*hw.PeakA)
+	mcFlips := flips(mc, 0.7*mc.PeakA)
+	if hwFlips <= mcFlips {
+		t.Fatalf("Hedwig ReqMin flips %d <= Marketcetera %d; want erratic Hedwig", hwFlips, mcFlips)
+	}
+}
+
+// TestRunDeterministic: same configuration, same series — the simulator has
+// no hidden randomness.
+func TestRunDeterministic(t *testing.T) {
+	app := PaxosModel()
+	cfg := RunConfig{App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployElasticRMI}
+	a, b := Run(cfg), Run(cfg)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("sample count differs")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+// TestPlotWindowsAverageSubIntervals: each plotted point is the mean of its
+// window's per-minute values (the SPEC definition with N sub-intervals).
+func TestPlotWindowsAverageSubIntervals(t *testing.T) {
+	app := DCSModel()
+	res := Run(RunConfig{App: app, Pattern: workload.Abrupt(app.PeakA), Deploy: DeployCloudWatch})
+	if len(res.Plotted) == 0 {
+		t.Fatal("no plotted points")
+	}
+	// Recompute the first full window by hand.
+	per := 10
+	sum := 0
+	for _, s := range res.Samples[:per] {
+		sum += s.Value()
+	}
+	want := float64(sum) / float64(per)
+	if got := res.Plotted[0].Agility; got != want {
+		t.Fatalf("plotted[0] = %v, want %v", got, want)
+	}
+}
+
+func TestMinimumPoolOfTwo(t *testing.T) {
+	app := PaxosModel()
+	for _, dep := range Deployments() {
+		res := Run(RunConfig{App: app, Pattern: workload.Cyclic(app.PeakB()), Deploy: dep})
+		for _, s := range res.Samples {
+			if s.CapProv < 2 {
+				t.Fatalf("%s: capacity %d < 2 at %v (elastic pools have >= 2 members)", dep, s.CapProv, s.At)
+			}
+		}
+	}
+}

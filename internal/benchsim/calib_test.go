@@ -1,0 +1,41 @@
+package benchsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/workload"
+)
+
+// TestCalibrationReport prints the summary numbers for manual calibration.
+func TestCalibrationReport(t *testing.T) {
+	for _, app := range Models() {
+		for _, mk := range []struct {
+			name string
+			p    workload.Pattern
+		}{
+			{"abrupt", workload.Abrupt(app.PeakA)},
+			{"cyclic", workload.Cyclic(app.PeakB())},
+		} {
+			e := RunExperiment(app, mk.p)
+			ermi := e.Results[DeployElasticRMI]
+			fmt.Printf("%-13s %-6s ERMI avg=%5.2f zero=%4.2f maxProv=%5.1fs | CW=%5.2f (%4.1fx) CPUMem=%5.2f (%4.1fx) Over=%5.2f (%4.1fx) peakReq=%d\n",
+				app.Name, mk.name,
+				ermi.AvgAgility(), ermi.ZeroFraction(),
+				ermi.MaxProvisioningLatency().Seconds(),
+				e.Results[DeployCloudWatch].AvgAgility(), e.RatioVsElasticRMI(DeployCloudWatch),
+				e.Results[DeployElasticRMICPUMem].AvgAgility(), e.RatioVsElasticRMI(DeployElasticRMICPUMem),
+				e.Results[DeployOverprovision].AvgAgility(), e.RatioVsElasticRMI(DeployOverprovision),
+				peakReqOf(app, mk.p),
+			)
+			_ = time.Minute
+		}
+	}
+}
+
+func peakReqOf(app AppModel, p workload.Pattern) int {
+	cfg := RunConfig{App: app, Pattern: p, Deploy: DeployOverprovision}
+	cfg = cfg.withDefaults()
+	return newDeploymentSim(cfg).peakReq
+}

@@ -1,0 +1,96 @@
+package benchsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"elasticrmi/internal/workload"
+)
+
+// Property: for every deployment, app and workload scale, provisioned
+// capacity stays within [2, MaxPool] for the entire run, and the simulator
+// never panics on odd magnitudes.
+func TestCapacityBoundsProperty(t *testing.T) {
+	apps := Models()
+	deps := Deployments()
+	prop := func(appIdx, depIdx uint8, scalePct uint8, cyclic bool) bool {
+		app := apps[int(appIdx)%len(apps)]
+		dep := deps[int(depIdx)%len(deps)]
+		scale := 0.2 + float64(scalePct%200)/100 // 0.2x..2.2x of Point A
+		var p workload.Pattern
+		if cyclic {
+			p = workload.Cyclic(app.PeakB() * scale)
+		} else {
+			p = workload.Abrupt(app.PeakA * scale)
+		}
+		res := Run(RunConfig{App: app, Pattern: p, Deploy: dep, MaxPool: 80})
+		for _, s := range res.Samples {
+			if s.CapProv < 2 || s.CapProv > 80 {
+				return false
+			}
+			if s.ReqMin < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SPEC agility of any run is non-negative and finite, and the
+// plotted windows average to (approximately) the run average.
+func TestPlotConsistencyProperty(t *testing.T) {
+	apps := Models()
+	prop := func(appIdx uint8, cyclic bool) bool {
+		app := apps[int(appIdx)%len(apps)]
+		var p workload.Pattern
+		if cyclic {
+			p = workload.Cyclic(app.PeakB())
+		} else {
+			p = workload.Abrupt(app.PeakA)
+		}
+		res := Run(RunConfig{App: app, Pattern: p, Deploy: DeployElasticRMI})
+		avg := res.AvgAgility()
+		if avg < 0 {
+			return false
+		}
+		// Weighted mean of plotted windows == sample mean.
+		var weighted float64
+		per := 10.0
+		n := float64(len(res.Samples))
+		for i, pt := range res.Plotted {
+			w := per
+			if i == len(res.Plotted)-1 {
+				w = n - per*float64(len(res.Plotted)-1)
+			}
+			weighted += pt.Agility * w
+		}
+		weighted /= n
+		diff := weighted - avg
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReqMin is monotone in rate for non-erratic apps.
+func TestReqMinMonotoneProperty(t *testing.T) {
+	app := MarketceteraModel()
+	prop := func(a, b uint16) bool {
+		ra, rb := float64(a), float64(b)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return app.ReqMin(ra*10, time.Minute) <= app.ReqMin(rb*10, time.Minute)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

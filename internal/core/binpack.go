@@ -1,0 +1,115 @@
+package core
+
+import "sort"
+
+// The sentinel's server-side load balancing (§4.3): when some skeletons are
+// overloaded relative to others, the sentinel decides how many pending
+// invocations each overloaded skeleton should redirect and to whom, using
+// the first-fit greedy bin-packing approximation.
+
+// MemberLoad is one skeleton's load as observed by the sentinel.
+type MemberLoad struct {
+	Addr    string
+	Pending int
+}
+
+// RedirectPlan tells one overloaded skeleton to redirect a share of its
+// incoming invocations to Targets. Fraction is the portion of arrivals to
+// redirect, in [0,1]; Amounts gives the per-target item counts the plan
+// packed (for introspection and tests).
+type RedirectPlan struct {
+	From     string
+	Fraction float64
+	Targets  []string
+	Amounts  map[string]int
+}
+
+// PlanRebalance computes redirect plans with first-fit bin packing. A member
+// is overloaded when its pending count exceeds overloadFactor times the pool
+// mean; the excess above the mean is treated as items to pack into the spare
+// capacity (mean - pending) of underloaded members, iterating members in
+// first-fit order.
+func PlanRebalance(loads []MemberLoad, overloadFactor float64) []RedirectPlan {
+	if len(loads) < 2 {
+		return nil
+	}
+	if overloadFactor < 1 {
+		overloadFactor = 1
+	}
+	total := 0
+	for _, l := range loads {
+		total += l.Pending
+	}
+	mean := float64(total) / float64(len(loads))
+	if mean <= 0 {
+		return nil
+	}
+
+	// Bins: spare capacity of underloaded members, in stable address order
+	// (first-fit needs a deterministic bin order).
+	type bin struct {
+		addr  string
+		spare int
+	}
+	var bins []bin
+	var overloaded []MemberLoad
+	for _, l := range loads {
+		spare := int(mean) - l.Pending
+		if spare > 0 {
+			bins = append(bins, bin{addr: l.Addr, spare: spare})
+		}
+		if float64(l.Pending) > overloadFactor*mean {
+			overloaded = append(overloaded, l)
+		}
+	}
+	if len(bins) == 0 || len(overloaded) == 0 {
+		return nil
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].addr < bins[j].addr })
+	// Pack the most overloaded members first.
+	sort.Slice(overloaded, func(i, j int) bool {
+		if overloaded[i].Pending == overloaded[j].Pending {
+			return overloaded[i].Addr < overloaded[j].Addr
+		}
+		return overloaded[i].Pending > overloaded[j].Pending
+	})
+
+	plans := make([]RedirectPlan, 0, len(overloaded))
+	for _, o := range overloaded {
+		excess := o.Pending - int(mean)
+		if excess <= 0 {
+			continue
+		}
+		plan := RedirectPlan{From: o.Addr, Amounts: make(map[string]int)}
+		moved := 0
+		for i := range bins {
+			if excess == 0 {
+				break
+			}
+			if bins[i].spare == 0 {
+				continue
+			}
+			take := bins[i].spare
+			if take > excess {
+				take = excess
+			}
+			bins[i].spare -= take
+			excess -= take
+			moved += take
+			plan.Amounts[bins[i].addr] += take
+			plan.Targets = append(plan.Targets, bins[i].addr)
+		}
+		if moved == 0 {
+			continue
+		}
+		plan.Fraction = float64(moved) / float64(o.Pending)
+		if plan.Fraction > 1 {
+			plan.Fraction = 1
+		}
+		plans = append(plans, plan)
+	}
+	if len(plans) == 0 {
+		return nil
+	}
+	return plans
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanRebalanceBasic(t *testing.T) {
+	loads := []MemberLoad{
+		{Addr: "a", Pending: 100},
+		{Addr: "b", Pending: 10},
+		{Addr: "c", Pending: 10},
+	}
+	plans := PlanRebalance(loads, 2.0)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %+v, want 1", plans)
+	}
+	p := plans[0]
+	if p.From != "a" {
+		t.Fatalf("overloaded = %s, want a", p.From)
+	}
+	if p.Fraction <= 0 || p.Fraction > 1 {
+		t.Fatalf("fraction = %v", p.Fraction)
+	}
+	// Mean is 40; a's excess is 60; spare is 30+30; all 60 packable.
+	total := 0
+	for _, n := range p.Amounts {
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("moved %d, want 60", total)
+	}
+}
+
+func TestPlanRebalanceNoOverload(t *testing.T) {
+	loads := []MemberLoad{{Addr: "a", Pending: 10}, {Addr: "b", Pending: 12}}
+	if plans := PlanRebalance(loads, 2.0); plans != nil {
+		t.Fatalf("plans = %+v, want none", plans)
+	}
+}
+
+func TestPlanRebalanceAllIdle(t *testing.T) {
+	loads := []MemberLoad{{Addr: "a"}, {Addr: "b"}}
+	if plans := PlanRebalance(loads, 2.0); plans != nil {
+		t.Fatalf("plans = %+v, want none (zero mean)", plans)
+	}
+}
+
+func TestPlanRebalanceSingleMember(t *testing.T) {
+	if plans := PlanRebalance([]MemberLoad{{Addr: "a", Pending: 100}}, 2.0); plans != nil {
+		t.Fatalf("plans = %+v, want none", plans)
+	}
+}
+
+func TestPlanRebalanceFirstFitOrder(t *testing.T) {
+	// Bins are taken in address order (first fit): "b" fills before "c".
+	loads := []MemberLoad{
+		{Addr: "z", Pending: 90},
+		{Addr: "c", Pending: 0},
+		{Addr: "b", Pending: 0},
+	}
+	plans := PlanRebalance(loads, 2.0)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %+v", plans)
+	}
+	// Mean 30: z's excess is 60, spare is b:30, c:30. First fit fills b
+	// fully before touching c.
+	if plans[0].Amounts["b"] != 30 || plans[0].Amounts["c"] != 30 {
+		t.Fatalf("amounts = %+v", plans[0].Amounts)
+	}
+	if plans[0].Targets[0] != "b" {
+		t.Fatalf("first target = %s, want b", plans[0].Targets[0])
+	}
+}
+
+// Properties: plans never move more than the member's pending count, never
+// target the overloaded member itself, and fractions stay in (0, 1].
+func TestPlanRebalanceProperties(t *testing.T) {
+	prop := func(pendings []uint8) bool {
+		if len(pendings) < 2 {
+			return true
+		}
+		loads := make([]MemberLoad, len(pendings))
+		for i, p := range pendings {
+			loads[i] = MemberLoad{Addr: fmt.Sprintf("m-%03d", i), Pending: int(p)}
+		}
+		for _, plan := range PlanRebalance(loads, 2.0) {
+			if plan.Fraction <= 0 || plan.Fraction > 1 {
+				return false
+			}
+			var from *MemberLoad
+			for i := range loads {
+				if loads[i].Addr == plan.From {
+					from = &loads[i]
+					break
+				}
+			}
+			if from == nil {
+				return false
+			}
+			moved := 0
+			for target, n := range plan.Amounts {
+				if target == plan.From || n <= 0 {
+					return false
+				}
+				moved += n
+			}
+			if moved > from.Pending {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Application-level scaling decisions (§3.3, "Making Application-Level
+// Scaling Decisions"): a Decider makes decisions with a global view of the
+// entire application, spanning multiple elastic pools. The runtime calls the
+// decider every burst interval to get each pool's desired size.
+
+// DeciderFunc adapts a function to the Decider interface.
+type DeciderFunc func(poolName string, current int) int
+
+var _ Decider = DeciderFunc(nil)
+
+// DesiredPoolSize implements Decider.
+func (f DeciderFunc) DesiredPoolSize(poolName string, current int) int {
+	return f(poolName, current)
+}
+
+// ProportionalDecider sizes dependent tiers of a multi-pool application: the
+// desired size of each named pool is a fixed ratio of a leader quantity
+// (e.g. the front-tier pool size or an offered request rate). It is the
+// tech-report's canonical example of a monitoring component that elastic
+// objects report to: the application is responsible for feeding it
+// (Observe), the runtime for polling it every burst interval.
+//
+// Safe for concurrent use by multiple pools.
+type ProportionalDecider struct {
+	mu     sync.Mutex
+	ratios map[string]float64
+	min    int
+	leader float64
+}
+
+var _ Decider = (*ProportionalDecider)(nil)
+
+// NewProportionalDecider creates a decider with per-pool ratios: pool p
+// wants ceil(ratio[p] x leader). Pools not in the map keep their current
+// size. minimum applies to every sized pool (at least 2, the elastic
+// minimum).
+func NewProportionalDecider(ratios map[string]float64, minimum int) *ProportionalDecider {
+	if minimum < 2 {
+		minimum = 2
+	}
+	r := make(map[string]float64, len(ratios))
+	for k, v := range ratios {
+		r[k] = v
+	}
+	return &ProportionalDecider{ratios: r, min: minimum}
+}
+
+// Observe publishes the current leader quantity; the latest value wins.
+func (d *ProportionalDecider) Observe(leader float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.leader = leader
+}
+
+// DesiredPoolSize implements Decider.
+func (d *ProportionalDecider) DesiredPoolSize(poolName string, current int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ratio, ok := d.ratios[poolName]
+	if !ok {
+		return current
+	}
+	want := int(math.Ceil(ratio * d.leader))
+	if want < d.min {
+		want = d.min
+	}
+	return want
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"elasticrmi/internal/transport"
+)
+
+func TestDeciderFuncAdapter(t *testing.T) {
+	var gotName string
+	var gotCur int
+	d := DeciderFunc(func(name string, cur int) int {
+		gotName, gotCur = name, cur
+		return 7
+	})
+	if got := d.DesiredPoolSize("p", 3); got != 7 {
+		t.Fatalf("desired = %d", got)
+	}
+	if gotName != "p" || gotCur != 3 {
+		t.Fatalf("args = %s/%d", gotName, gotCur)
+	}
+}
+
+func TestProportionalDecider(t *testing.T) {
+	d := NewProportionalDecider(map[string]float64{
+		"backend": 0.5,
+		"cache":   0.25,
+	}, 2)
+	// Before any observation: minimum.
+	if got := d.DesiredPoolSize("backend", 9); got != 2 {
+		t.Fatalf("backend before observe = %d, want min 2", got)
+	}
+	d.Observe(12)
+	if got := d.DesiredPoolSize("backend", 2); got != 6 {
+		t.Fatalf("backend = %d, want 6 (0.5 x 12)", got)
+	}
+	if got := d.DesiredPoolSize("cache", 2); got != 3 {
+		t.Fatalf("cache = %d, want 3 (0.25 x 12)", got)
+	}
+	// Unmanaged pool keeps its size.
+	if got := d.DesiredPoolSize("other", 5); got != 5 {
+		t.Fatalf("unmanaged = %d, want 5", got)
+	}
+	// Fractions round up.
+	d.Observe(13)
+	if got := d.DesiredPoolSize("cache", 2); got != 4 {
+		t.Fatalf("cache = %d, want ceil(3.25) = 4", got)
+	}
+}
+
+// TestProportionalDeciderDrivesTwoPools: a two-tier application where the
+// decider sizes the backend tier as half the observed front-tier demand —
+// the application-level scaling of §3.3 spanning multiple elastic pools.
+func TestProportionalDeciderDrivesTwoPools(t *testing.T) {
+	env := newTestEnv(t, 16)
+	decider := NewProportionalDecider(map[string]float64{"tier-b": 0.5}, 2)
+
+	poolA := newTestPool(t, env, Config{
+		Name: "tier-a", MinPoolSize: 2, MaxPoolSize: 8,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	poolB, err := NewPool(Config{
+		Name: "tier-b", MinPoolSize: 2, MaxPoolSize: 8,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+		Decider: decider,
+	}, newCounterFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	defer poolB.Close()
+
+	// Front tier grows; the monitoring component reports its demand.
+	if err := poolA.Resize(4); err != nil {
+		t.Fatalf("Resize A: %v", err)
+	}
+	decider.Observe(float64(poolA.Size() * 2)) // demand proxy: 12
+	poolB.Step()
+	if got := poolB.Size(); got != 6 {
+		t.Fatalf("tier-b = %d, want 6 (decider)", got)
+	}
+	// Demand drops; backend follows.
+	decider.Observe(4)
+	poolB.Step()
+	if got := poolB.Size(); got != 2 {
+		t.Fatalf("tier-b after drop = %d, want 2", got)
+	}
+}
+
+// TestStatsMethodExposesMemberWorkload: the __stats admin surface reports
+// the last completed burst interval.
+func TestStatsMethodExposesMemberWorkload(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "statpool", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	stub, err := LookupStub("statpool", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	pool.Step() // roll the metrics window so stats are cached
+
+	c, err := transport.Dial(pool.SentinelAddr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	out, err := c.Call("statpool", MethodStats, nil, 5*time.Second)
+	if err != nil {
+		t.Fatalf("__stats: %v", err)
+	}
+	var rep StatsReply
+	if err := transport.Decode(out, &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Pool != "statpool" || rep.UID == 0 {
+		t.Fatalf("stats = %+v", rep)
+	}
+	foundAdd := false
+	for _, m := range rep.Methods {
+		if m.Method == "Add" && m.Calls > 0 {
+			foundAdd = true
+		}
+	}
+	if !foundAdd {
+		t.Fatalf("stats missing Add method activity: %+v", rep.Methods)
+	}
+}

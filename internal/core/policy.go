@@ -1,0 +1,168 @@
+package core
+
+import "math"
+
+// PoolMetrics is the observation a scaling policy decides on: what the
+// runtime gathered from the elastic object pool over one burst interval.
+// The same struct (and the same policy implementations) are used by the
+// live runtime and by the deployment simulator in internal/benchsim, so the
+// figures of the paper are regenerated with exactly the decision code that
+// runs in production.
+type PoolMetrics struct {
+	// AvgCPU / AvgRAM are utilization percentages averaged across members.
+	AvgCPU float64
+	AvgRAM float64
+	// PoolSize is the current member count; MinPool/MaxPool its bounds.
+	PoolSize int
+	MinPool  int
+	MaxPool  int
+	// FineDeltas holds the per-member returns of ChangePoolSize, when the
+	// application implements PoolSizer; nil otherwise.
+	FineDeltas []int
+	// DesiredSize is the Decider's answer (application-level decisions);
+	// negative means "no decider".
+	DesiredSize int
+}
+
+// Policy decides how many members to add (positive) or remove (negative)
+// given one burst interval's metrics. The returned delta is already clamped
+// to the pool's [MinPool, MaxPool] bounds.
+type Policy interface {
+	Decide(m PoolMetrics) int
+	Name() string
+}
+
+// clampDelta restricts size+delta to [min, max] and returns the adjusted
+// delta.
+func clampDelta(delta, size, min, max int) int {
+	target := size + delta
+	if target < min {
+		target = min
+	}
+	if target > max {
+		target = max
+	}
+	return target - size
+}
+
+// ImplicitPolicy is the paper's default (§3.2): add one object when average
+// CPU utilization exceeds 90%, remove one when it falls below 60%.
+type ImplicitPolicy struct{}
+
+var _ Policy = ImplicitPolicy{}
+
+// Name implements Policy.
+func (ImplicitPolicy) Name() string { return "implicit" }
+
+// Decide implements Policy.
+func (ImplicitPolicy) Decide(m PoolMetrics) int {
+	switch {
+	case m.AvgCPU > 90:
+		return clampDelta(1, m.PoolSize, m.MinPool, m.MaxPool)
+	case m.AvgCPU < 60:
+		return clampDelta(-1, m.PoolSize, m.MinPool, m.MaxPool)
+	default:
+		return 0
+	}
+}
+
+// CoarsePolicy implements explicit elasticity with coarse-grained metrics
+// (§3.3): user-set CPU and RAM thresholds, interpreted with a logical OR.
+// Increments are one object per burst interval, as in the paper's example.
+type CoarsePolicy struct {
+	CPUIncr, CPUDecr float64
+	RAMIncr, RAMDecr float64
+}
+
+var _ Policy = CoarsePolicy{}
+
+// Name implements Policy.
+func (CoarsePolicy) Name() string { return "coarse" }
+
+// Decide implements Policy.
+func (p CoarsePolicy) Decide(m PoolMetrics) int {
+	incr := (p.CPUIncr > 0 && m.AvgCPU > p.CPUIncr) ||
+		(p.RAMIncr > 0 && m.AvgRAM > p.RAMIncr)
+	decr := (p.CPUDecr > 0 && m.AvgCPU < p.CPUDecr) &&
+		(p.RAMDecr == 0 || m.AvgRAM < p.RAMDecr)
+	switch {
+	case incr:
+		return clampDelta(1, m.PoolSize, m.MinPool, m.MaxPool)
+	case decr:
+		return clampDelta(-1, m.PoolSize, m.MinPool, m.MaxPool)
+	default:
+		return 0
+	}
+}
+
+// FinePolicy implements fine-grained explicit elasticity (§3.3): the runtime
+// polls each member's ChangePoolSize and averages the returned values to
+// determine how many objects to add or remove. When the application
+// overrides ChangePoolSize, CPU/RAM scaling is disabled, so this policy
+// ignores utilization entirely.
+type FinePolicy struct{}
+
+var _ Policy = FinePolicy{}
+
+// Name implements Policy.
+func (FinePolicy) Name() string { return "fine" }
+
+// Decide implements Policy.
+func (FinePolicy) Decide(m PoolMetrics) int {
+	if len(m.FineDeltas) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range m.FineDeltas {
+		sum += d
+	}
+	avg := float64(sum) / float64(len(m.FineDeltas))
+	// Round half away from zero so a pool evenly split between +1 and 0
+	// still reacts.
+	delta := int(math.Round(avg))
+	if delta == 0 {
+		return 0
+	}
+	return clampDelta(delta, m.PoolSize, m.MinPool, m.MaxPool)
+}
+
+// DeciderPolicy delegates to an application-level Decider that returns the
+// desired absolute pool size (§3.3, "Making Application-Level Scaling
+// Decisions").
+type DeciderPolicy struct{}
+
+var _ Policy = DeciderPolicy{}
+
+// Name implements Policy.
+func (DeciderPolicy) Name() string { return "decider" }
+
+// Decide implements Policy.
+func (DeciderPolicy) Decide(m PoolMetrics) int {
+	if m.DesiredSize < 0 {
+		return 0
+	}
+	return clampDelta(m.DesiredSize-m.PoolSize, m.PoolSize, m.MinPool, m.MaxPool)
+}
+
+// policyFor selects the single decision mechanism for a pool, mirroring the
+// paper's precedence: a Decider overrides everything; an application
+// implementing PoolSizer disables CPU/RAM scaling; explicit thresholds
+// override the implicit defaults.
+func policyFor(cfg Config, fineGrained bool) Policy {
+	switch {
+	case cfg.Decider != nil:
+		return DeciderPolicy{}
+	case fineGrained:
+		return FinePolicy{}
+	case cfg.CPUIncrThreshold != 90 || cfg.CPUDecrThreshold != 60 ||
+		cfg.RAMIncrThreshold != 0 || cfg.RAMDecrThreshold != 0:
+		return CoarsePolicy{
+			CPUIncr: cfg.CPUIncrThreshold,
+			CPUDecr: cfg.CPUDecrThreshold,
+			RAMIncr: cfg.RAMIncrThreshold,
+			RAMDecr: cfg.RAMDecrThreshold,
+		}
+	default:
+		return ImplicitPolicy{}
+	}
+}

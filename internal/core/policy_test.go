@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImplicitPolicy(t *testing.T) {
+	p := ImplicitPolicy{}
+	tests := []struct {
+		name string
+		m    PoolMetrics
+		want int
+	}{
+		{"hot adds one", PoolMetrics{AvgCPU: 95, PoolSize: 4, MinPool: 2, MaxPool: 10}, 1},
+		{"cool removes one", PoolMetrics{AvgCPU: 40, PoolSize: 4, MinPool: 2, MaxPool: 10}, -1},
+		{"steady holds", PoolMetrics{AvgCPU: 75, PoolSize: 4, MinPool: 2, MaxPool: 10}, 0},
+		{"at max clamps", PoolMetrics{AvgCPU: 99, PoolSize: 10, MinPool: 2, MaxPool: 10}, 0},
+		{"at min clamps", PoolMetrics{AvgCPU: 10, PoolSize: 2, MinPool: 2, MaxPool: 10}, 0},
+		{"boundary 90 holds", PoolMetrics{AvgCPU: 90, PoolSize: 4, MinPool: 2, MaxPool: 10}, 0},
+		{"boundary 60 holds", PoolMetrics{AvgCPU: 60, PoolSize: 4, MinPool: 2, MaxPool: 10}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Decide(tc.m); got != tc.want {
+				t.Errorf("Decide(%+v) = %d, want %d", tc.m, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCoarsePolicyLogicalOR(t *testing.T) {
+	// Fig. 4b: CPU 85/50, RAM 70/40, combined with OR for growth.
+	p := CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40}
+	tests := []struct {
+		name string
+		cpu  float64
+		ram  float64
+		want int
+	}{
+		{"cpu alone triggers", 90, 10, 1},
+		{"ram alone triggers", 10, 75, 1},
+		{"both trigger", 90, 75, 1},
+		{"neither holds", 70, 60, 0},
+		{"both low removes", 40, 30, -1},
+		{"cpu low ram high holds", 40, 75, 1}, // RAM still over incr
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := PoolMetrics{AvgCPU: tc.cpu, AvgRAM: tc.ram, PoolSize: 5, MinPool: 2, MaxPool: 10}
+			if got := p.Decide(m); got != tc.want {
+				t.Errorf("cpu=%v ram=%v -> %d, want %d", tc.cpu, tc.ram, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFinePolicyAveragesDeltas(t *testing.T) {
+	p := FinePolicy{}
+	tests := []struct {
+		name   string
+		deltas []int
+		size   int
+		want   int
+	}{
+		{"unanimous add two", []int{2, 2, 2}, 4, 2},
+		{"average rounds", []int{2, 1, 1}, 4, 1},
+		{"split rounds half up", []int{1, 0}, 4, 1},
+		{"negative average", []int{-2, -2, -1}, 6, -2},
+		{"disagreement cancels", []int{1, -1}, 4, 0},
+		{"no sizers", nil, 4, 0},
+		{"clamped to max", []int{5, 5}, 9, 1},
+		{"clamped to min", []int{-5, -5}, 3, -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := PoolMetrics{FineDeltas: tc.deltas, PoolSize: tc.size, MinPool: 2, MaxPool: 10}
+			if got := p.Decide(m); got != tc.want {
+				t.Errorf("deltas=%v size=%d -> %d, want %d", tc.deltas, tc.size, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeciderPolicy(t *testing.T) {
+	p := DeciderPolicy{}
+	if got := p.Decide(PoolMetrics{DesiredSize: 7, PoolSize: 4, MinPool: 2, MaxPool: 10}); got != 3 {
+		t.Fatalf("grow to desired = %d, want 3", got)
+	}
+	if got := p.Decide(PoolMetrics{DesiredSize: 2, PoolSize: 6, MinPool: 2, MaxPool: 10}); got != -4 {
+		t.Fatalf("shrink to desired = %d, want -4", got)
+	}
+	if got := p.Decide(PoolMetrics{DesiredSize: -1, PoolSize: 6, MinPool: 2, MaxPool: 10}); got != 0 {
+		t.Fatalf("no decider = %d, want 0", got)
+	}
+	if got := p.Decide(PoolMetrics{DesiredSize: 99, PoolSize: 6, MinPool: 2, MaxPool: 10}); got != 4 {
+		t.Fatalf("desired above max = %d, want clamp to 4", got)
+	}
+}
+
+// Property: every policy's decision keeps the pool inside [MinPool, MaxPool].
+func TestPoliciesRespectBoundsProperty(t *testing.T) {
+	policies := []Policy{
+		ImplicitPolicy{},
+		CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40},
+		FinePolicy{},
+		DeciderPolicy{},
+	}
+	prop := func(cpu, ram uint8, size, min, max uint8, deltas []int8, desired int8) bool {
+		lo := int(min%10) + 2
+		hi := lo + int(max%20)
+		sz := lo + int(size)%(hi-lo+1)
+		fd := make([]int, len(deltas))
+		for i, d := range deltas {
+			fd[i] = int(d % 5)
+		}
+		m := PoolMetrics{
+			AvgCPU: float64(cpu) / 2.55, AvgRAM: float64(ram) / 2.55,
+			PoolSize: sz, MinPool: lo, MaxPool: hi,
+			FineDeltas: fd, DesiredSize: int(desired),
+		}
+		for _, p := range policies {
+			next := sz + p.Decide(m)
+			if next < lo || next > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicySelection(t *testing.T) {
+	base := Config{Name: "x", MinPoolSize: 2, MaxPoolSize: 4}
+	cfg := base.withDefaults()
+	if got := policyFor(cfg, false).Name(); got != "implicit" {
+		t.Fatalf("default policy = %s", got)
+	}
+	if got := policyFor(cfg, true).Name(); got != "fine" {
+		t.Fatalf("fine-grained policy = %s", got)
+	}
+	withDecider := cfg
+	withDecider.Decider = deciderFunc(func(string, int) int { return 3 })
+	if got := policyFor(withDecider, true).Name(); got != "decider" {
+		t.Fatalf("decider policy = %s", got)
+	}
+	coarse := base
+	coarse.CPUIncrThreshold = 85
+	coarse.CPUDecrThreshold = 50
+	coarse = coarse.withDefaults()
+	if got := policyFor(coarse, false).Name(); got != "coarse" {
+		t.Fatalf("coarse policy = %s", got)
+	}
+}
+
+type deciderFunc func(string, int) int
+
+func (f deciderFunc) DesiredPoolSize(name string, cur int) int { return f(name, cur) }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"elasticrmi/internal/transport"
+)
+
+func startRegistry(t *testing.T) (*RegistryServer, *RegistryClient) {
+	t.Helper()
+	srv, err := NewRegistryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewRegistryServer: %v", err)
+	}
+	cli, err := DialRegistry(srv.Addr())
+	if err != nil {
+		t.Fatalf("DialRegistry: %v", err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return srv, cli
+}
+
+func TestRegistryBindLookupUnbind(t *testing.T) {
+	_, cli := startRegistry(t)
+	if _, err := cli.Lookup("nope"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("Lookup(missing) = %v, want ErrNotBound", err)
+	}
+	if err := cli.Bind("cache", []string{"a:1", "b:2"}); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	eps, err := cli.Lookup("cache")
+	if err != nil || len(eps) != 2 || eps[0] != "a:1" {
+		t.Fatalf("Lookup = %v, %v", eps, err)
+	}
+	// Rebinding replaces.
+	if err := cli.Bind("cache", []string{"c:3"}); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	eps, _ = cli.Lookup("cache")
+	if len(eps) != 1 || eps[0] != "c:3" {
+		t.Fatalf("after rebind = %v", eps)
+	}
+	names, err := cli.List()
+	if err != nil || len(names) != 1 || names[0] != "cache" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := cli.Unbind("cache"); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if _, err := cli.Lookup("cache"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("Lookup after unbind = %v, want ErrNotBound", err)
+	}
+}
+
+func TestMuxDispatch(t *testing.T) {
+	m := NewMux()
+	Handle(m, "Double", func(n int) (int, error) {
+		return 2 * n, nil
+	})
+	Handle(m, "Fail", func(struct{}) (struct{}, error) {
+		return struct{}{}, errors.New("app error")
+	})
+	arg, _ := transport.Encode(21)
+	out, err := m.HandleCall("Double", arg)
+	if err != nil {
+		t.Fatalf("Double: %v", err)
+	}
+	var got int
+	if err := transport.Decode(out, &got); err != nil || got != 42 {
+		t.Fatalf("Double = %d, %v", got, err)
+	}
+	if _, err := m.HandleCall("Missing", nil); err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+	none, _ := transport.Encode(struct{}{})
+	if _, err := m.HandleCall("Fail", none); err == nil || err.Error() != "app error" {
+		t.Fatalf("Fail err = %v", err)
+	}
+	if got := len(m.Methods()); got != 2 {
+		t.Fatalf("methods = %d", got)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"elasticrmi/internal/kvstore"
+	"elasticrmi/internal/simclock"
+)
+
+// State is the shared-state accessor of an elastic class. In the paper the
+// preprocessor rewrites reads and writes of instance and static fields into
+// get/put calls on HyperDex, namespacing keys as "Class$field", and rewrites
+// synchronized methods into acquire/release of a per-class lock (Fig. 6).
+// State exposes exactly those operations. As in the paper, State provides
+// per-operation strong consistency and per-class mutual exclusion, but no
+// transactional (ACID) execution across operations.
+type State struct {
+	class string
+	owner string
+	store kvstore.Shared
+	clock simclock.Clock
+	lease time.Duration
+	// acqSeq makes each lock acquisition's owner id unique: the store's
+	// TryLock treats a repeated acquisition by the same owner as a lease
+	// renewal, which must never happen for two concurrent critical sections
+	// on the same member.
+	acqSeq atomic.Int64
+}
+
+// acquireOwner returns a per-acquisition unique lock owner id.
+func (s *State) acquireOwner() string {
+	return s.owner + "#" + strconv.FormatInt(s.acqSeq.Add(1), 10)
+}
+
+// NewState creates the accessor for an elastic class. owner identifies the
+// pool member for lock ownership (e.g. "cache/uid-7"); clock may be nil for
+// the wall clock.
+func NewState(class, owner string, store kvstore.Shared, clock simclock.Clock) *State {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &State{
+		class: class,
+		owner: owner,
+		store: store,
+		clock: clock,
+		lease: 30 * time.Second,
+	}
+}
+
+// Key returns the store key for a field of this class ("Class$field").
+func (s *State) Key(field string) string {
+	return s.class + "$" + field
+}
+
+// GetBytes reads a field's raw value; missing fields return nil.
+func (s *State) GetBytes(field string) ([]byte, error) {
+	v, err := s.store.Get(s.Key(field))
+	if err != nil {
+		if isNotFound(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("state get %s: %w", field, err)
+	}
+	return v.Value, nil
+}
+
+// PutBytes writes a field's raw value.
+func (s *State) PutBytes(field string, value []byte) error {
+	if _, err := s.store.Put(s.Key(field), value); err != nil {
+		return fmt.Errorf("state put %s: %w", field, err)
+	}
+	return nil
+}
+
+// GetInt reads an integer field (0 when missing).
+func (s *State) GetInt(field string) (int64, error) {
+	return s.store.GetInt64(s.Key(field))
+}
+
+// PutInt writes an integer field.
+func (s *State) PutInt(field string, value int64) error {
+	return s.store.PutInt64(s.Key(field), value)
+}
+
+// AddInt atomically adds delta to an integer field and returns the result.
+func (s *State) AddInt(field string, delta int64) (int64, error) {
+	return s.store.AddInt64(s.Key(field), delta)
+}
+
+// GetString reads a string field ("" when missing).
+func (s *State) GetString(field string) (string, error) {
+	return s.store.GetString(s.Key(field))
+}
+
+// PutString writes a string field.
+func (s *State) PutString(field, value string) error {
+	return s.store.PutString(s.Key(field), value)
+}
+
+// GetFloat reads a float field (0 when missing).
+func (s *State) GetFloat(field string) (float64, error) {
+	raw, err := s.store.GetString(s.Key(field))
+	if err != nil || raw == "" {
+		return 0, err
+	}
+	f, perr := strconv.ParseFloat(raw, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("state field %s is not a float: %w", field, perr)
+	}
+	return f, nil
+}
+
+// PutFloat writes a float field.
+func (s *State) PutFloat(field string, value float64) error {
+	return s.store.PutString(s.Key(field), strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// Delete removes a field.
+func (s *State) Delete(field string) error {
+	return s.store.Delete(s.Key(field))
+}
+
+// Fields lists the class's stored field names.
+func (s *State) Fields() ([]string, error) {
+	keys, err := s.store.Keys(s.class + "$")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k[len(s.class)+1:])
+	}
+	return out, nil
+}
+
+// Synchronized executes fn while holding the per-class lock, exactly like a
+// synchronized method of an elastic class in the paper. It spins with
+// backoff until the lock is acquired.
+func (s *State) Synchronized(fn func() error) error {
+	return s.SynchronizedNamed(s.class, fn)
+}
+
+// SynchronizedNamed is Synchronized with an explicit lock name, for
+// finer-grained application locks.
+func (s *State) SynchronizedNamed(name string, fn func() error) error {
+	owner := s.acquireOwner()
+	backoff := time.Millisecond
+	for {
+		err := s.store.TryLock(name, owner, s.lease)
+		if err == nil {
+			break
+		}
+		if !isLockHeld(err) {
+			return fmt.Errorf("state lock %s: %w", name, err)
+		}
+		s.clock.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	defer func() {
+		_ = s.store.Unlock(name, owner)
+	}()
+	return fn()
+}
+
+// TryLock attempts a named application lock without blocking; callers use it
+// to build contention metrics like avgLockAcqFailure of Fig. 5. On success
+// it returns a release function and true.
+func (s *State) TryLock(name string) (release func() error, ok bool, err error) {
+	owner := s.acquireOwner()
+	lerr := s.store.TryLock(name, owner, s.lease)
+	if lerr == nil {
+		return func() error { return s.store.Unlock(name, owner) }, true, nil
+	}
+	if isLockHeld(lerr) {
+		return nil, false, nil
+	}
+	return nil, false, lerr
+}
+
+// Store exposes the underlying shared store for application data structures
+// that need direct keys (e.g. the DCS znode tree).
+func (s *State) Store() kvstore.Shared { return s.store }
+
+func isNotFound(err error) bool { return errors.Is(err, kvstore.ErrNotFound) }
+func isLockHeld(err error) bool { return errors.Is(err, kvstore.ErrLockHeld) }

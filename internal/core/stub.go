@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/transport"
+)
+
+// Stub is the client's local representative of an elastic object pool
+// (§2.3). To the client application the pool is a single remote object; the
+// stub knows about the pool members, performs client-side load balancing
+// (round-robin or random, §4.3), follows redirects from draining or
+// rebalancing skeletons, and fails invocations over to other members. Only
+// when all attempts to communicate with the pool fail is the error
+// propagated to the application.
+type Stub struct {
+	name    string
+	timeout time.Duration
+	random  bool
+
+	mu      sync.Mutex
+	members []string // known skeleton addresses, sentinel first
+	next    int
+	conns   map[string]*transport.Client
+	closed  bool
+}
+
+// StubOption customizes stub behaviour.
+type StubOption func(*Stub)
+
+// WithRandomBalancing selects random instead of round-robin member choice.
+func WithRandomBalancing() StubOption {
+	return func(s *Stub) { s.random = true }
+}
+
+// WithCallTimeout bounds each remote invocation attempt.
+func WithCallTimeout(d time.Duration) StubOption {
+	return func(s *Stub) { s.timeout = d }
+}
+
+// NewStub creates a stub for the elastic class name from seed endpoints
+// (typically the registry binding, sentinel first). The stub contacts the
+// sentinel on first use to learn the identities of the other skeletons.
+func NewStub(name string, endpoints []string, opts ...StubOption) (*Stub, error) {
+	if name == "" {
+		return nil, errors.New("core: stub needs a pool name")
+	}
+	if len(endpoints) == 0 {
+		return nil, errors.New("core: stub needs at least one endpoint")
+	}
+	s := &Stub{
+		name:    name,
+		timeout: 10 * time.Second,
+		members: append([]string(nil), endpoints...),
+		conns:   make(map[string]*transport.Client),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// LookupStub resolves name through the registry and returns a stub.
+func LookupStub(name string, reg *RegistryClient, opts ...StubOption) (*Stub, error) {
+	eps, err := reg.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: lookup %s: %w", name, err)
+	}
+	return NewStub(name, eps, opts...)
+}
+
+// Members returns the stub's current view of the pool membership.
+func (s *Stub) Members() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.members...)
+}
+
+func (s *Stub) pick() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrPoolClosed
+	}
+	if len(s.members) == 0 {
+		return "", ErrUnavailable
+	}
+	if s.random {
+		return s.members[rand.Intn(len(s.members))], nil //nolint:gosec // balancing
+	}
+	addr := s.members[s.next%len(s.members)]
+	s.next++
+	return addr, nil
+}
+
+func (s *Stub) conn(addr string) (*transport.Client, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if c, ok := s.conns[addr]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	c, err := transport.DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return nil, ErrPoolClosed
+	}
+	if exist, ok := s.conns[addr]; ok {
+		c.Close()
+		return exist, nil
+	}
+	s.conns[addr] = c
+	return c, nil
+}
+
+func (s *Stub) dropMember(addr string) {
+	s.mu.Lock()
+	c, hadConn := s.conns[addr]
+	if hadConn {
+		delete(s.conns, addr)
+	}
+	keep := s.members[:0]
+	for _, m := range s.members {
+		if m != addr {
+			keep = append(keep, m)
+		}
+	}
+	s.members = keep
+	s.mu.Unlock()
+	if hadConn {
+		c.Close()
+	}
+}
+
+func (s *Stub) install(members []string) {
+	if len(members) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.members = append([]string(nil), members...)
+	s.mu.Unlock()
+}
+
+// Refresh re-learns the pool membership by asking any reachable member for
+// the identities of the skeletons (the stub-sentinel discovery of §4.3).
+func (s *Stub) Refresh() error {
+	for _, addr := range s.Members() {
+		c, err := s.conn(addr)
+		if err != nil {
+			continue
+		}
+		out, err := c.Call(s.name, MethodDiscover, nil, s.timeout)
+		if err != nil {
+			continue
+		}
+		var rep DiscoverReply
+		if err := transport.Decode(out, &rep); err != nil {
+			continue
+		}
+		fresh := make([]string, 0, len(rep.Members))
+		for _, m := range rep.Members {
+			if !m.Draining {
+				fresh = append(fresh, m.Addr)
+			}
+		}
+		s.install(fresh)
+		return nil
+	}
+	return ErrUnavailable
+}
+
+// Invoke executes one remote method invocation against the pool. Redirects
+// are followed, failed members retried on others; the error is propagated
+// only if all attempts to communicate with the pool fail.
+func (s *Stub) Invoke(method string, payload []byte) ([]byte, error) {
+	var lastErr error
+	tried := make(map[string]bool)
+	refreshed := false
+
+	addr, err := s.pick()
+	if err != nil {
+		return nil, err
+	}
+	attempts := len(s.Members())*2 + 2
+	for i := 0; i < attempts; i++ {
+		c, err := s.conn(addr)
+		if err != nil {
+			lastErr = err
+			tried[addr] = true
+			s.dropMember(addr)
+			addr = s.nextCandidate(tried, &refreshed)
+			if addr == "" {
+				break
+			}
+			continue
+		}
+		out, err := c.Call(s.name, method, payload, s.timeout)
+		if err == nil {
+			return out, nil
+		}
+		var redirect *transport.RedirectError
+		switch {
+		case errors.As(err, &redirect):
+			// Draining or rebalancing member: follow the redirect.
+			tried[addr] = true
+			addr = pickTarget(redirect.Targets, tried)
+			if addr == "" {
+				addr = s.nextCandidate(tried, &refreshed)
+			}
+			if addr == "" {
+				lastErr = err
+			}
+		case isRemoteAppError(err):
+			// The method executed and returned an application error; do not
+			// retry elsewhere.
+			return nil, err
+		default:
+			// Transport failure: the member may have been removed after its
+			// identity reached this stub (§4.3) — retry on others.
+			lastErr = err
+			tried[addr] = true
+			s.dropMember(addr)
+			addr = s.nextCandidate(tried, &refreshed)
+		}
+		if addr == "" {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("core: no members left to try")
+	}
+	return nil, fmt.Errorf("%w: %s.%s: %v", ErrUnavailable, s.name, method, lastErr)
+}
+
+// nextCandidate returns an untried member, refreshing membership once if all
+// known members have been tried.
+func (s *Stub) nextCandidate(tried map[string]bool, refreshed *bool) string {
+	for _, m := range s.Members() {
+		if !tried[m] {
+			return m
+		}
+	}
+	if !*refreshed {
+		*refreshed = true
+		if err := s.Refresh(); err == nil {
+			for _, m := range s.Members() {
+				if !tried[m] {
+					return m
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func pickTarget(targets []string, tried map[string]bool) string {
+	for _, t := range targets {
+		if !tried[t] {
+			return t
+		}
+	}
+	return ""
+}
+
+// isRemoteAppError distinguishes an error raised by the application method
+// (which must propagate) from infrastructure failures (which are retried).
+func isRemoteAppError(err error) bool {
+	var remote *transport.RemoteError
+	return errors.As(err, &remote)
+}
+
+// Close releases all connections.
+func (s *Stub) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*transport.Client, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[string]*transport.Client)
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Call is the typed convenience wrapper around Stub.Invoke: it gob-encodes
+// the argument and decodes the reply, mirroring the static typing a
+// generated RMI stub provides.
+func Call[Arg, Reply any](s *Stub, method string, arg Arg) (Reply, error) {
+	var zero Reply
+	payload, err := transport.Encode(arg)
+	if err != nil {
+		return zero, err
+	}
+	out, err := s.Invoke(method, payload)
+	if err != nil {
+		return zero, err
+	}
+	var reply Reply
+	if err := transport.Decode(out, &reply); err != nil {
+		return zero, err
+	}
+	return reply, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStubValidation(t *testing.T) {
+	if _, err := NewStub("", []string{"a:1"}); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if _, err := NewStub("x", nil); err == nil {
+		t.Fatal("accepted empty endpoints")
+	}
+}
+
+// TestStubSurvivesDeadSeed: a stub seeded with one dead endpoint plus one
+// live member must fail over and serve.
+func TestStubSurvivesDeadSeed(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "deadseed", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	live := pool.Endpoints()[1]
+	stub, err := NewStub("deadseed", []string{"127.0.0.1:1", live})
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	rep, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 3})
+	if err != nil {
+		t.Fatalf("invoke with dead seed: %v", err)
+	}
+	if rep.Total != 3 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	// The dead endpoint is pruned from the member list.
+	for _, m := range stub.Members() {
+		if m == "127.0.0.1:1" {
+			t.Fatal("dead endpoint still in member list")
+		}
+	}
+}
+
+// TestStubAllDeadPropagates: when every member is unreachable the error
+// propagates to the application (§4.3: "If all attempts to communicate with
+// the elastic object pool fail, the exception is propagated").
+func TestStubAllDeadPropagates(t *testing.T) {
+	stub, err := NewStub("ghost", []string{"127.0.0.1:1", "127.0.0.1:2"})
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	_, err = stub.Invoke("M", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestStubReusedAfterPoolRestart: after the pool is closed and re-created
+// (new ports), a stale stub recovers via registry-driven re-creation; the
+// stale one itself reports unavailable.
+func TestStubStaleAfterPoolClose(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool, err := NewPool(Config{
+		Name: "restart", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, newCounterFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	t.Cleanup(func() { pool.Close() }) // idempotent; the test closes it early
+	stub, err := LookupStub("restart", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	pool.Close()
+	if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stale stub err = %v, want ErrUnavailable", err)
+	}
+	// The registry binding is gone too.
+	if _, err := env.regCli.Lookup("restart"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("lookup after close = %v, want ErrNotBound", err)
+	}
+}
+
+// TestStubAppErrorsNotRetried: application errors must reach the caller
+// exactly once, not be retried on other members.
+func TestStubAppErrorsNotRetried(t *testing.T) {
+	env := newTestEnv(t, 8)
+	calls := 0
+	factory := func(ctx *MemberContext) (Object, error) {
+		mux := NewMux()
+		Handle(mux, "Fail", func(struct{}) (struct{}, error) {
+			calls++
+			return struct{}{}, errors.New("app boom")
+		})
+		return mux, nil
+	}
+	pool, err := NewPool(Config{
+		Name: "apperr", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, factory, env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	stub, err := LookupStub("apperr", env.regCli)
+	if err != nil {
+		t.Fatalf("stub: %v", err)
+	}
+	defer stub.Close()
+	_, err = Call[struct{}, struct{}](stub, "Fail", struct{}{})
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want application error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("method executed %d times, want exactly 1 (no retry of app errors)", calls)
+	}
+}

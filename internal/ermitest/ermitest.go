@@ -1,0 +1,77 @@
+// Package ermitest provides the shared fixture for integration tests: a
+// miniature deployment of every substrate (cluster manager, key-value
+// store, registry) plus helpers to start elastic pools and stubs against
+// them, all on loopback TCP with automatic cleanup.
+package ermitest
+
+import (
+	"testing"
+
+	"elasticrmi/internal/cluster"
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/kvstore"
+)
+
+// Env is one test deployment.
+type Env struct {
+	Cluster  *cluster.Manager
+	Store    *kvstore.Cluster
+	Registry *core.RegistryServer
+	RegCli   *core.RegistryClient
+}
+
+// New starts an Env with the given number of single-slice nodes.
+func New(t testing.TB, slices int) *Env {
+	t.Helper()
+	mgr, err := cluster.New(cluster.Config{Nodes: slices, SlicesPerNode: 1})
+	if err != nil {
+		t.Fatalf("ermitest: cluster: %v", err)
+	}
+	store, err := kvstore.NewCluster(1, nil)
+	if err != nil {
+		t.Fatalf("ermitest: kvstore: %v", err)
+	}
+	reg, err := core.NewRegistryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ermitest: registry: %v", err)
+	}
+	regCli, err := core.DialRegistry(reg.Addr())
+	if err != nil {
+		t.Fatalf("ermitest: registry client: %v", err)
+	}
+	env := &Env{Cluster: mgr, Store: store, Registry: reg, RegCli: regCli}
+	t.Cleanup(func() {
+		regCli.Close()
+		reg.Close()
+		store.Close()
+		mgr.Close()
+	})
+	return env
+}
+
+// Deps returns the pool dependencies of this Env.
+func (e *Env) Deps() core.Deps {
+	return core.Deps{Cluster: e.Cluster, Store: e.Store, Registry: e.RegCli}
+}
+
+// StartPool instantiates an elastic pool with cleanup.
+func (e *Env) StartPool(t testing.TB, cfg core.Config, factory core.Factory) *core.Pool {
+	t.Helper()
+	pool, err := core.NewPool(cfg, factory, e.Deps())
+	if err != nil {
+		t.Fatalf("ermitest: NewPool(%s): %v", cfg.Name, err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return pool
+}
+
+// Stub resolves name through the registry with cleanup.
+func (e *Env) Stub(t testing.TB, name string, opts ...core.StubOption) *core.Stub {
+	t.Helper()
+	stub, err := core.LookupStub(name, e.RegCli, opts...)
+	if err != nil {
+		t.Fatalf("ermitest: stub %s: %v", name, err)
+	}
+	t.Cleanup(func() { stub.Close() })
+	return stub
+}

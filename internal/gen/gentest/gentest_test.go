@@ -1,0 +1,73 @@
+package gentest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/ermitest"
+)
+
+// TestGeneratedStubAndSkeleton runs the checked-in generator output against
+// a live pool: the typed stub invokes through the generated skeleton table
+// and shared state behaves as one object.
+func TestGeneratedStubAndSkeleton(t *testing.T) {
+	env := ermitest.New(t, 8)
+	env.StartPool(t, core.Config{
+		Name: "gen-counter", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, NewCounterFactory(NewImpl))
+
+	svc, err := LookupCounter("gen-counter", env.RegCli)
+	if err != nil {
+		t.Fatalf("LookupCounter: %v", err)
+	}
+	defer svc.Close()
+
+	for i := int64(1); i <= 5; i++ {
+		rep, err := svc.Bump(BumpArgs{N: 1})
+		if err != nil {
+			t.Fatalf("Bump: %v", err)
+		}
+		if rep.Total != i {
+			t.Fatalf("total = %d, want %d", rep.Total, i)
+		}
+	}
+	rep, err := svc.Peek(PeekArgs{})
+	if err != nil || rep.Total != 5 {
+		t.Fatalf("Peek = %d, %v", rep.Total, err)
+	}
+}
+
+// TestGeneratedFactoryForwardsPoolSizer: the implementation implements
+// core.PoolSizer, so the generated factory must produce objects the runtime
+// recognizes as fine-grained — and the pool must follow their deltas.
+func TestGeneratedFactoryForwardsPoolSizer(t *testing.T) {
+	env := ermitest.New(t, 8)
+	var mu sync.Mutex
+	var impls []*Impl
+	factory := NewCounterFactory(func(ctx *core.MemberContext) (Counter, error) {
+		impl := &Impl{ctx: ctx}
+		mu.Lock()
+		impls = append(impls, impl)
+		mu.Unlock()
+		return impl, nil
+	})
+	pool := env.StartPool(t, core.Config{
+		Name: "gen-sized", MinPoolSize: 2, MaxPoolSize: 6,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, factory)
+	if pool.Policy() != "fine" {
+		t.Fatalf("policy = %s, want fine (PoolSizer forwarded through generated factory)", pool.Policy())
+	}
+	mu.Lock()
+	for _, impl := range impls {
+		impl.Delta.Store(1)
+	}
+	mu.Unlock()
+	pool.Step()
+	if got := pool.Size(); got != 3 {
+		t.Fatalf("size = %d, want 3 (generated object forwarded ChangePoolSize)", got)
+	}
+}

@@ -1,0 +1,62 @@
+// Package gentest is the compiled integration fixture for the ElasticRMI
+// preprocessor: service_ermi.go is generated from this file by
+//
+//	go run ./cmd/ermi-gen -in internal/gen/gentest/service.go
+//
+// and checked in, so the generator's output is built and exercised against
+// a live pool by the package tests.
+package gentest
+
+import (
+	"sync/atomic"
+
+	"elasticrmi/internal/core"
+)
+
+// Argument/reply types of the fixture service.
+type (
+	// BumpArgs increments the shared counter by N.
+	BumpArgs struct{ N int64 }
+	// BumpReply returns the new total.
+	BumpReply struct{ Total int64 }
+	// PeekArgs is the empty argument of Peek.
+	PeekArgs struct{}
+)
+
+// Counter is the elastic interface under test.
+//
+//ermi:elastic
+type Counter interface {
+	Bump(arg BumpArgs) (BumpReply, error)
+	Peek(arg PeekArgs) (BumpReply, error)
+}
+
+// Impl implements Counter with shared state; it also implements
+// core.PoolSizer so the generated factory's fine-grained forwarding path is
+// exercised.
+type Impl struct {
+	ctx   *core.MemberContext
+	Delta atomic.Int64 // what ChangePoolSize returns
+}
+
+var _ Counter = (*Impl)(nil)
+
+// NewImpl is the application constructor handed to the generated factory.
+func NewImpl(ctx *core.MemberContext) (Counter, error) {
+	return &Impl{ctx: ctx}, nil
+}
+
+// Bump implements Counter.
+func (i *Impl) Bump(arg BumpArgs) (BumpReply, error) {
+	total, err := i.ctx.State.AddInt("total", arg.N)
+	return BumpReply{Total: total}, err
+}
+
+// Peek implements Counter.
+func (i *Impl) Peek(PeekArgs) (BumpReply, error) {
+	total, err := i.ctx.State.GetInt("total")
+	return BumpReply{Total: total}, err
+}
+
+// ChangePoolSize implements core.PoolSizer.
+func (i *Impl) ChangePoolSize() int { return int(i.Delta.Load()) }

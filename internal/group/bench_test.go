@@ -1,0 +1,63 @@
+package group
+
+import "testing"
+
+func benchMembers(b *testing.B, n int) []*Member {
+	b.Helper()
+	members := make([]*Member, n)
+	addrs := make([]string, n)
+	for i := range members {
+		m, err := NewMember(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { m.Close() })
+		members[i] = m
+		addrs[i] = m.Addr()
+	}
+	view := View{ID: 1, Members: addrs}
+	for _, m := range members {
+		if err := m.InstallView(view); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return members
+}
+
+// BenchmarkBroadcast5 measures one broadcast to a 5-member view (the pool
+// state dissemination path).
+func BenchmarkBroadcast5(b *testing.B) {
+	members := benchMembers(b, 5)
+	payload := make([]byte, 256)
+	// Drain receivers so buffers never fill.
+	for _, m := range members {
+		m := m
+		go func() {
+			for range m.Messages() {
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := members[0].Broadcast("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointToPoint measures one member-to-member message (the Paxos
+// round-trip building block).
+func BenchmarkPointToPoint(b *testing.B) {
+	members := benchMembers(b, 2)
+	go func() {
+		for range members[1].Messages() {
+		}
+	}()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := members[0].Send(members[1].Addr(), "bench", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

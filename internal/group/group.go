@@ -1,0 +1,393 @@
+// Package group implements the group-communication substrate the paper
+// borrows from JGroups (§4.3): membership views, best-effort broadcast
+// within a view, point-to-point messages and heartbeat failure detection.
+//
+// The ElasticRMI sentinel uses it to periodically broadcast the state of the
+// elastic object pool (member identities, pending-invocation counts) to all
+// skeletons, and to learn about skeleton failures so re-election and
+// rebalancing can run.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/simclock"
+	"elasticrmi/internal/transport"
+)
+
+// ErrClosed is returned for operations on a closed member.
+var ErrClosed = errors.New("group: member closed")
+
+// serviceName is the transport service for group traffic.
+const serviceName = "group"
+
+// Message is a payload delivered to a member.
+type Message struct {
+	From    string
+	Topic   string
+	Payload []byte
+	ViewID  uint64
+}
+
+// View is an installed membership view.
+type View struct {
+	ID      uint64
+	Members []string // transport addresses, coordinator first
+}
+
+// Contains reports whether addr is in the view.
+func (v View) Contains(addr string) bool {
+	for _, m := range v.Members {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Config configures a member.
+type Config struct {
+	// Addr is the listen address (":0" for any port).
+	Addr string
+	// HeartbeatInterval is how often view members are pinged. Zero disables
+	// failure detection.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long a peer may be silent before being
+	// suspected. Defaults to 3x the heartbeat interval.
+	FailureTimeout time.Duration
+	// Clock is the time source; nil means wall clock.
+	Clock simclock.Clock
+}
+
+type wireMsg struct {
+	From    string
+	Topic   string
+	Payload []byte
+	ViewID  uint64
+}
+
+type wireView struct {
+	View View
+}
+
+// Member is one endpoint of the group.
+type Member struct {
+	clock   simclock.Clock
+	srv     *transport.Server
+	addr    string
+	hbEvery time.Duration
+	hbDead  time.Duration
+
+	mu       sync.Mutex
+	view     View
+	conns    map[string]*transport.Client
+	lastSeen map[string]time.Time
+	closed   bool
+
+	msgs  chan Message
+	fails chan string
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewMember starts a member listening on cfg.Addr.
+func NewMember(cfg Config) (*Member, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.FailureTimeout == 0 {
+		cfg.FailureTimeout = 3 * cfg.HeartbeatInterval
+	}
+	m := &Member{
+		clock:    cfg.Clock,
+		hbEvery:  cfg.HeartbeatInterval,
+		hbDead:   cfg.FailureTimeout,
+		conns:    make(map[string]*transport.Client),
+		lastSeen: make(map[string]time.Time),
+		msgs:     make(chan Message, 128),
+		fails:    make(chan string, 16),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := transport.Serve(addr, m.handle)
+	if err != nil {
+		return nil, fmt.Errorf("group member: %w", err)
+	}
+	m.srv = srv
+	m.addr = srv.Addr()
+	if m.hbEvery > 0 {
+		go m.heartbeatLoop()
+	} else {
+		close(m.done)
+	}
+	return m, nil
+}
+
+// Addr returns the member's transport address (its identity).
+func (m *Member) Addr() string { return m.addr }
+
+// Messages delivers broadcast and point-to-point messages.
+func (m *Member) Messages() <-chan Message { return m.msgs }
+
+// Failures delivers addresses of suspected-failed view members.
+func (m *Member) Failures() <-chan string { return m.fails }
+
+// View returns the currently installed view.
+func (m *Member) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view
+	v.Members = append([]string(nil), m.view.Members...)
+	return v
+}
+
+// InstallView installs v locally. If this member is the view coordinator
+// (first member), the view is also pushed to all other members.
+func (m *Member) InstallView(v View) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.view = View{ID: v.ID, Members: append([]string(nil), v.Members...)}
+	now := m.clock.Now()
+	for _, peer := range v.Members {
+		m.lastSeen[peer] = now
+	}
+	coordinator := len(v.Members) > 0 && v.Members[0] == m.addr
+	peers := append([]string(nil), v.Members...)
+	m.mu.Unlock()
+
+	if !coordinator {
+		return nil
+	}
+	payload, err := transport.Encode(wireView{View: v})
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, peer := range peers {
+		if peer == m.addr {
+			continue
+		}
+		if err := m.send(peer, "View", payload); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("push view to %s: %w", peer, err)
+		}
+	}
+	return firstErr
+}
+
+// Broadcast sends topic/payload to every member of the current view,
+// including self (self-delivery is local). Delivery is best effort; the
+// first error is returned but remaining members are still attempted.
+func (m *Member) Broadcast(topic string, payload []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	v := m.view
+	peers := append([]string(nil), v.Members...)
+	m.mu.Unlock()
+
+	wire, err := transport.Encode(wireMsg{From: m.addr, Topic: topic, Payload: payload, ViewID: v.ID})
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, peer := range peers {
+		if peer == m.addr {
+			m.deliver(Message{From: m.addr, Topic: topic, Payload: payload, ViewID: v.ID})
+			continue
+		}
+		if err := m.send(peer, "Deliver", wire); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("broadcast to %s: %w", peer, err)
+		}
+	}
+	return firstErr
+}
+
+// Send delivers topic/payload to one member.
+func (m *Member) Send(to, topic string, payload []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	viewID := m.view.ID
+	m.mu.Unlock()
+	if to == m.addr {
+		m.deliver(Message{From: m.addr, Topic: topic, Payload: payload, ViewID: viewID})
+		return nil
+	}
+	wire, err := transport.Encode(wireMsg{From: m.addr, Topic: topic, Payload: payload, ViewID: viewID})
+	if err != nil {
+		return err
+	}
+	return m.send(to, "Deliver", wire)
+}
+
+func (m *Member) deliver(msg Message) {
+	select {
+	case m.msgs <- msg:
+	default: // drop under backpressure rather than wedge the sender
+	}
+}
+
+func (m *Member) client(addr string) (*transport.Client, error) {
+	m.mu.Lock()
+	if c, ok := m.conns[addr]; ok {
+		m.mu.Unlock()
+		return c, nil
+	}
+	m.mu.Unlock()
+	c, err := transport.DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if exist, ok := m.conns[addr]; ok {
+		c.Close()
+		return exist, nil
+	}
+	m.conns[addr] = c
+	return c, nil
+}
+
+func (m *Member) dropClient(addr string) {
+	m.mu.Lock()
+	c, ok := m.conns[addr]
+	if ok {
+		delete(m.conns, addr)
+	}
+	m.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+func (m *Member) send(addr, method string, payload []byte) error {
+	c, err := m.client(addr)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Call(serviceName, method, payload, 5*time.Second); err != nil {
+		m.dropClient(addr)
+		return err
+	}
+	return nil
+}
+
+func (m *Member) handle(req *transport.Request) ([]byte, error) {
+	if req.Service != serviceName {
+		return nil, fmt.Errorf("unknown service %q", req.Service)
+	}
+	switch req.Method {
+	case "Deliver":
+		var w wireMsg
+		if err := transport.Decode(req.Payload, &w); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		m.lastSeen[w.From] = m.clock.Now()
+		m.mu.Unlock()
+		m.deliver(Message{From: w.From, Topic: w.Topic, Payload: w.Payload, ViewID: w.ViewID})
+		return nil, nil
+	case "View":
+		var w wireView
+		if err := transport.Decode(req.Payload, &w); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		if w.View.ID >= m.view.ID {
+			m.view = View{ID: w.View.ID, Members: append([]string(nil), w.View.Members...)}
+			now := m.clock.Now()
+			for _, peer := range w.View.Members {
+				m.lastSeen[peer] = now
+			}
+		}
+		m.mu.Unlock()
+		return nil, nil
+	case "Ping":
+		var w wireMsg
+		if err := transport.Decode(req.Payload, &w); err == nil {
+			m.mu.Lock()
+			m.lastSeen[w.From] = m.clock.Now()
+			m.mu.Unlock()
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", req.Method)
+	}
+}
+
+func (m *Member) heartbeatLoop() {
+	defer close(m.done)
+	ping := transport.MustEncode(wireMsg{From: m.addr})
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.clock.After(m.hbEvery):
+		}
+		m.mu.Lock()
+		peers := append([]string(nil), m.view.Members...)
+		m.mu.Unlock()
+		now := m.clock.Now()
+		for _, peer := range peers {
+			if peer == m.addr {
+				continue
+			}
+			err := m.send(peer, "Ping", ping)
+			m.mu.Lock()
+			if err == nil {
+				m.lastSeen[peer] = now
+				m.mu.Unlock()
+				continue
+			}
+			last, seen := m.lastSeen[peer]
+			m.mu.Unlock()
+			if !seen || now.Sub(last) >= m.hbDead {
+				select {
+				case m.fails <- peer:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Close shuts the member down and waits for its background work to stop.
+func (m *Member) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]*transport.Client, 0, len(m.conns))
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.conns = make(map[string]*transport.Client)
+	m.mu.Unlock()
+	close(m.stop)
+	for _, c := range conns {
+		c.Close()
+	}
+	err := m.srv.Close()
+	<-m.done
+	return err
+}

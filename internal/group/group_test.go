@@ -1,0 +1,169 @@
+package group
+
+import (
+	"testing"
+	"time"
+)
+
+func startMembers(t *testing.T, n int, heartbeat time.Duration) []*Member {
+	t.Helper()
+	members := make([]*Member, n)
+	addrs := make([]string, n)
+	for i := range members {
+		m, err := NewMember(Config{HeartbeatInterval: heartbeat})
+		if err != nil {
+			t.Fatalf("NewMember: %v", err)
+		}
+		t.Cleanup(func() { m.Close() })
+		members[i] = m
+		addrs[i] = m.Addr()
+	}
+	view := View{ID: 1, Members: addrs}
+	// Coordinator installs and pushes; install locally on all for
+	// deterministic startup.
+	for _, m := range members {
+		if err := m.InstallView(view); err != nil {
+			t.Fatalf("InstallView: %v", err)
+		}
+	}
+	return members
+}
+
+func collect(t *testing.T, m *Member, n int, timeout time.Duration) []Message {
+	t.Helper()
+	var out []Message
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case msg := <-m.Messages():
+			out = append(out, msg)
+		case <-deadline:
+			t.Fatalf("received %d/%d messages before timeout", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	members := startMembers(t, 3, 0)
+	if err := members[0].Broadcast("topic", []byte("hello")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for i, m := range members {
+		msgs := collect(t, m, 1, 2*time.Second)
+		if msgs[0].Topic != "topic" || string(msgs[0].Payload) != "hello" {
+			t.Fatalf("member %d got %+v", i, msgs[0])
+		}
+		if msgs[0].From != members[0].Addr() {
+			t.Fatalf("member %d sender = %s, want %s", i, msgs[0].From, members[0].Addr())
+		}
+		if msgs[0].ViewID != 1 {
+			t.Fatalf("member %d viewID = %d, want 1", i, msgs[0].ViewID)
+		}
+	}
+}
+
+func TestPointToPointSend(t *testing.T) {
+	members := startMembers(t, 3, 0)
+	if err := members[1].Send(members[2].Addr(), "direct", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msgs := collect(t, members[2], 1, 2*time.Second)
+	if msgs[0].Topic != "direct" {
+		t.Fatalf("got %+v", msgs[0])
+	}
+	// Nobody else receives it.
+	select {
+	case m := <-members[0].Messages():
+		t.Fatalf("member 0 received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSelfSendDeliversLocally(t *testing.T) {
+	members := startMembers(t, 2, 0)
+	if err := members[0].Send(members[0].Addr(), "self", nil); err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	msgs := collect(t, members[0], 1, time.Second)
+	if msgs[0].Topic != "self" {
+		t.Fatalf("got %+v", msgs[0])
+	}
+}
+
+func TestViewPropagationFromCoordinator(t *testing.T) {
+	a, err := NewMember(Config{})
+	if err != nil {
+		t.Fatalf("NewMember: %v", err)
+	}
+	defer a.Close()
+	b, err := NewMember(Config{})
+	if err != nil {
+		t.Fatalf("NewMember: %v", err)
+	}
+	defer b.Close()
+
+	view := View{ID: 5, Members: []string{a.Addr(), b.Addr()}}
+	if err := a.InstallView(view); err != nil {
+		t.Fatalf("InstallView: %v", err)
+	}
+	// b learns the view from the coordinator push.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.View().ID == 5 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := b.View()
+	if got.ID != 5 || len(got.Members) != 2 {
+		t.Fatalf("b view = %+v, want pushed view 5", got)
+	}
+	// Stale views must not regress the installed one.
+	if err := a.InstallView(View{ID: 3, Members: []string{a.Addr()}}); err != nil {
+		t.Fatalf("InstallView stale: %v", err)
+	}
+	if b.View().ID != 5 {
+		t.Fatalf("b regressed to view %d", b.View().ID)
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	members := startMembers(t, 2, 20*time.Millisecond)
+	victim := members[1]
+	victimAddr := victim.Addr()
+	victim.Close()
+
+	select {
+	case failed := <-members[0].Failures():
+		if failed != victimAddr {
+			t.Fatalf("failure report = %s, want %s", failed, victimAddr)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no failure detected")
+	}
+}
+
+func TestViewContains(t *testing.T) {
+	v := View{ID: 1, Members: []string{"a", "b"}}
+	if !v.Contains("a") || v.Contains("c") {
+		t.Fatalf("Contains misbehaves: %+v", v)
+	}
+}
+
+func TestClosedMemberRejectsOps(t *testing.T) {
+	m, err := NewMember(Config{})
+	if err != nil {
+		t.Fatalf("NewMember: %v", err)
+	}
+	m.Close()
+	if err := m.Broadcast("t", nil); err != ErrClosed {
+		t.Fatalf("Broadcast after close = %v, want ErrClosed", err)
+	}
+	if err := m.InstallView(View{ID: 1}); err != ErrClosed {
+		t.Fatalf("InstallView after close = %v, want ErrClosed", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkStorePut(b *testing.B) {
+	s := NewStore(nil)
+	val := []byte("value-payload-0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i%1024), val)
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore(nil)
+	for i := 0; i < 1024; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key-%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreAddInt64(b *testing.B) {
+	s := NewStore(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AddInt64("ctr", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientPutOverTCP(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := NewClient(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := []byte("value")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put("k", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterRouting(b *testing.B) {
+	cl, err := NewCluster(3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	val := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k-%d", i%4096)
+		if _, err := cl.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	s := NewStore(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.TryLock("L", "owner", time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Unlock("L", "owner"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

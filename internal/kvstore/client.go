@@ -1,0 +1,176 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/transport"
+)
+
+// defaultCallTimeout bounds individual store operations.
+const defaultCallTimeout = 10 * time.Second
+
+// Client talks to a single store node. Safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn *transport.Client
+	addr string
+}
+
+// NewClient connects to the store node at addr.
+func NewClient(addr string) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore client: %w", err)
+	}
+	return &Client{conn: conn, addr: addr}, nil
+}
+
+// Addr returns the node address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) call(method string, req, reply interface{}) error {
+	payload, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	out, err := conn.Call(ServiceName, method, payload, defaultCallTimeout)
+	if err != nil {
+		return unwireError(err)
+	}
+	return transport.Decode(out, reply)
+}
+
+// Get fetches key.
+func (c *Client) Get(key string) (Versioned, error) {
+	var rep getReply
+	if err := c.call("Get", getReq{Key: key}, &rep); err != nil {
+		return Versioned{}, err
+	}
+	return rep.Val, nil
+}
+
+// Put stores value at key and returns the new version.
+func (c *Client) Put(key string, value []byte) (uint64, error) {
+	var rep putReply
+	if err := c.call("Put", putReq{Key: key, Val: value}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Version, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key string) error {
+	var rep delReply
+	return c.call("Delete", delReq{Key: key}, &rep)
+}
+
+// CompareAndSwap conditionally replaces key at expectVersion.
+func (c *Client) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, error) {
+	var rep casReply
+	if err := c.call("CAS", casReq{Key: key, Val: value, ExpectVersion: expectVersion}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Version, nil
+}
+
+// AddInt64 atomically adds delta to the integer at key.
+func (c *Client) AddInt64(key string, delta int64) (int64, error) {
+	var rep addReply
+	if err := c.call("Add", addReq{Key: key, Delta: delta}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Value, nil
+}
+
+// Keys lists keys with the given prefix.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	var rep keysReply
+	if err := c.call("Keys", keysReq{Prefix: prefix}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Keys, nil
+}
+
+// TryLock attempts to take the named lock.
+func (c *Client) TryLock(name, owner string, lease time.Duration) error {
+	var rep lockReply
+	return c.call("TryLock", lockReq{Name: name, Owner: owner, Lease: lease}, &rep)
+}
+
+// Unlock releases the named lock.
+func (c *Client) Unlock(name, owner string) error {
+	var rep unlockReply
+	return c.call("Unlock", unlockReq{Name: name, Owner: owner}, &rep)
+}
+
+// Export snapshots entries with the prefix (used by shard migration).
+func (c *Client) Export(prefix string) (map[string]Versioned, error) {
+	var rep exportReply
+	if err := c.call("Export", exportReq{Prefix: prefix}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Entries, nil
+}
+
+// Import installs entries preserving versions (used by shard migration).
+func (c *Client) Import(entries map[string]Versioned) error {
+	var rep importReply
+	return c.call("Import", importReq{Entries: entries}, &rep)
+}
+
+// Convenience typed accessors used by core.State (the preprocessor-
+// generated Store.get/Store.put calls of Fig. 6 in the paper).
+
+// GetString fetches key as a string; missing keys return "".
+func (c *Client) GetString(key string) (string, error) {
+	v, err := c.Get(key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return "", nil
+		}
+		return "", err
+	}
+	return string(v.Value), nil
+}
+
+// PutString stores a string at key.
+func (c *Client) PutString(key, value string) error {
+	_, err := c.Put(key, []byte(value))
+	return err
+}
+
+// GetInt64 fetches key as an int64; missing keys return 0.
+func (c *Client) GetInt64(key string) (int64, error) {
+	v, err := c.Get(key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n, perr := strconv.ParseInt(string(v.Value), 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("key %q is not an integer: %w", key, perr)
+	}
+	return n, nil
+}
+
+// PutInt64 stores an int64 at key.
+func (c *Client) PutInt64(key string, value int64) error {
+	_, err := c.Put(key, []byte(strconv.FormatInt(value, 10)))
+	return err
+}

@@ -1,0 +1,232 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/simclock"
+)
+
+// Cluster is a sharded deployment of store nodes with a client-side router.
+// Keys (and lock names) are hash-partitioned across the current node set.
+// Nodes can be added online ("ElasticRMI may add additional nodes to
+// HyperDex as necessary", §4.2): AddNode migrates the keys whose ownership
+// moves to the new node before making it visible to routing, so per-key
+// strong consistency is preserved (single owner per key at all times from
+// the router's point of view).
+type Cluster struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	servers []*Server
+	clients []*Client
+	closed  bool
+}
+
+// NewCluster starts n store nodes on loopback.
+func NewCluster(n int, clock simclock.Clock) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kvstore cluster: need at least 1 node, got %d", n)
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	c := &Cluster{clock: clock}
+	for i := 0; i < n; i++ {
+		if err := c.addNodeLocked(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) addNodeLocked() error {
+	srv, err := NewServer("127.0.0.1:0", c.clock)
+	if err != nil {
+		return err
+	}
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	c.servers = append(c.servers, srv)
+	c.clients = append(c.clients, cli)
+	return nil
+}
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.clients)
+}
+
+// Addrs returns the node addresses.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+func shardOf(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+func (c *Cluster) route(key string) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[shardOf(key, len(c.clients))]
+}
+
+// Get fetches key from its owning node.
+func (c *Cluster) Get(key string) (Versioned, error) { return c.route(key).Get(key) }
+
+// Put stores value at key on its owning node.
+func (c *Cluster) Put(key string, value []byte) (uint64, error) { return c.route(key).Put(key, value) }
+
+// Delete removes key.
+func (c *Cluster) Delete(key string) error { return c.route(key).Delete(key) }
+
+// CompareAndSwap conditionally replaces key.
+func (c *Cluster) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, error) {
+	return c.route(key).CompareAndSwap(key, value, expectVersion)
+}
+
+// AddInt64 atomically adds delta to the integer at key.
+func (c *Cluster) AddInt64(key string, delta int64) (int64, error) {
+	return c.route(key).AddInt64(key, delta)
+}
+
+// GetString fetches key as a string ("" when missing).
+func (c *Cluster) GetString(key string) (string, error) { return c.route(key).GetString(key) }
+
+// PutString stores a string.
+func (c *Cluster) PutString(key, value string) error { return c.route(key).PutString(key, value) }
+
+// GetInt64 fetches key as an int64 (0 when missing).
+func (c *Cluster) GetInt64(key string) (int64, error) { return c.route(key).GetInt64(key) }
+
+// PutInt64 stores an int64.
+func (c *Cluster) PutInt64(key string, value int64) error { return c.route(key).PutInt64(key, value) }
+
+// TryLock acquires the named lock on the shard owning the name.
+func (c *Cluster) TryLock(name, owner string, lease time.Duration) error {
+	return c.route("lock/"+name).TryLock(name, owner, lease)
+}
+
+// Unlock releases the named lock.
+func (c *Cluster) Unlock(name, owner string) error {
+	return c.route("lock/"+name).Unlock(name, owner)
+}
+
+// Keys lists all keys with the prefix across all shards.
+func (c *Cluster) Keys(prefix string) ([]string, error) {
+	c.mu.Lock()
+	clients := make([]*Client, len(c.clients))
+	copy(clients, c.clients)
+	c.mu.Unlock()
+	var out []string
+	for _, cl := range clients {
+		ks, err := cl.Keys(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ks...)
+	}
+	return out, nil
+}
+
+// AddNode brings up one more store node and migrates to it every key whose
+// hash ownership moves under the enlarged node set. Routing switches to the
+// new layout only after migration completes.
+func (c *Cluster) AddNode() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("kvstore cluster: closed")
+	}
+	oldN := len(c.clients)
+	if err := c.addNodeLocked(); err != nil {
+		return err
+	}
+	newN := len(c.clients)
+	// Modulo sharding reshuffles ownership between existing nodes as well
+	// as onto the new one, so every key whose owner changed must move.
+	for i := 0; i < oldN; i++ {
+		entries, err := c.clients[i].Export("")
+		if err != nil {
+			return fmt.Errorf("migrate from node %d: %w", i, err)
+		}
+		perTarget := make(map[int]map[string]Versioned)
+		for k, v := range entries {
+			owner := shardOf(k, newN)
+			if owner == i {
+				continue
+			}
+			if perTarget[owner] == nil {
+				perTarget[owner] = make(map[string]Versioned)
+			}
+			perTarget[owner][k] = v
+		}
+		for owner, moving := range perTarget {
+			if err := c.clients[owner].Import(moving); err != nil {
+				return fmt.Errorf("import to node %d: %w", owner, err)
+			}
+			for k := range moving {
+				if err := c.clients[i].Delete(k); err != nil {
+					return fmt.Errorf("cleanup node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts all nodes down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+}
+
+// Shared is the narrow interface the ElasticRMI core needs from the shared
+// state store. Both *Client (single node) and *Cluster implement it.
+type Shared interface {
+	Get(key string) (Versioned, error)
+	Put(key string, value []byte) (uint64, error)
+	Delete(key string) error
+	CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, error)
+	AddInt64(key string, delta int64) (int64, error)
+	GetString(key string) (string, error)
+	PutString(key, value string) error
+	GetInt64(key string) (int64, error)
+	PutInt64(key string, value int64) error
+	TryLock(name, owner string, lease time.Duration) error
+	Unlock(name, owner string) error
+	Keys(prefix string) ([]string, error)
+}
+
+var (
+	_ Shared = (*Cluster)(nil)
+	_ Shared = (*Client)(nil)
+)

@@ -1,0 +1,220 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"elasticrmi/internal/simclock"
+	"elasticrmi/internal/transport"
+)
+
+// ServiceName is the transport service name of the key-value store.
+const ServiceName = "kv"
+
+// Wire messages. Every op has a request and reply struct; errors travel as
+// string codes so clients can re-map them to the exported sentinel errors.
+type (
+	getReq   struct{ Key string }
+	getReply struct{ Val Versioned }
+	putReq   struct {
+		Key string
+		Val []byte
+	}
+	putReply struct{ Version uint64 }
+	delReq   struct{ Key string }
+	delReply struct{}
+	casReq   struct {
+		Key           string
+		Val           []byte
+		ExpectVersion uint64
+	}
+	casReply struct {
+		Version uint64
+		Current Versioned
+	}
+	addReq struct {
+		Key   string
+		Delta int64
+	}
+	addReply  struct{ Value int64 }
+	keysReq   struct{ Prefix string }
+	keysReply struct{ Keys []string }
+	lockReq   struct {
+		Name  string
+		Owner string
+		Lease time.Duration
+	}
+	lockReply struct{}
+	unlockReq struct {
+		Name  string
+		Owner string
+	}
+	unlockReply struct{}
+	exportReq   struct{ Prefix string }
+	exportReply struct{ Entries map[string]Versioned }
+	importReq   struct{ Entries map[string]Versioned }
+	importReply struct{}
+)
+
+// Error codes used on the wire.
+const (
+	codeNotFound     = "NOT_FOUND"
+	codeCASMismatch  = "CAS_MISMATCH"
+	codeLockHeld     = "LOCK_HELD"
+	codeNotLockOwner = "NOT_LOCK_OWNER"
+)
+
+func wireError(err error) error {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return errors.New(codeNotFound)
+	case errors.Is(err, ErrCASMismatch):
+		return errors.New(codeCASMismatch)
+	case errors.Is(err, ErrLockHeld):
+		return errors.New(codeLockHeld)
+	case errors.Is(err, ErrNotLockOwner):
+		return errors.New(codeNotLockOwner)
+	default:
+		return err
+	}
+}
+
+func unwireError(err error) error {
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		return err
+	}
+	switch remote.Msg {
+	case codeNotFound:
+		return ErrNotFound
+	case codeCASMismatch:
+		return ErrCASMismatch
+	case codeLockHeld:
+		return ErrLockHeld
+	case codeNotLockOwner:
+		return ErrNotLockOwner
+	default:
+		return err
+	}
+}
+
+// Server exposes a Store over the transport protocol.
+type Server struct {
+	store *Store
+	srv   *transport.Server
+}
+
+// NewServer starts a store server on addr (":0" for any free port).
+func NewServer(addr string, clock simclock.Clock) (*Server, error) {
+	s := &Server{store: NewStore(clock)}
+	srv, err := transport.Serve(addr, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore server: %w", err)
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Store exposes the underlying engine (used in tests and by migration).
+func (s *Server) Store() *Store { return s.store }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(req *transport.Request) ([]byte, error) {
+	if req.Service != ServiceName {
+		return nil, fmt.Errorf("unknown service %q", req.Service)
+	}
+	switch req.Method {
+	case "Get":
+		var r getReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		v, err := s.store.Get(r.Key)
+		if err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(getReply{Val: v})
+	case "Put":
+		var r putReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		ver := s.store.Put(r.Key, r.Val)
+		return transport.Encode(putReply{Version: ver})
+	case "Delete":
+		var r delReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.store.Delete(r.Key)
+		return transport.Encode(delReply{})
+	case "CAS":
+		var r casReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		ver, _, err := s.store.CompareAndSwap(r.Key, r.Val, r.ExpectVersion)
+		if err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(casReply{Version: ver})
+	case "Add":
+		var r addReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		v, err := s.store.AddInt64(r.Key, r.Delta)
+		if err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(addReply{Value: v})
+	case "Keys":
+		var r keysReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		return transport.Encode(keysReply{Keys: s.store.Keys(r.Prefix)})
+	case "TryLock":
+		var r lockReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		if err := s.store.TryLock(r.Name, r.Owner, r.Lease); err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(lockReply{})
+	case "Unlock":
+		var r unlockReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		if err := s.store.Unlock(r.Name, r.Owner); err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(unlockReply{})
+	case "Export":
+		var r exportReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		entries := s.store.Export(func(k string) bool {
+			return r.Prefix == "" || len(k) >= len(r.Prefix) && k[:len(r.Prefix)] == r.Prefix
+		})
+		return transport.Encode(exportReply{Entries: entries})
+	case "Import":
+		var r importReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.store.Import(r.Entries)
+		return transport.Encode(importReply{})
+	default:
+		return nil, fmt.Errorf("unknown method %q", req.Method)
+	}
+}

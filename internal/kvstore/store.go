@@ -1,0 +1,243 @@
+// Package kvstore implements the strongly consistent in-memory key-value
+// store that ElasticRMI uses for the shared state of elastic object pools
+// (the role HyperDex plays in the paper, §2.2/§4.1).
+//
+// The package provides the storage engine (Store), a network server exposing
+// it over the transport protocol (Server), a client (Client), and a sharded
+// multi-node deployment with online node addition (Cluster) — the paper's
+// runtime "may add additional nodes to HyperDex as necessary" (§4.2).
+//
+// Consistency model: each key is owned by exactly one node (hash sharding),
+// and each node serializes operations on its keys, so reads observe the
+// latest completed write — the same strong per-key consistency HyperDex
+// provides. Named locks with leases implement the per-class mutual exclusion
+// that the preprocessor emits for synchronized methods (Fig. 6).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/simclock"
+)
+
+// Exported errors.
+var (
+	// ErrNotFound is returned by Get for a missing key.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrCASMismatch is returned by CompareAndSwap on version conflict.
+	ErrCASMismatch = errors.New("kvstore: compare-and-swap version mismatch")
+	// ErrLockHeld is returned by TryLock when another owner holds the lock.
+	ErrLockHeld = errors.New("kvstore: lock held")
+	// ErrNotLockOwner is returned by Unlock when the caller does not hold it.
+	ErrNotLockOwner = errors.New("kvstore: not lock owner")
+)
+
+// Versioned is a value with its monotonically increasing version.
+type Versioned struct {
+	Value   []byte
+	Version uint64
+}
+
+type entry struct {
+	value   []byte
+	version uint64
+}
+
+type lockState struct {
+	owner   string
+	expires time.Time
+}
+
+// Store is the single-node storage engine. Safe for concurrent use.
+type Store struct {
+	clock simclock.Clock
+
+	mu    sync.Mutex
+	data  map[string]entry
+	locks map[string]lockState
+}
+
+// NewStore creates an empty store; clock may be nil for the wall clock.
+func NewStore(clock simclock.Clock) *Store {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Store{
+		clock: clock,
+		data:  make(map[string]entry),
+		locks: make(map[string]lockState),
+	}
+}
+
+// Get returns the value and version stored at key.
+func (s *Store) Get(key string) (Versioned, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if !ok {
+		return Versioned{}, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	val := make([]byte, len(e.value))
+	copy(val, e.value)
+	return Versioned{Value: val, Version: e.version}, nil
+}
+
+// Put stores value at key and returns the new version.
+func (s *Store) Put(key string, value []byte) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.data[key]
+	e.version++
+	e.value = make([]byte, len(value))
+	copy(e.value, value)
+	s.data[key] = e
+	return e.version
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// CompareAndSwap stores value at key iff the current version equals
+// expectVersion (0 means "key must not exist"). On success it returns the
+// new version; on conflict it returns ErrCASMismatch and the current value.
+func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, Versioned, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.data[key]
+	cur := uint64(0)
+	if exists {
+		cur = e.version
+	}
+	if cur != expectVersion {
+		val := make([]byte, len(e.value))
+		copy(val, e.value)
+		return 0, Versioned{Value: val, Version: cur}, ErrCASMismatch
+	}
+	e.version++
+	e.value = make([]byte, len(value))
+	copy(e.value, value)
+	s.data[key] = e
+	return e.version, Versioned{}, nil
+}
+
+// AddInt64 atomically adds delta to the integer stored at key (missing keys
+// count as 0) and returns the new value. The value is stored in decimal form
+// so it remains readable through Get.
+func (s *Store) AddInt64(key string, delta int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.data[key]
+	var cur int64
+	if len(e.value) > 0 {
+		v, err := strconv.ParseInt(string(e.value), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("add %q: %w", key, err)
+		}
+		cur = v
+	}
+	cur += delta
+	e.version++
+	e.value = []byte(strconv.FormatInt(cur, 10))
+	s.data[key] = e
+	return cur, nil
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// TryLock attempts to acquire the named lock for owner with the given lease.
+// Expired leases are broken. Re-acquiring a held lock by the same owner
+// renews the lease.
+func (s *Store) TryLock(name, owner string, lease time.Duration) error {
+	if lease <= 0 {
+		lease = 30 * time.Second
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, held := s.locks[name]
+	if held && st.owner != owner && st.expires.After(now) {
+		return fmt.Errorf("lock %q owned by %s: %w", name, st.owner, ErrLockHeld)
+	}
+	s.locks[name] = lockState{owner: owner, expires: now.Add(lease)}
+	return nil
+}
+
+// Unlock releases the named lock held by owner.
+func (s *Store) Unlock(name, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, held := s.locks[name]
+	if !held || st.owner != owner {
+		return fmt.Errorf("unlock %q by %s: %w", name, owner, ErrNotLockOwner)
+	}
+	delete(s.locks, name)
+	return nil
+}
+
+// LockOwner reports the current owner of the named lock, if unexpired.
+func (s *Store) LockOwner(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, held := s.locks[name]
+	if !held || !st.expires.After(s.clock.Now()) {
+		return "", false
+	}
+	return st.owner, true
+}
+
+// Export returns a snapshot of all entries whose key satisfies keep. Used by
+// shard migration when nodes are added to the cluster.
+func (s *Store) Export(keep func(key string) bool) map[string]Versioned {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Versioned)
+	for k, e := range s.data {
+		if keep == nil || keep(k) {
+			val := make([]byte, len(e.value))
+			copy(val, e.value)
+			out[k] = Versioned{Value: val, Version: e.version}
+		}
+	}
+	return out
+}
+
+// Import installs entries (preserving versions) and is used by shard
+// migration.
+func (s *Store) Import(entries map[string]Versioned) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range entries {
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		s.data[k] = entry{value: val, version: v.Version}
+	}
+}

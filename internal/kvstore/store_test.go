@@ -1,0 +1,327 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"elasticrmi/internal/simclock"
+)
+
+func TestStorePutGetDelete(t *testing.T) {
+	s := NewStore(nil)
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	v1 := s.Put("k", []byte("a"))
+	if v1 != 1 {
+		t.Fatalf("first version = %d, want 1", v1)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got.Value) != "a" || got.Version != 1 {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	v2 := s.Put("k", []byte("b"))
+	if v2 != 2 {
+		t.Fatalf("second version = %d, want 2", v2)
+	}
+	s.Delete("k")
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+	s.Delete("k") // idempotent
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	s := NewStore(nil)
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X' // caller mutation must not leak in
+	got, _ := s.Get("k")
+	if string(got.Value) != "abc" {
+		t.Fatalf("store aliased caller buffer: %q", got.Value)
+	}
+	got.Value[0] = 'Y' // reader mutation must not leak back
+	got2, _ := s.Get("k")
+	if string(got2.Value) != "abc" {
+		t.Fatalf("reader mutated stored value: %q", got2.Value)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := NewStore(nil)
+	// Create iff absent.
+	v, _, err := s.CompareAndSwap("k", []byte("a"), 0)
+	if err != nil || v != 1 {
+		t.Fatalf("CAS create = %d, %v", v, err)
+	}
+	// Wrong version fails and reports current.
+	_, cur, err := s.CompareAndSwap("k", []byte("b"), 0)
+	if !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("CAS stale = %v, want mismatch", err)
+	}
+	if cur.Version != 1 || string(cur.Value) != "a" {
+		t.Fatalf("current = %+v", cur)
+	}
+	// Correct version succeeds.
+	v, _, err = s.CompareAndSwap("k", []byte("b"), 1)
+	if err != nil || v != 2 {
+		t.Fatalf("CAS update = %d, %v", v, err)
+	}
+}
+
+func TestAddInt64(t *testing.T) {
+	s := NewStore(nil)
+	for i := int64(1); i <= 5; i++ {
+		got, err := s.AddInt64("n", 1)
+		if err != nil || got != i {
+			t.Fatalf("Add #%d = %d, %v", i, got, err)
+		}
+	}
+	got, err := s.AddInt64("n", -10)
+	if err != nil || got != -5 {
+		t.Fatalf("Add(-10) = %d, %v", got, err)
+	}
+	s.Put("s", []byte("not-a-number"))
+	if _, err := s.AddInt64("s", 1); err == nil {
+		t.Fatal("Add on non-integer succeeded")
+	}
+}
+
+func TestAddInt64Concurrent(t *testing.T) {
+	s := NewStore(nil)
+	const workers, per = 16, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.AddInt64("c", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := s.AddInt64("c", 0)
+	if got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := NewStore(nil)
+	s.Put("a/1", nil)
+	s.Put("a/2", nil)
+	s.Put("b/1", nil)
+	keys := s.Keys("a/")
+	if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/2" {
+		t.Fatalf("Keys(a/) = %v", keys)
+	}
+	if got := s.Keys(""); len(got) != 3 {
+		t.Fatalf("Keys(\"\") = %v", got)
+	}
+}
+
+func TestLocksMutualExclusion(t *testing.T) {
+	s := NewStore(nil)
+	if err := s.TryLock("L", "alice", time.Minute); err != nil {
+		t.Fatalf("alice lock: %v", err)
+	}
+	if err := s.TryLock("L", "bob", time.Minute); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("bob lock = %v, want ErrLockHeld", err)
+	}
+	// Same owner renews.
+	if err := s.TryLock("L", "alice", time.Minute); err != nil {
+		t.Fatalf("alice renew: %v", err)
+	}
+	if err := s.Unlock("L", "bob"); !errors.Is(err, ErrNotLockOwner) {
+		t.Fatalf("bob unlock = %v, want ErrNotLockOwner", err)
+	}
+	if err := s.Unlock("L", "alice"); err != nil {
+		t.Fatalf("alice unlock: %v", err)
+	}
+	if err := s.TryLock("L", "bob", time.Minute); err != nil {
+		t.Fatalf("bob lock after release: %v", err)
+	}
+}
+
+func TestLockLeaseExpiry(t *testing.T) {
+	clock := simclock.NewSim(time.Unix(0, 0))
+	s := NewStore(clock)
+	if err := s.TryLock("L", "alice", 10*time.Second); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	clock.Advance(5 * time.Second)
+	if err := s.TryLock("L", "bob", time.Second); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("bob before expiry = %v, want held", err)
+	}
+	clock.Advance(6 * time.Second)
+	if err := s.TryLock("L", "bob", time.Second); err != nil {
+		t.Fatalf("bob after expiry: %v (lease must break)", err)
+	}
+	if owner, held := s.LockOwner("L"); !held || owner != "bob" {
+		t.Fatalf("owner = %q/%v, want bob", owner, held)
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	s := NewStore(nil)
+	s.Put("x/1", []byte("a"))
+	s.Put("x/1", []byte("b")) // version 2
+	s.Put("y/1", []byte("c"))
+	snap := s.Export(func(k string) bool { return k[0] == 'x' })
+	if len(snap) != 1 || snap["x/1"].Version != 2 {
+		t.Fatalf("export = %+v", snap)
+	}
+	dst := NewStore(nil)
+	dst.Import(snap)
+	got, err := dst.Get("x/1")
+	if err != nil || string(got.Value) != "b" || got.Version != 2 {
+		t.Fatalf("imported = %+v, %v (version must be preserved)", got, err)
+	}
+}
+
+// Property: Put then Get always returns the stored value with an increased
+// version, for arbitrary keys and values.
+func TestPutGetProperty(t *testing.T) {
+	s := NewStore(nil)
+	prop := func(key string, value []byte) bool {
+		before, _ := s.Get(key)
+		v := s.Put(key, value)
+		if v != before.Version+1 {
+			return false
+		}
+		got, err := s.Get(key)
+		return err == nil && string(got.Value) == string(value) && got.Version == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddInt64 over any sequence of deltas equals their running sum.
+func TestAddInt64Property(t *testing.T) {
+	prop := func(deltas []int32) bool {
+		s := NewStore(nil)
+		var sum int64
+		for _, d := range deltas {
+			sum += int64(d)
+			got, err := s.AddInt64("k", int64(d))
+			if err != nil || got != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientServer(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	c, err := NewClient(srv.Addr())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+
+	if _, err := c.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.Get("k")
+	if err != nil || string(got.Value) != "v" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound over the wire", err)
+	}
+	if _, err := c.CompareAndSwap("k", []byte("w"), 99); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("CAS = %v, want ErrCASMismatch over the wire", err)
+	}
+	if err := c.TryLock("L", "a", time.Minute); err != nil {
+		t.Fatalf("TryLock: %v", err)
+	}
+	if err := c.TryLock("L", "b", time.Minute); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("TryLock(b) = %v, want ErrLockHeld over the wire", err)
+	}
+	n, err := c.AddInt64("cnt", 7)
+	if err != nil || n != 7 {
+		t.Fatalf("AddInt64 = %d, %v", n, err)
+	}
+	if s, err := c.GetString("nope"); err != nil || s != "" {
+		t.Fatalf("GetString(missing) = %q, %v", s, err)
+	}
+	if err := c.PutInt64("i", -3); err != nil {
+		t.Fatalf("PutInt64: %v", err)
+	}
+	if i, err := c.GetInt64("i"); err != nil || i != -3 {
+		t.Fatalf("GetInt64 = %d, %v", i, err)
+	}
+}
+
+func TestClusterShardingAndMigration(t *testing.T) {
+	cl, err := NewCluster(2, nil)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := cl.Put(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := cl.AddNode(); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if cl.Nodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", cl.Nodes())
+	}
+	// Every key must still be readable after migration.
+	for i := 0; i < n; i++ {
+		got, err := cl.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil {
+			t.Fatalf("Get(key-%03d) after migration: %v", i, err)
+		}
+		if string(got.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key-%03d = %q", i, got.Value)
+		}
+	}
+	// No key may exist on two nodes.
+	keys, err := cl.Keys("key-")
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != n {
+		t.Fatalf("cluster holds %d copies of %d keys (duplicates after migration)", len(keys), n)
+	}
+}
+
+func TestClusterLocksRouteByName(t *testing.T) {
+	cl, err := NewCluster(3, nil)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.TryLock("L", "a", time.Minute); err != nil {
+		t.Fatalf("TryLock: %v", err)
+	}
+	if err := cl.TryLock("L", "b", time.Minute); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("second TryLock = %v, want ErrLockHeld (same shard)", err)
+	}
+	if err := cl.Unlock("L", "a"); err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package liveeval measures SPEC elasticity metrics against the *live*
+// ElasticRMI runtime — the bridge between the deployment simulator
+// (internal/benchsim, which regenerates the paper's 450-minute figures) and
+// the real system: a real elastic pool on loopback TCP serves a
+// time-compressed replay of a paper workload pattern while the harness
+// samples provisioned capacity (the pool size) against the capacity the
+// current offered load requires, producing the same agility.Sample series
+// the figures plot.
+package liveeval
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"elasticrmi/internal/agility"
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/workload"
+)
+
+// Config describes one live measurement run.
+type Config struct {
+	// Pool is the elastic pool under measurement.
+	Pool *core.Pool
+	// Pattern is the workload shape being replayed (its Rate feeds ReqMin).
+	Pattern workload.Pattern
+	// Speedup is the time compression used by the generator (pattern
+	// duration / wall duration).
+	Speedup float64
+	// RatePerMember is the offered load one member absorbs at the QoS
+	// target, in requests/second *of the scaled generator* (i.e. after
+	// RateScale).
+	RatePerMember float64
+	// RateScale is the generator's rate scaling, applied to Pattern.Rate
+	// before comparing against RatePerMember.
+	RateScale float64
+	// SampleEvery is the wall-clock sampling interval. Default 100ms.
+	SampleEvery time.Duration
+}
+
+// Result is the live measurement outcome.
+type Result struct {
+	Samples []agility.Sample
+	// Provisioning holds the pool's scale-up events observed during the
+	// run.
+	Provisioning []agility.ProvisioningEvent
+}
+
+// AvgAgility returns the SPEC agility of the run.
+func (r Result) AvgAgility() float64 { return agility.Agility(r.Samples) }
+
+// reqMin converts an offered (scaled) rate into the minimum member count.
+func reqMin(rate, perMember float64) int {
+	if perMember <= 0 {
+		return 2
+	}
+	req := int(math.Ceil(rate / perMember))
+	if req < 2 {
+		req = 2
+	}
+	return req
+}
+
+// Run replays the pattern against the pool with the given request function
+// until ctx is done or the pattern completes, sampling capacity on the way.
+func Run(ctx context.Context, cfg Config, fn func() error) Result {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+	gen := &workload.Generator{
+		Pattern:   cfg.Pattern,
+		Speedup:   cfg.Speedup,
+		RateScale: cfg.RateScale,
+	}
+
+	var res Result
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(cfg.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+			}
+			elapsed := time.Since(start)
+			virtual := time.Duration(float64(elapsed) * cfg.Speedup)
+			if virtual > cfg.Pattern.Duration() {
+				return
+			}
+			offered := cfg.Pattern.Rate(virtual) * cfg.RateScale
+			res.Samples = append(res.Samples, agility.Sample{
+				At:      virtual,
+				CapProv: cfg.Pool.Size(),
+				ReqMin:  reqMin(offered, cfg.RatePerMember),
+			})
+		}
+	}()
+
+	gen.Run(ctx, fn)
+	stopSampling()
+	<-done
+
+	for {
+		select {
+		case ev := <-cfg.Pool.Events():
+			if ev.ProvisioningLatency > 0 {
+				res.Provisioning = append(res.Provisioning, agility.ProvisioningEvent{
+					At:      time.Duration(float64(time.Since(start)) * cfg.Speedup),
+					Latency: ev.ProvisioningLatency,
+				})
+			}
+			continue
+		default:
+		}
+		break
+	}
+	return res
+}

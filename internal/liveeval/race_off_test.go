@@ -1,0 +1,5 @@
+//go:build !race
+
+package liveeval_test
+
+const raceDetectorEnabled = false

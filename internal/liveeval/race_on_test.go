@@ -1,0 +1,8 @@
+//go:build race
+
+package liveeval_test
+
+// raceDetectorEnabled reports that this binary was built with -race: the
+// detector inflates latencies by 5-15x, which invalidates timing-based
+// elasticity measurements.
+const raceDetectorEnabled = true

@@ -1,0 +1,170 @@
+// Package simclock provides an abstraction over time so that the ElasticRMI
+// runtime and the benchmark harness can run either against the wall clock or
+// against a deterministic, discrete-event virtual clock.
+//
+// The paper's evaluation spans 450-500 minute runs (Figures 7 and 8); the
+// virtual clock lets the same policy code replay those runs in milliseconds.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the repository. Both the live
+// runtime and the deployment simulator program against this interface.
+type Clock interface {
+	// Now returns the current instant of this clock.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+	// Since returns the duration elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sim is a deterministic virtual clock. Time only moves when Advance or Run
+// is called; waiters registered through After/Sleep fire in timestamp order.
+//
+// The zero value is not usable; construct with NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+var _ Clock = (*Sim)(nil)
+
+type waiter struct {
+	at  time.Time
+	seq int64 // tie-break so equal timestamps fire FIFO
+	ch  chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewSim returns a virtual clock whose epoch is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration {
+	return s.Now().Sub(t)
+}
+
+// After implements Clock. The returned channel has capacity one so the clock
+// never blocks delivering the tick.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.seq++
+	heap.Push(&s.waiters, &waiter{at: s.now.Add(d), seq: s.seq, ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It blocks the calling goroutine until another
+// goroutine advances the clock past the deadline.
+func (s *Sim) Sleep(d time.Duration) {
+	<-s.After(d)
+}
+
+// Advance moves the clock forward by d, firing all waiters whose deadlines
+// are reached, in deadline order. It returns the number of waiters fired.
+func (s *Sim) Advance(d time.Duration) int {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	fired := 0
+	for len(s.waiters) > 0 && !s.waiters[0].at.After(target) {
+		w := heap.Pop(&s.waiters).(*waiter)
+		s.now = w.at
+		w.ch <- s.now
+		fired++
+	}
+	s.now = target
+	s.mu.Unlock()
+	return fired
+}
+
+// Pending reports the number of registered waiters that have not yet fired.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// NextDeadline returns the earliest pending deadline and true, or the zero
+// time and false if there are no waiters.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return s.waiters[0].at, true
+}
+
+// RunUntilIdle advances the clock to each pending deadline in order until no
+// waiters remain, up to the given horizon. It returns the number fired.
+func (s *Sim) RunUntilIdle(horizon time.Duration) int {
+	deadline := s.Now().Add(horizon)
+	fired := 0
+	for {
+		next, ok := s.NextDeadline()
+		if !ok || next.After(deadline) {
+			return fired
+		}
+		fired += s.Advance(next.Sub(s.Now()))
+	}
+}

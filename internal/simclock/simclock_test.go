@@ -1,0 +1,171 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimAdvanceFiresInOrder(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	ch3 := c.After(3 * time.Second)
+	ch1 := c.After(1 * time.Second)
+	ch2 := c.After(2 * time.Second)
+
+	fired := c.Advance(5 * time.Second)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	t1 := <-ch1
+	t2 := <-ch2
+	t3 := <-ch3
+	if !t1.Before(t2) || !t2.Before(t3) {
+		t.Fatalf("fire order wrong: %v %v %v", t1, t2, t3)
+	}
+	if c.Now() != time.Unix(5, 0) {
+		t.Fatalf("now = %v, want +5s", c.Now())
+	}
+}
+
+func TestSimPartialAdvance(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	if fired := c.Advance(9 * time.Second); fired != 0 {
+		t.Fatalf("fired early: %d", fired)
+	}
+	select {
+	case <-ch:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if at != time.Unix(10, 0) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestSimAfterNonPositive(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimSleepBlocksUntilAdvance(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(time.Minute)
+		close(done)
+	}()
+	for c.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("sleep returned before advance")
+	default:
+	}
+	c.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleep did not wake")
+	}
+}
+
+func TestSimSince(t *testing.T) {
+	c := NewSim(time.Unix(100, 0))
+	start := c.Now()
+	c.Advance(90 * time.Second)
+	if got := c.Since(start); got != 90*time.Second {
+		t.Fatalf("since = %v", got)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	for i := 1; i <= 5; i++ {
+		c.After(time.Duration(i) * time.Second)
+	}
+	c.After(time.Hour) // beyond horizon
+	fired := c.RunUntilIdle(10 * time.Second)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("deadline on empty clock")
+	}
+	c.After(7 * time.Second)
+	next, ok := c.NextDeadline()
+	if !ok || next != time.Unix(7, 0) {
+		t.Fatalf("next = %v %v", next, ok)
+	}
+}
+
+func TestConcurrentWaiters(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Sleep(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for c.Pending() < n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(10 * time.Second)
+	wg.Wait()
+}
+
+// Property: advancing by the sum of any positive durations equals advancing
+// once by the total.
+func TestAdvanceAdditiveProperty(t *testing.T) {
+	prop := func(steps []uint16) bool {
+		a := NewSim(time.Unix(0, 0))
+		b := NewSim(time.Unix(0, 0))
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Millisecond
+			total += d
+			a.Advance(d)
+		}
+		b.Advance(total)
+		return a.Now().Equal(b.Now())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Real
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}

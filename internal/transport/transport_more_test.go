@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestLargeFrameRoundTrip pushes a multi-megabyte payload through the
+// framed protocol.
+func TestLargeFrameRoundTrip(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	big := bytes.Repeat([]byte{0xAB}, 4<<20)
+	payload, err := Encode(echoArgs{Text: string(big)})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := c.Call("svc", "Echo", payload, 30*time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	var got echoArgs
+	if err := Decode(out, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Text) != len(big) {
+		t.Fatalf("round trip %d bytes, want %d", len(got.Text), len(big))
+	}
+}
+
+// TestSequentialCallsReuseConnection verifies many calls work over one
+// connection without resource buildup.
+func TestSequentialCallsReuseConnection(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	payload, _ := Encode(echoArgs{N: 1})
+	for i := 0; i < 500; i++ {
+		if _, err := c.Call("svc", "Echo", payload, 5*time.Second); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestFrameCorruptionClosesConnection writes garbage to the server; the
+// connection dies but the server survives and accepts new connections.
+func TestServerSurvivesGarbage(t *testing.T) {
+	srv := startEcho(t)
+	// Raw TCP garbage.
+	raw, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	// A huge declared frame size triggers the maxFrame guard server-side.
+	raw.conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	raw.Close()
+
+	// The server still serves fresh clients.
+	c := dial(t, srv.Addr())
+	payload, _ := Encode(echoArgs{N: 7})
+	out, err := c.Call("svc", "Echo", payload, 5*time.Second)
+	if err != nil {
+		t.Fatalf("call after garbage: %v", err)
+	}
+	var got echoArgs
+	if err := Decode(out, &got); err != nil || got.N != 7 {
+		t.Fatalf("echo = %+v, %v", got, err)
+	}
+}
+
+// TestResponseAfterTimeoutIsDropped: a late response to a timed-out call
+// must not confuse subsequent calls.
+func TestResponseAfterTimeoutIsDropped(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	if _, err := c.Call("svc", "Slow", nil, 10*time.Millisecond); err == nil {
+		t.Fatal("slow call did not time out")
+	}
+	// Wait for the late response to arrive and be discarded.
+	time.Sleep(250 * time.Millisecond)
+	payload, _ := Encode(echoArgs{N: 9})
+	out, err := c.Call("svc", "Echo", payload, 5*time.Second)
+	if err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	var got echoArgs
+	if err := Decode(out, &got); err != nil || got.N != 9 {
+		t.Fatalf("late response leaked into new call: %+v, %v", got, err)
+	}
+}

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoArgs struct {
+	Text string
+	N    int
+}
+
+func startEcho(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		switch req.Method {
+		case "Echo":
+			return req.Payload, nil
+		case "Fail":
+			return nil, errors.New("boom")
+		case "Redirect":
+			return nil, &RedirectError{Targets: []string{"a:1", "b:2"}}
+		case "Slow":
+			time.Sleep(200 * time.Millisecond)
+			return req.Payload, nil
+		default:
+			return nil, fmt.Errorf("unknown method %q", req.Method)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	payload, err := Encode(echoArgs{Text: "hello", N: 42})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := c.Call("svc", "Echo", payload, time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	var got echoArgs
+	if err := Decode(out, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Text != "hello" || got.N != 42 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	_, err := c.Call("svc", "Fail", nil, time.Second)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if remote.Msg != "boom" || remote.Method != "Fail" {
+		t.Fatalf("remote = %+v", remote)
+	}
+}
+
+func TestRedirectError(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	_, err := c.Call("svc", "Redirect", nil, time.Second)
+	var redirect *RedirectError
+	if !errors.As(err, &redirect) {
+		t.Fatalf("err = %v, want RedirectError", err)
+	}
+	if len(redirect.Targets) != 2 || redirect.Targets[0] != "a:1" {
+		t.Fatalf("targets = %v", redirect.Targets)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	_, err := c.Call("svc", "Slow", nil, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	const n = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, _ := Encode(echoArgs{N: i})
+			out, err := c.Call("svc", "Echo", payload, 2*time.Second)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var got echoArgs
+			if err := Decode(out, &got); err != nil {
+				errCh <- err
+				return
+			}
+			if got.N != i {
+				errCh <- fmt.Errorf("call %d got %d (responses crossed)", i, got.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseFailsInFlight(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("svc", "Slow", nil, 5*time.Second)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	if err := <-done; err == nil {
+		t.Fatal("call survived server close")
+	}
+}
+
+func TestCallAfterClientClose(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	c.Close()
+	if _, err := c.Call("svc", "Echo", nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := DialTimeout("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestServeNilHandler(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve(nil) succeeded")
+	}
+}
+
+func TestEncodeDecodeTypes(t *testing.T) {
+	type nested struct {
+		M map[string]int
+		S []string
+		B []byte
+	}
+	in := nested{M: map[string]int{"a": 1}, S: []string{"x", "y"}, B: []byte{1, 2, 3}}
+	raw, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out nested
+	if err := Decode(raw, &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.M["a"] != 1 || len(out.S) != 2 || len(out.B) != 3 {
+		t.Fatalf("decode mismatch: %+v", out)
+	}
+}
+
+func BenchmarkRoundTrip(b *testing.B) {
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		return req.Payload, nil
+	})
+	if err != nil {
+		b.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	payload, _ := Encode(echoArgs{Text: "bench", N: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("svc", "Echo", payload, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

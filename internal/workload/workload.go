@@ -1,0 +1,236 @@
+// Package workload implements the evaluation workload patterns of the paper
+// (§5.3, Figures 7a and 7b) and an open-loop generator that replays them
+// against a live elastic object pool.
+//
+// The abrupt pattern contains every abrupt-change scenario the paper
+// enumerates: gradual non-cyclic increase, gradual decrease, rapid increase
+// and rapid decrease. The cyclic pattern repeats three rise-and-fall cycles.
+// The shape is shared by all four evaluation systems; only the magnitude
+// (Point A / Point B) differs per benchmark.
+package workload
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+)
+
+// Pattern is a deterministic workload intensity curve.
+type Pattern interface {
+	// Rate returns the offered load (requests/second) at offset t.
+	Rate(t time.Duration) float64
+	// Duration is the length of the measurement period.
+	Duration() time.Duration
+	// Peak is the maximum offered load over the period (Point A or B).
+	Peak() float64
+	// Name identifies the pattern ("abrupt" or "cyclic").
+	Name() string
+}
+
+// breakpoint anchors a piecewise-linear curve: at minute Min the load is
+// Frac x peak.
+type breakpoint struct {
+	Min  float64
+	Frac float64
+}
+
+type piecewise struct {
+	name   string
+	peak   float64
+	length time.Duration
+	points []breakpoint
+}
+
+var _ Pattern = (*piecewise)(nil)
+
+func (p *piecewise) Name() string            { return p.name }
+func (p *piecewise) Peak() float64           { return p.peak }
+func (p *piecewise) Duration() time.Duration { return p.length }
+
+func (p *piecewise) Rate(t time.Duration) float64 {
+	min := t.Minutes()
+	if min <= p.points[0].Min {
+		return p.points[0].Frac * p.peak
+	}
+	last := p.points[len(p.points)-1]
+	if min >= last.Min {
+		return last.Frac * p.peak
+	}
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].Min >= min })
+	a, b := p.points[i-1], p.points[i]
+	frac := a.Frac + (b.Frac-a.Frac)*(min-a.Min)/(b.Min-a.Min)
+	return frac * p.peak
+}
+
+// Abrupt returns the abruptly changing workload of Fig. 7a, a 450-minute
+// pattern peaking at Point A (peak requests/second). It exercises gradual
+// non-cyclic increase, a sustained peak, rapid decrease, gradual decrease
+// and a final rapid spike — all common elastic-scaling scenarios observed in
+// real applications (§5.3).
+func Abrupt(peakA float64) Pattern {
+	return &piecewise{
+		name:   "abrupt",
+		peak:   peakA,
+		length: 450 * time.Minute,
+		points: []breakpoint{
+			{0, 0.10},
+			{40, 0.12},  // quiet start
+			{120, 0.55}, // gradual non-cyclic increase
+			{130, 1.00}, // abrupt increase to Point A
+			{180, 1.00}, // sustained peak
+			{190, 0.35}, // abrupt decrease
+			{260, 0.30}, // plateau
+			{320, 0.15}, // gradual decrease
+			{330, 0.80}, // rapid increase (flash load)
+			{360, 0.75}, // short shoulder
+			{370, 0.20}, // rapid decrease
+			{450, 0.10}, // tail
+		},
+	}
+}
+
+type cyclic struct {
+	peak   float64
+	length time.Duration
+	cycles float64
+	floor  float64
+}
+
+var _ Pattern = (*cyclic)(nil)
+
+// Cyclic returns the cyclical workload of Fig. 7b: a 500-minute pattern
+// with three full rise-and-fall cycles peaking at Point B.
+func Cyclic(peakB float64) Pattern {
+	return &cyclic{peak: peakB, length: 500 * time.Minute, cycles: 3, floor: 0.12}
+}
+
+func (c *cyclic) Name() string            { return "cyclic" }
+func (c *cyclic) Peak() float64           { return c.peak }
+func (c *cyclic) Duration() time.Duration { return c.length }
+
+func (c *cyclic) Rate(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t > c.length {
+		t = c.length
+	}
+	phase := 2 * math.Pi * c.cycles * t.Minutes() / c.length.Minutes()
+	// Raised cosine: starts at the floor, peaks at c.peak mid-cycle.
+	frac := c.floor + (1-c.floor)*0.5*(1-math.Cos(phase))
+	return frac * c.peak
+}
+
+// Constant returns a flat pattern, useful for microbenchmarks.
+func Constant(rate float64, d time.Duration) Pattern {
+	return &piecewise{
+		name:   "constant",
+		peak:   rate,
+		length: d,
+		points: []breakpoint{{0, 1}, {d.Minutes(), 1}},
+	}
+}
+
+// Sample evaluates the pattern every step and returns the rate series —
+// exactly the curves plotted in Figures 7a/7b.
+func Sample(p Pattern, step time.Duration) []float64 {
+	n := int(p.Duration()/step) + 1
+	out := make([]float64, 0, n)
+	for t := time.Duration(0); t <= p.Duration(); t += step {
+		out = append(out, p.Rate(t))
+	}
+	return out
+}
+
+// Generator replays a Pattern against a live target, compressed in time and
+// scaled in rate so a 450-minute cluster experiment becomes a sub-second
+// in-process one.
+type Generator struct {
+	// Pattern is the workload shape to replay.
+	Pattern Pattern
+	// Speedup divides time: pattern minute -> wall millisecond at 60000.
+	Speedup float64
+	// RateScale multiplies the pattern's rate (e.g. 1/1000 to turn 50 000
+	// orders/s into 50 calls/s).
+	RateScale float64
+	// MaxInFlight bounds concurrency (0 = 64).
+	MaxInFlight int
+}
+
+// Run replays the pattern, invoking fn for every generated request. It
+// returns the number of requests issued. fn errors are counted, not fatal.
+func (g *Generator) Run(ctx context.Context, fn func() error) (issued, failed int64) {
+	speedup := g.Speedup
+	if speedup <= 0 {
+		speedup = 1
+	}
+	scale := g.RateScale
+	if scale <= 0 {
+		scale = 1
+	}
+	maxInFlight := g.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	sem := make(chan struct{}, maxInFlight)
+	results := make(chan error, maxInFlight)
+	var outstanding int
+
+	start := time.Now()
+	last := start
+	var carry float64
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			for outstanding > 0 {
+				if err := <-results; err != nil {
+					failed++
+				}
+				outstanding--
+			}
+			return issued, failed
+		case err := <-results:
+			if err != nil {
+				failed++
+			}
+			outstanding--
+			continue
+		case <-tick.C:
+		}
+		now := time.Now()
+		elapsed := now.Sub(start)
+		virtual := time.Duration(float64(elapsed) * speedup)
+		if virtual > g.Pattern.Duration() {
+			for outstanding > 0 {
+				if err := <-results; err != nil {
+					failed++
+				}
+				outstanding--
+			}
+			return issued, failed
+		}
+		// Requests owed since the last tick at the (scaled) current rate —
+		// measured wall time, not the nominal tick period, because tickers
+		// coalesce under load.
+		carry += g.Pattern.Rate(virtual) * scale * now.Sub(last).Seconds()
+		last = now
+		for carry >= 1 {
+			carry--
+			select {
+			case sem <- struct{}{}:
+			default:
+				continue // at concurrency limit: shed load
+			}
+			issued++
+			outstanding++
+			go func() {
+				err := fn()
+				<-sem
+				results <- err
+			}()
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAbruptShape(t *testing.T) {
+	p := Abrupt(50000)
+	if p.Name() != "abrupt" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	if p.Duration() != 450*time.Minute {
+		t.Fatalf("duration = %v", p.Duration())
+	}
+	// Starts low.
+	if r := p.Rate(0); r > 0.2*p.Peak() {
+		t.Fatalf("rate(0) = %v, want low start", r)
+	}
+	// Reaches the peak (Point A) during the sustained plateau.
+	if r := p.Rate(150 * time.Minute); r != p.Peak() {
+		t.Fatalf("rate(150m) = %v, want peak %v", r, p.Peak())
+	}
+	// Abrupt increase: large jump within 10 minutes.
+	before, after := p.Rate(120*time.Minute), p.Rate(130*time.Minute)
+	if after-before < 0.3*p.Peak() {
+		t.Fatalf("abrupt increase only %v", after-before)
+	}
+	// Abrupt decrease after the plateau.
+	before, after = p.Rate(180*time.Minute), p.Rate(190*time.Minute)
+	if before-after < 0.3*p.Peak() {
+		t.Fatalf("abrupt decrease only %v", before-after)
+	}
+	// Flash spike later in the run (rapid increase then rapid decrease).
+	if r := p.Rate(330 * time.Minute); r < 0.7*p.Peak() {
+		t.Fatalf("flash spike rate = %v", r)
+	}
+	if r := p.Rate(380 * time.Minute); r > 0.3*p.Peak() {
+		t.Fatalf("post-spike rate = %v", r)
+	}
+	// Ends low.
+	if r := p.Rate(450 * time.Minute); r > 0.2*p.Peak() {
+		t.Fatalf("rate(end) = %v", r)
+	}
+}
+
+func TestCyclicShape(t *testing.T) {
+	p := Cyclic(36000)
+	if p.Duration() != 500*time.Minute {
+		t.Fatalf("duration = %v", p.Duration())
+	}
+	// Three peaks, each reaching Point B.
+	peaks := []time.Duration{
+		500 * time.Minute / 6,     // first mid-cycle
+		500 * time.Minute / 2,     // second
+		5 * 500 * time.Minute / 6, // third
+	}
+	for _, at := range peaks {
+		if r := p.Rate(at); r < 0.99*p.Peak() {
+			t.Fatalf("rate(%v) = %v, want ~peak %v", at, r, p.Peak())
+		}
+	}
+	// Troughs return near the floor.
+	troughs := []time.Duration{0, 500 * time.Minute / 3, 2 * 500 * time.Minute / 3}
+	for _, at := range troughs {
+		if r := p.Rate(at); r > 0.2*p.Peak() {
+			t.Fatalf("trough rate(%v) = %v", at, r)
+		}
+	}
+}
+
+// Property: both patterns stay within (0, peak] everywhere.
+func TestPatternsBoundedProperty(t *testing.T) {
+	patterns := []Pattern{Abrupt(1000), Cyclic(1000)}
+	prop := func(minute uint16) bool {
+		at := time.Duration(minute%520) * time.Minute
+		for _, p := range patterns {
+			r := p.Rate(at)
+			if r <= 0 || r > p.Peak()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: piecewise-linear interpolation is monotone between breakpoints —
+// rates at t and t+epsilon never jump more than the segment slope allows.
+func TestAbruptContinuityProperty(t *testing.T) {
+	p := Abrupt(1000)
+	prop := func(minute uint16) bool {
+		at := time.Duration(minute%449) * time.Minute
+		r1 := p.Rate(at)
+		r2 := p.Rate(at + 30*time.Second)
+		// Steepest segment spans 10 minutes over 0.65 of peak.
+		maxSlopePerHalfMinute := 0.65 * 1000 / 20
+		diff := r2 - r1
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= maxSlopePerHalfMinute+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantPattern(t *testing.T) {
+	p := Constant(100, 10*time.Minute)
+	for _, at := range []time.Duration{0, 5 * time.Minute, 10 * time.Minute} {
+		if r := p.Rate(at); r != 100 {
+			t.Fatalf("rate(%v) = %v, want 100", at, r)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	p := Constant(42, 10*time.Minute)
+	s := Sample(p, time.Minute)
+	if len(s) != 11 {
+		t.Fatalf("samples = %d, want 11", len(s))
+	}
+	for _, v := range s {
+		if v != 42 {
+			t.Fatalf("sample = %v", v)
+		}
+	}
+}
+
+func TestGeneratorIssuesApproximateRate(t *testing.T) {
+	// 100 req/s for a 600ms run -> ~60 requests.
+	g := &Generator{
+		Pattern:   Constant(100, time.Minute),
+		Speedup:   1,
+		RateScale: 1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 600*time.Millisecond)
+	defer cancel()
+	var calls atomic.Int64
+	issued, failed := g.Run(ctx, func() error {
+		calls.Add(1)
+		return nil
+	})
+	if failed != 0 {
+		t.Fatalf("failed = %d", failed)
+	}
+	if issued < 30 || issued > 90 {
+		t.Fatalf("issued = %d, want ~60", issued)
+	}
+	if calls.Load() != issued {
+		t.Fatalf("calls = %d, issued = %d", calls.Load(), issued)
+	}
+}
+
+func TestGeneratorStopsAtPatternEnd(t *testing.T) {
+	// 50ms virtual duration at speedup 1: ends on its own.
+	g := &Generator{
+		Pattern:   Constant(200, 50*time.Millisecond),
+		Speedup:   1,
+		RateScale: 1,
+	}
+	start := time.Now()
+	issued, _ := g.Run(context.Background(), func() error { return nil })
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("generator did not stop at pattern end")
+	}
+	if issued == 0 {
+		t.Fatal("generator issued nothing")
+	}
+}
+
+func TestGeneratorCountsFailures(t *testing.T) {
+	g := &Generator{Pattern: Constant(100, 100*time.Millisecond), Speedup: 1, RateScale: 1}
+	var n atomic.Int64
+	_, failed := g.Run(context.Background(), func() error {
+		if n.Add(1)%2 == 0 {
+			return context.Canceled
+		}
+		return nil
+	})
+	if failed == 0 {
+		t.Fatal("failures not counted")
+	}
+}
