@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race gates the transport hot path (pooled call objects, write coalescing,
+# connection caches) under the race detector.
+race:
+	$(GO) test -race ./internal/transport/...
+
+# bench runs vet + the transport race gate, then the transport
+# microbenchmarks, and records the numbers to BENCH_transport.json so the
+# perf trajectory is tracked PR over PR.
+bench:
+	./scripts/bench.sh

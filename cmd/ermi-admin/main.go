@@ -111,12 +111,8 @@ func discover(pool, sentinel string) ([]core.MemberInfo, error) {
 		return nil, err
 	}
 	defer c.Close()
-	out, err := c.Call(pool, core.MethodDiscover, nil, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
 	var rep core.DiscoverReply
-	if err := transport.Decode(out, &rep); err != nil {
+	if err := c.CallDecode(pool, core.MethodDiscover, nil, &rep, 5*time.Second); err != nil {
 		return nil, err
 	}
 	return rep.Members, nil
@@ -128,12 +124,8 @@ func memberStats(pool, addr string) (core.StatsReply, error) {
 		return core.StatsReply{}, err
 	}
 	defer c.Close()
-	out, err := c.Call(pool, core.MethodStats, nil, 5*time.Second)
-	if err != nil {
-		return core.StatsReply{}, err
-	}
 	var rep core.StatsReply
-	if err := transport.Decode(out, &rep); err != nil {
+	if err := c.CallDecode(pool, core.MethodStats, nil, &rep, 5*time.Second); err != nil {
 		return core.StatsReply{}, err
 	}
 	return rep, nil

@@ -1,0 +1,3 @@
+module elasticrmi
+
+go 1.24.0

@@ -123,22 +123,17 @@ func DialRegistry(addr string) (*RegistryClient, error) {
 }
 
 func (c *RegistryClient) call(method string, req, reply interface{}) error {
-	payload, err := transport.Encode(req)
-	if err != nil {
-		return err
-	}
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
-	out, err := conn.Call(registryService, method, payload, 5*time.Second)
-	if err != nil {
+	if err := conn.CallDecode(registryService, method, req, reply, 5*time.Second); err != nil {
 		var remote *transport.RemoteError
 		if errors.As(err, &remote) && remote.Msg == codeNotBound {
 			return ErrNotBound
 		}
 		return err
 	}
-	return transport.Decode(out, reply)
+	return nil
 }
 
 // Bind associates name with the pool endpoints (sentinel first).

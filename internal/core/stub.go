@@ -22,10 +22,14 @@ type Stub struct {
 	timeout time.Duration
 	random  bool
 
+	// conns dials and caches one client per member outside the stub lock,
+	// with a per-address singleflight guard: a slow or unreachable member
+	// stalls only the callers that picked it, never the whole stub.
+	conns *transport.ConnCache
+
 	mu      sync.Mutex
 	members []string // known skeleton addresses, sentinel first
 	next    int
-	conns   map[string]*transport.Client
 	closed  bool
 }
 
@@ -56,7 +60,7 @@ func NewStub(name string, endpoints []string, opts ...StubOption) (*Stub, error)
 		name:    name,
 		timeout: 10 * time.Second,
 		members: append([]string(nil), endpoints...),
-		conns:   make(map[string]*transport.Client),
+		conns:   transport.NewConnCache(2 * time.Second),
 	}
 	for _, o := range opts {
 		o(s)
@@ -98,40 +102,15 @@ func (s *Stub) pick() (string, error) {
 }
 
 func (s *Stub) conn(addr string) (*transport.Client, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	c, err := s.conns.Get(addr)
+	if errors.Is(err, transport.ErrClosed) {
 		return nil, ErrPoolClosed
 	}
-	if c, ok := s.conns[addr]; ok {
-		s.mu.Unlock()
-		return c, nil
-	}
-	s.mu.Unlock()
-	c, err := transport.DialTimeout(addr, 2*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		c.Close()
-		return nil, ErrPoolClosed
-	}
-	if exist, ok := s.conns[addr]; ok {
-		c.Close()
-		return exist, nil
-	}
-	s.conns[addr] = c
-	return c, nil
+	return c, err
 }
 
 func (s *Stub) dropMember(addr string) {
 	s.mu.Lock()
-	c, hadConn := s.conns[addr]
-	if hadConn {
-		delete(s.conns, addr)
-	}
 	keep := s.members[:0]
 	for _, m := range s.members {
 		if m != addr {
@@ -140,9 +119,7 @@ func (s *Stub) dropMember(addr string) {
 	}
 	s.members = keep
 	s.mu.Unlock()
-	if hadConn {
-		c.Close()
-	}
+	s.conns.Drop(addr)
 }
 
 func (s *Stub) install(members []string) {
@@ -162,12 +139,8 @@ func (s *Stub) Refresh() error {
 		if err != nil {
 			continue
 		}
-		out, err := c.Call(s.name, MethodDiscover, nil, s.timeout)
-		if err != nil {
-			continue
-		}
 		var rep DiscoverReply
-		if err := transport.Decode(out, &rep); err != nil {
+		if err := c.CallDecode(s.name, MethodDiscover, nil, &rep, s.timeout); err != nil {
 			continue
 		}
 		fresh := make([]string, 0, len(rep.Members))
@@ -226,6 +199,11 @@ func (s *Stub) Invoke(method string, payload []byte) ([]byte, error) {
 		case isRemoteAppError(err):
 			// The method executed and returned an application error; do not
 			// retry elsewhere.
+			return nil, err
+		case errors.Is(err, transport.ErrFrameTooLarge):
+			// Caller-side payload bug: the request cannot be framed for any
+			// member and the connection is still healthy. Fail just this
+			// call instead of dropping members.
 			return nil, err
 		default:
 			// Transport failure: the member may have been removed after its
@@ -290,16 +268,8 @@ func (s *Stub) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := make([]*transport.Client, 0, len(s.conns))
-	for _, c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.conns = make(map[string]*transport.Client)
 	s.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
-	return nil
+	return s.conns.Close()
 }
 
 // Call is the typed convenience wrapper around Stub.Invoke: it gob-encodes

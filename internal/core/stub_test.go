@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"elasticrmi/internal/transport"
 )
 
 func TestStubValidation(t *testing.T) {
@@ -122,5 +124,38 @@ func TestStubAppErrorsNotRetried(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("method executed %d times, want exactly 1 (no retry of app errors)", calls)
+	}
+}
+
+// TestStubOversizePayloadNotRetried: a payload too large to frame is a
+// caller-side bug — the invocation must fail with ErrFrameTooLarge without
+// dropping healthy members or retrying the unframeable request elsewhere.
+func TestStubOversizePayloadNotRetried(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "bigpayload", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	stub, err := NewStub("bigpayload", pool.Endpoints())
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	before := len(stub.Members())
+
+	_, err = stub.Invoke("Add", make([]byte, transport.MaxFrame+1))
+	if !errors.Is(err, transport.ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if got := len(stub.Members()); got != before {
+		t.Fatalf("members = %d after oversize call, want %d (no member dropped)", got, before)
+	}
+	// The same stub and connections still serve normal invocations.
+	rep, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 5})
+	if err != nil {
+		t.Fatalf("call after oversize payload: %v", err)
+	}
+	if rep.Total != 5 {
+		t.Fatalf("total = %d", rep.Total)
 	}
 }

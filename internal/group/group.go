@@ -81,9 +81,12 @@ type Member struct {
 	hbEvery time.Duration
 	hbDead  time.Duration
 
+	// conns dials and caches one client per peer with a per-address
+	// singleflight guard, outside the member lock.
+	conns *transport.ConnCache
+
 	mu       sync.Mutex
 	view     View
-	conns    map[string]*transport.Client
 	lastSeen map[string]time.Time
 	closed   bool
 
@@ -105,7 +108,7 @@ func NewMember(cfg Config) (*Member, error) {
 		clock:    cfg.Clock,
 		hbEvery:  cfg.HeartbeatInterval,
 		hbDead:   cfg.FailureTimeout,
-		conns:    make(map[string]*transport.Client),
+		conns:    transport.NewConnCache(2 * time.Second),
 		lastSeen: make(map[string]time.Time),
 		msgs:     make(chan Message, 128),
 		fails:    make(chan string, 16),
@@ -242,40 +245,15 @@ func (m *Member) deliver(msg Message) {
 }
 
 func (m *Member) client(addr string) (*transport.Client, error) {
-	m.mu.Lock()
-	if c, ok := m.conns[addr]; ok {
-		m.mu.Unlock()
-		return c, nil
-	}
-	m.mu.Unlock()
-	c, err := transport.DialTimeout(addr, 2*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		c.Close()
+	c, err := m.conns.Get(addr)
+	if errors.Is(err, transport.ErrClosed) {
 		return nil, ErrClosed
 	}
-	if exist, ok := m.conns[addr]; ok {
-		c.Close()
-		return exist, nil
-	}
-	m.conns[addr] = c
-	return c, nil
+	return c, err
 }
 
 func (m *Member) dropClient(addr string) {
-	m.mu.Lock()
-	c, ok := m.conns[addr]
-	if ok {
-		delete(m.conns, addr)
-	}
-	m.mu.Unlock()
-	if ok {
-		c.Close()
-	}
+	m.conns.Drop(addr)
 }
 
 func (m *Member) send(addr, method string, payload []byte) error {
@@ -377,16 +355,9 @@ func (m *Member) Close() error {
 		return nil
 	}
 	m.closed = true
-	conns := make([]*transport.Client, 0, len(m.conns))
-	for _, c := range m.conns {
-		conns = append(conns, c)
-	}
-	m.conns = make(map[string]*transport.Client)
 	m.mu.Unlock()
 	close(m.stop)
-	for _, c := range conns {
-		c.Close()
-	}
+	m.conns.Close()
 	err := m.srv.Close()
 	<-m.done
 	return err

@@ -40,18 +40,13 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) call(method string, req, reply interface{}) error {
-	payload, err := transport.Encode(req)
-	if err != nil {
-		return err
-	}
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
-	out, err := conn.Call(ServiceName, method, payload, defaultCallTimeout)
-	if err != nil {
+	if err := conn.CallDecode(ServiceName, method, req, reply, defaultCallTimeout); err != nil {
 		return unwireError(err)
 	}
-	return transport.Decode(out, reply)
+	return nil
 }
 
 // Get fetches key.

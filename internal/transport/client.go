@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a connection to one Server. It is safe for concurrent use; calls
+// are multiplexed over a single TCP connection.
+type Client struct {
+	addr string
+	conn net.Conn
+	w    *connWriter
+	seq  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+// callResult is the outcome of one call as delivered by the read loop (or by
+// failAll when the connection dies).
+type callResult struct {
+	payload  []byte
+	errMsg   string   // non-empty => RemoteError
+	redirect []string // non-empty => RedirectError
+	err      error    // transport-level failure
+}
+
+// call is the per-invocation rendezvous. Exactly one callResult is ever sent
+// on ch per checkout (by whoever removes the entry from Client.pending), so
+// the buffered channel never blocks a sender and the object can be pooled.
+type call struct {
+	ch chan callResult
+}
+
+var callPool = sync.Pool{New: func() interface{} { return &call{ch: make(chan callResult, 1)} }}
+
+var timerPool sync.Pool // *time.Timer, stopped
+
+// encBufPool recycles gob encode buffers (see Encode).
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a bounded dial time.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // the writer already coalesces; don't add Nagle latency
+	}
+	c := &Client{
+		addr:    addr,
+		conn:    conn,
+		w:       newConnWriter(conn),
+		pending: make(map[uint64]*call),
+		done:    make(chan struct{}),
+	}
+	// The preamble rides in the write buffer until the first frame flushes,
+	// so it costs no extra syscall.
+	c.w.bw.Write(preamble[:])
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the remote address this client is connected to.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReaderSize(c.conn, connBufSize)
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if kind != frameResponse {
+			c.failAll(fmt.Errorf("transport: protocol violation: frame kind %d", kind))
+			return
+		}
+		var res callResult
+		seq, err := parseResponse(body, &res)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ca, ok := c.pending[seq]
+		if ok {
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ca.ch <- res
+		}
+		// A response for an unknown seq was abandoned by a timed-out caller
+		// that reclaimed its pending entry first; drop it.
+	}
+}
+
+// failAll delivers a connection-level failure to every pending call and
+// poisons the client for future calls.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	res := callResult{err: fmt.Errorf("transport: connection lost: %w", ErrClosed)}
+	for _, ca := range pend {
+		ca.ch <- res
+	}
+}
+
+// reclaim removes seq from the pending map. It reports whether the caller
+// won the race: true means no result will ever be sent for this call, false
+// means the read loop (or failAll) already checked the entry out and a
+// result is imminent on ca.ch.
+func (c *Client) reclaim(seq uint64) bool {
+	c.mu.Lock()
+	_, present := c.pending[seq]
+	if present {
+		delete(c.pending, seq)
+	}
+	c.mu.Unlock()
+	return present
+}
+
+// Call invokes service.method with the given payload and waits up to timeout
+// for the response payload. timeout <= 0 means wait indefinitely.
+func (c *Client) Call(service, method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	ca := callPool.Get().(*call)
+	seq := c.seq.Add(1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		callPool.Put(ca)
+		return nil, ErrClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		callPool.Put(ca)
+		return nil, fmt.Errorf("transport: connection failed: %w", err)
+	}
+	c.pending[seq] = ca
+	c.mu.Unlock()
+
+	if err := c.w.writeRequest(seq, service, method, payload); err != nil {
+		c.release(seq, ca)
+		return nil, fmt.Errorf("transport: write: %w", err)
+	}
+
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		if t, ok := timerPool.Get().(*time.Timer); ok {
+			t.Reset(timeout)
+			timer = t
+		} else {
+			timer = time.NewTimer(timeout)
+		}
+		expired = timer.C
+	}
+
+	select {
+	case res := <-ca.ch:
+		if timer != nil {
+			if !timer.Stop() {
+				// Pre-go1.23 timer semantics could leave the fired value
+				// buffered; drain so a pooled timer can never satisfy a
+				// later call's deadline instantly.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerPool.Put(timer)
+		}
+		callPool.Put(ca)
+		if res.err != nil {
+			return nil, res.err
+		}
+		if len(res.redirect) > 0 {
+			return nil, &RedirectError{Targets: res.redirect}
+		}
+		if res.errMsg != "" {
+			return nil, &RemoteError{Service: service, Method: method, Msg: res.errMsg}
+		}
+		return res.payload, nil
+	case <-expired:
+		timerPool.Put(timer) // already fired; Reset on reuse rearms it
+		c.release(seq, ca)
+		return nil, fmt.Errorf("%s.%s: %w", service, method, ErrTimeout)
+	}
+}
+
+// release abandons a call without consuming its result, returning the call
+// object to the pool once it is quiescent. If the read loop won the race for
+// the pending entry, the in-flight result is drained first so the pooled
+// channel is guaranteed empty.
+func (c *Client) release(seq uint64, ca *call) {
+	if !c.reclaim(seq) {
+		<-ca.ch
+	}
+	callPool.Put(ca)
+}
+
+// CallDecode is the typed convenience around Call: it gob-encodes arg,
+// invokes service.method and gob-decodes the response payload into reply.
+// A nil arg sends an empty payload; a nil reply discards the response
+// payload.
+func (c *Client) CallDecode(service, method string, arg, reply interface{}, timeout time.Duration) error {
+	var payload []byte
+	if arg != nil {
+		var err error
+		payload, err = Encode(arg)
+		if err != nil {
+			return err
+		}
+	}
+	out, err := c.Call(service, method, payload, timeout)
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	return Decode(out, reply)
+}
+
+// Close tears down the connection. Outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,67 @@
+// Package transport implements the wire protocol used by all ElasticRMI
+// components: stubs and skeletons, the key-value store, the cluster manager
+// tooling and the group layer all exchange messages through it. It plays the
+// role that JRMP (the Java RMI wire protocol) plays in the paper. A single
+// client connection multiplexes concurrent calls; responses are matched to
+// requests by sequence number.
+//
+// # Wire format (version 1)
+//
+// Framing is a hand-rolled binary codec: no reflection runs on the hot path.
+// Only application payloads — the opaque []byte a Request or Response
+// carries — use gob, via Encode and Decode, so type descriptors are never
+// re-transmitted per frame.
+//
+// A connection starts with a 5-byte preamble sent by the dialing side:
+//
+//	+-----+-----+-----+-----+---------+
+//	| 'e' | 'R' | 'M' | 'I' | version |
+//	+-----+-----+-----+-----+---------+
+//
+// The current protocol version is 1. A server that reads a bad magic or an
+// unknown version closes the connection before parsing any frame; a future
+// version bump changes only the fifth byte, so mismatched peers fail fast at
+// connection start rather than mid-stream. The preamble is buffered with the
+// first request frame, costing no extra syscall.
+//
+// After the preamble the stream is a sequence of frames:
+//
+//	+----------------+------+------------------+
+//	| length (u32 BE)| kind | body (length-1 B)|
+//	+----------------+------+------------------+
+//
+// length counts the kind byte plus the body and must not exceed MaxFrame
+// (64 MiB); oversized frames are rejected by the reader (killing the
+// connection) and refused by the writer before any byte is written (failing
+// only that call). kind is 1 for a request, 2 for a response. All integers
+// inside a body are unsigned varints (encoding/binary uvarint); strings and
+// byte slices are length-prefixed with a uvarint.
+//
+// Request body (kind 1):
+//
+//	seq      uvarint   // caller-chosen, echoed by the response
+//	service  uvarint n, then n bytes
+//	method   uvarint n, then n bytes
+//	payload  uvarint n, then n bytes
+//
+// Response body (kind 2):
+//
+//	seq      uvarint   // matches the request
+//	errmsg   uvarint n, then n bytes   // n>0 => RemoteError at the caller
+//	redirect uvarint count, then count strings (uvarint n + n bytes each)
+//	                                   // count>0 => RedirectError (draining)
+//	payload  uvarint n, then n bytes
+//
+// A frame whose body is shorter or longer than its declared fields is a
+// protocol violation and closes the connection.
+//
+// # Performance notes
+//
+// Both directions of a connection are buffered. Writers coalesce: a frame
+// written while other writers are queued on the same connection skips the
+// flush, so N concurrent calls can reach the kernel in one syscall. Framing
+// allocates nothing on the write path; the read path allocates one buffer
+// per frame (the payload handed to the handler or caller aliases it). Client
+// call state (completion channels, timers) is pooled, and sequence numbers
+// come from an atomic counter, so a steady-state Call is allocation-light.
+package transport

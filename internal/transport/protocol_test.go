@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// solvePayloadLen finds the payload length that makes a request frame come
+// out at exactly target bytes (varint length fields make this non-linear).
+func solvePayloadLen(t *testing.T, seq uint64, service, method string, target int) int {
+	t.Helper()
+	// base is the frame size excluding the payload-length field and payload.
+	base := requestFrameSize(seq, service, method, nil) - uvarintLen(0)
+	n := target - base - 1
+	for i := 0; i < 6; i++ { // converges: uvarintLen(n) moves by at most 1 per step
+		if base+uvarintLen(uint64(n))+n == target {
+			return n
+		}
+		n = target - base - uvarintLen(uint64(n))
+	}
+	t.Fatalf("no payload length reaches frame size %d", target)
+	return 0
+}
+
+// TestFrameExactlyAtMaxFrame drives the codec at its boundary: a request
+// frame of exactly MaxFrame bytes round-trips; one byte more is refused by
+// the writer before anything hits the wire.
+func TestFrameExactlyAtMaxFrame(t *testing.T) {
+	const seq = 7
+	plen := solvePayloadLen(t, seq, "s", "m", MaxFrame)
+	payload := make([]byte, plen)
+	payload[0], payload[plen-1] = 0xA5, 0x5A
+
+	var buf bytes.Buffer
+	w := newConnWriter(&buf)
+	if err := w.writeRequest(seq, "s", "m", payload); err != nil {
+		t.Fatalf("writeRequest at limit: %v", err)
+	}
+	if got := buf.Len(); got != MaxFrame+4 {
+		t.Fatalf("wire bytes = %d, want %d (frame + 4-byte length)", got, MaxFrame+4)
+	}
+	kind, body, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("readFrame at limit: %v", err)
+	}
+	if kind != frameRequest {
+		t.Fatalf("kind = %d", kind)
+	}
+	req, err := parseRequest(body)
+	if err != nil {
+		t.Fatalf("parseRequest: %v", err)
+	}
+	if req.Seq != seq || req.Service != "s" || req.Method != "m" || len(req.Payload) != plen {
+		t.Fatalf("decoded = seq %d %s.%s %dB", req.Seq, req.Service, req.Method, len(req.Payload))
+	}
+	if req.Payload[0] != 0xA5 || req.Payload[plen-1] != 0x5A {
+		t.Fatal("payload corrupted at frame boundary")
+	}
+
+	// One byte over: refused cleanly, nothing written.
+	var buf2 bytes.Buffer
+	w2 := newConnWriter(&buf2)
+	err = w2.writeRequest(seq, "s", "m", make([]byte, plen+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("over-limit err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf2.Len() != 0 {
+		t.Fatalf("over-limit frame leaked %d bytes onto the wire", buf2.Len())
+	}
+}
+
+// TestReadFrameRejectsOversizeHeader feeds a header declaring a frame just
+// over MaxFrame; the reader must reject it without attempting the 64MB+
+// allocation of a hostile length.
+func TestReadFrameRejectsOversizeHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("err = %v, want oversize rejection", err)
+	}
+	// Zero-length frames (no kind byte) are equally malformed.
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+// TestOversizeCallFailsWithoutPoisoningConnection sends a payload too big to
+// frame: the call fails with ErrFrameTooLarge and the same connection keeps
+// serving subsequent calls.
+func TestOversizeCallFailsWithoutPoisoningConnection(t *testing.T) {
+	srv := startEcho(t)
+	c := dial(t, srv.Addr())
+	_, err := c.Call("svc", "Echo", make([]byte, MaxFrame+1), 5*time.Second)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize call err = %v, want ErrFrameTooLarge", err)
+	}
+	out, err := c.Call("svc", "Echo", []byte("still alive"), 5*time.Second)
+	if err != nil || string(out) != "still alive" {
+		t.Fatalf("connection unusable after oversize call: %q, %v", out, err)
+	}
+}
+
+// TestOversizeResponseBecomesRemoteError: a handler producing an unframeable
+// response surfaces as a RemoteError at the caller instead of killing the
+// connection mid-frame.
+func TestOversizeResponseBecomesRemoteError(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		return make([]byte, MaxFrame+1), nil
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, srv.Addr())
+	_, err = c.Call("svc", "Big", nil, 10*time.Second)
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "frame") {
+		t.Fatalf("err = %v, want RemoteError about frame limit", err)
+	}
+	if _, err := c.Call("svc", "Big", nil, 10*time.Second); err == nil {
+		t.Fatal("second oversize call succeeded")
+	}
+}
+
+// TestErrorRoundTripsThroughCodec pushes RemoteError and RedirectError edge
+// shapes through the binary response encoding: unicode, empty strings in
+// redirect lists, many targets.
+func TestErrorRoundTripsThroughCodec(t *testing.T) {
+	targets := []string{"", "host-α:1", strings.Repeat("x", 300)}
+	for i := 0; i < 40; i++ {
+		targets = append(targets, fmt.Sprintf("10.0.0.%d:90", i))
+	}
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		switch req.Method {
+		case "Unicode":
+			return nil, errors.New("объект перегружен ☂ 故障")
+		case "Redirect":
+			return nil, &RedirectError{Targets: targets}
+		}
+		return req.Payload, nil
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, srv.Addr())
+
+	_, err = c.Call("svc", "Unicode", nil, 5*time.Second)
+	var remote *RemoteError
+	if !errors.As(err, &remote) || remote.Msg != "объект перегружен ☂ 故障" {
+		t.Fatalf("unicode remote error = %v", err)
+	}
+	_, err = c.Call("svc", "Redirect", nil, 5*time.Second)
+	var redirect *RedirectError
+	if !errors.As(err, &redirect) {
+		t.Fatalf("err = %v, want RedirectError", err)
+	}
+	if len(redirect.Targets) != len(targets) {
+		t.Fatalf("targets = %d, want %d", len(redirect.Targets), len(targets))
+	}
+	for i := range targets {
+		if redirect.Targets[i] != targets[i] {
+			t.Fatalf("target %d = %q, want %q", i, redirect.Targets[i], targets[i])
+		}
+	}
+}
+
+// TestParseResponseRejectsHostileRedirectCount feeds a response body whose
+// declared redirect count vastly exceeds the actual entries; the parser must
+// reject it without allocating storage proportional to the claimed count.
+func TestParseResponseRejectsHostileRedirectCount(t *testing.T) {
+	var body []byte
+	body = binary.AppendUvarint(body, 9)          // seq
+	body = binary.AppendUvarint(body, 0)          // no error string
+	body = binary.AppendUvarint(body, 67_000_000) // hostile redirect count...
+	body = append(body, make([]byte, 64)...)      // ...backed by 64 bytes
+	var res callResult
+	if _, err := parseResponse(body, &res); !errors.Is(err, errMalformed) {
+		t.Fatalf("err = %v, want errMalformed", err)
+	}
+	if len(res.redirect) > 64 {
+		t.Fatalf("parser materialized %d redirect entries from a hostile count", len(res.redirect))
+	}
+}
+
+// TestConcurrentCloseDuringInFlightCalls closes the client while calls are
+// mid-flight from many goroutines: every call must return (result or error,
+// never hang), later calls must fail ErrClosed, and the race detector must
+// stay quiet.
+func TestConcurrentCloseDuringInFlightCalls(t *testing.T) {
+	srv := startEcho(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				method := "Echo"
+				if j%10 == 0 {
+					method = "Slow"
+				}
+				if _, err := c.Call("svc", method, []byte{byte(j)}, 2*time.Second); err != nil {
+					return // connection torn down underneath us — expected
+				}
+			}
+		}()
+	}
+	time.Sleep(25 * time.Millisecond)
+	c.Close()
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls hung after concurrent Close")
+	}
+	if _, err := c.Call("svc", "Echo", nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestTimeoutRaceKeepsPooledCallsClean is the regression test for the
+// timeout/response race under pooled call objects: timeouts that lose the
+// race to the read loop must drain the in-flight result before the call
+// object is reused, or a later call on the connection would receive a stale
+// response. The echoed marker makes any cross-delivery visible.
+func TestTimeoutRaceKeepsPooledCallsClean(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		// Delay controlled by the first payload byte so the response lands
+		// right around the client's deadline, maximizing race coverage.
+		if len(req.Payload) > 0 {
+			time.Sleep(time.Duration(req.Payload[0]) * 100 * time.Microsecond)
+		}
+		return req.Payload, nil
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, srv.Addr())
+
+	const callers = 8
+	var wg sync.WaitGroup
+	var mismatches sync.Map
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				delay := byte(i % 12) // 0..1.1ms server delay
+				marker := []byte{delay, byte(g), byte(i), byte(i >> 8)}
+				timeout := time.Duration(1+i%2) * 600 * time.Microsecond
+				out, err := c.Call("svc", "Echo", marker, timeout)
+				if err != nil {
+					if !errors.Is(err, ErrTimeout) {
+						mismatches.Store(fmt.Sprintf("g%d i%d", g, i), err)
+						return
+					}
+					continue
+				}
+				if !bytes.Equal(out, marker) {
+					mismatches.Store(fmt.Sprintf("g%d i%d", g, i),
+						fmt.Errorf("stale response: sent %v got %v", marker, out))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mismatches.Range(func(k, v interface{}) bool {
+		t.Errorf("%s: %v", k, v)
+		return true
+	})
+	// The connection must still be fully coherent after the storm.
+	for i := 0; i < 100; i++ {
+		marker := []byte{0, 0xEE, byte(i)}
+		out, err := c.Call("svc", "Echo", marker, 5*time.Second)
+		if err != nil {
+			t.Fatalf("post-storm call %d: %v", i, err)
+		}
+		if !bytes.Equal(out, marker) {
+			t.Fatalf("post-storm call %d: stale response %v", i, out)
+		}
+	}
+}
+
+// TestConnCacheSingleflight: concurrent Gets for one address share a dial,
+// and a dial to an unreachable peer doesn't block Gets for other peers.
+func TestConnCacheSingleflight(t *testing.T) {
+	srv := startEcho(t)
+	cc := NewConnCache(2 * time.Second)
+	t.Cleanup(func() { cc.Close() })
+
+	const n = 16
+	clients := make([]*Client, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := cc.Get(srv.Addr())
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if clients[i] != clients[0] {
+			t.Fatal("concurrent Gets produced distinct clients (dial not shared)")
+		}
+	}
+
+	// An unreachable address must not wedge Gets for live ones: start the
+	// slow dial first, then fetch the cached live client.
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		cc.Get("10.255.255.1:9") // blackhole; bounded by dial timeout
+	}()
+	start := time.Now()
+	if _, err := cc.Get(srv.Addr()); err != nil {
+		t.Fatalf("Get live during dead dial: %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("live Get blocked %v behind dead dial", d)
+	}
+	select {
+	case <-slow:
+	case <-time.After(10 * time.Second):
+		t.Fatal("dead dial never returned")
+	}
+
+	cc.Close()
+	if _, err := cc.Get(srv.Addr()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server accepts connections and dispatches requests to a Handler.
+type Server struct {
+	lis     net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server listening on addr ("host:port"; ":0" picks a free
+// port). The handler is invoked on its own goroutine per request.
+func Serve(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis:     lis,
+		handler: handler,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, connBufSize)
+	var pre [len(preamble)]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || pre != preamble {
+		return // wrong magic or unsupported protocol version
+	}
+	w := newConnWriter(conn)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if kind != frameRequest {
+			return
+		}
+		req, err := parseRequest(body)
+		if err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			payload, err := s.handler(req)
+			var errMsg string
+			var redirect []string
+			if err != nil {
+				var redir *RedirectError
+				if errors.As(err, &redir) {
+					redirect = redir.Targets
+				} else {
+					errMsg = err.Error()
+				}
+			}
+			if werr := w.writeResponse(req.Seq, payload, errMsg, redirect); werr != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,23 +1,10 @@
-// Package transport implements the wire protocol used by all ElasticRMI
-// components: a length-framed, gob-encoded request/response protocol over
-// TCP. It plays the role that JRMP (the Java RMI wire protocol) plays in the
-// paper: stubs and skeletons, the key-value store, the cluster manager and
-// the group layer all exchange messages through it.
-//
-// A single client connection multiplexes concurrent calls; responses are
-// matched to requests by sequence number.
 package transport
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
 )
 
 // Exported errors matched by callers with errors.Is.
@@ -26,6 +13,9 @@ var (
 	ErrClosed = errors.New("transport: closed")
 	// ErrTimeout is returned when a call's deadline expires.
 	ErrTimeout = errors.New("transport: call timed out")
+	// ErrFrameTooLarge is returned when a message would exceed MaxFrame. The
+	// connection stays usable; only the offending call fails.
+	ErrFrameTooLarge = errors.New("transport: frame too large")
 )
 
 // RemoteError carries an application-level error string returned by the
@@ -53,7 +43,10 @@ func (e *RedirectError) Error() string {
 	return fmt.Sprintf("redirected to %v", e.Targets)
 }
 
-// Request is a remote method invocation as it travels on the wire.
+// Request is a remote method invocation as it travels on the wire. The
+// Payload handed to a server Handler aliases the frame's read buffer; it
+// remains valid indefinitely but is shared with the response write path, so
+// handlers must not mutate it after returning.
 type Request struct {
 	Seq     uint64
 	Service string
@@ -61,7 +54,9 @@ type Request struct {
 	Payload []byte
 }
 
-// Response answers a Request with the same Seq.
+// Response answers a Request with the same Seq. It is the logical shape of a
+// response frame (see doc.go); the hot path serializes the fields directly
+// without materializing this struct.
 type Response struct {
 	Seq      uint64
 	Payload  []byte
@@ -73,63 +68,17 @@ type Response struct {
 // an error surfaces as a RemoteError at the caller.
 type Handler func(req *Request) ([]byte, error)
 
-// maxFrame bounds a single message to protect against corrupt frames.
-const maxFrame = 64 << 20
-
-type frameKind uint8
-
-const (
-	frameRequest frameKind = iota + 1
-	frameResponse
-)
-
-type frame struct {
-	Kind frameKind
-	Req  *Request
-	Resp *Response
-}
-
-func writeFrame(w io.Writer, f *frame) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return fmt.Errorf("encode frame: %w", err)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
-}
-
-func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
-	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("decode frame: %w", err)
-	}
-	return &f, nil
-}
-
 // Encode gob-encodes v into a payload byte slice.
 func Encode(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("encode payload: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := append([]byte(nil), buf.Bytes()...)
+	encBufPool.Put(buf)
+	return out, nil
 }
 
 // Decode gob-decodes a payload produced by Encode into v.
@@ -148,269 +97,4 @@ func MustEncode(v interface{}) []byte {
 		panic(err)
 	}
 	return b
-}
-
-// Server accepts connections and dispatches requests to a Handler.
-type Server struct {
-	lis     net.Listener
-	handler Handler
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-}
-
-// Serve starts a server listening on addr ("host:port"; ":0" picks a free
-// port). The handler is invoked on its own goroutine per request.
-func Serve(addr string, handler Handler) (*Server, error) {
-	if handler == nil {
-		return nil, errors.New("transport: nil handler")
-	}
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("listen %s: %w", addr, err)
-	}
-	s := &Server{
-		lis:     lis,
-		handler: handler,
-		conns:   make(map[net.Conn]struct{}),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the listener's address.
-func (s *Server) Addr() string { return s.lis.Addr().String() }
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.lis.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	var writeMu sync.Mutex
-	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
-	for {
-		f, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		if f.Kind != frameRequest || f.Req == nil {
-			return
-		}
-		req := f.Req
-		reqWG.Add(1)
-		go func() {
-			defer reqWG.Done()
-			payload, err := s.handler(req)
-			resp := &Response{Seq: req.Seq, Payload: payload}
-			if err != nil {
-				var redir *RedirectError
-				if errors.As(err, &redir) {
-					resp.Redirect = redir.Targets
-				} else {
-					resp.Err = err.Error()
-				}
-			}
-			writeMu.Lock()
-			werr := writeFrame(conn, &frame{Kind: frameResponse, Resp: resp})
-			writeMu.Unlock()
-			if werr != nil {
-				conn.Close()
-			}
-		}()
-	}
-}
-
-// Close stops accepting, closes all connections and waits for in-flight
-// handlers to finish.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	err := s.lis.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	s.wg.Wait()
-	return err
-}
-
-// Client is a connection to one Server. It is safe for concurrent use; calls
-// are multiplexed over a single TCP connection.
-type Client struct {
-	addr string
-	conn net.Conn
-
-	writeMu sync.Mutex
-
-	mu      sync.Mutex
-	pending map[uint64]chan *Response
-	nextSeq uint64
-	closed  bool
-	readErr error
-
-	done chan struct{}
-}
-
-// Dial connects to a Server at addr.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 5*time.Second)
-}
-
-// DialTimeout connects with a bounded dial time.
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("dial %s: %w", addr, err)
-	}
-	c := &Client{
-		addr:    addr,
-		conn:    conn,
-		pending: make(map[uint64]chan *Response),
-		done:    make(chan struct{}),
-	}
-	go c.readLoop()
-	return c, nil
-}
-
-// Addr returns the remote address this client is connected to.
-func (c *Client) Addr() string { return c.addr }
-
-func (c *Client) readLoop() {
-	defer close(c.done)
-	for {
-		f, err := readFrame(c.conn)
-		if err != nil {
-			c.failAll(err)
-			return
-		}
-		if f.Kind != frameResponse || f.Resp == nil {
-			c.failAll(errors.New("transport: protocol violation"))
-			return
-		}
-		c.mu.Lock()
-		ch, ok := c.pending[f.Resp.Seq]
-		if ok {
-			delete(c.pending, f.Resp.Seq)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- f.Resp
-		}
-	}
-}
-
-func (c *Client) failAll(err error) {
-	c.mu.Lock()
-	c.readErr = err
-	pend := c.pending
-	c.pending = make(map[uint64]chan *Response)
-	c.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
-	}
-}
-
-// Call invokes service.method with the given payload and waits up to timeout
-// for the response payload.
-func (c *Client) Call(service, method string, payload []byte, timeout time.Duration) ([]byte, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection failed: %w", err)
-	}
-	c.nextSeq++
-	seq := c.nextSeq
-	ch := make(chan *Response, 1)
-	c.pending[seq] = ch
-	c.mu.Unlock()
-
-	req := &Request{Seq: seq, Service: service, Method: method, Payload: payload}
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, &frame{Kind: frameRequest, Req: req})
-	c.writeMu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: write: %w", err)
-	}
-
-	var timer <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
-	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return nil, fmt.Errorf("transport: connection lost: %w", ErrClosed)
-		}
-		if len(resp.Redirect) > 0 {
-			return nil, &RedirectError{Targets: resp.Redirect}
-		}
-		if resp.Err != "" {
-			return nil, &RemoteError{Service: service, Method: method, Msg: resp.Err}
-		}
-		return resp.Payload, nil
-	case <-timer:
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%s.%s: %w", service, method, ErrTimeout)
-	}
-}
-
-// Close tears down the connection. Outstanding calls fail.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.done
-	return err
 }

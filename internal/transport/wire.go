@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxFrame bounds a single message (kind byte + body) to protect against
+// corrupt frames and unbounded buffering. Writers refuse larger frames
+// before emitting any byte; readers treat them as a protocol violation.
+const MaxFrame = 64 << 20
+
+// Protocol preamble: magic "eRMI" plus a version byte, sent by the dialing
+// side before its first frame (see doc.go).
+const protoVersion = 1
+
+var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
+
+type frameKind byte
+
+const (
+	frameRequest  frameKind = 1
+	frameResponse frameKind = 2
+)
+
+// errMalformed kills a connection whose peer sent an unparseable frame.
+var errMalformed = errors.New("transport: malformed frame")
+
+// I/O buffer size per connection direction. Large enough to coalesce many
+// small frames, small enough to be cheap per connection.
+const connBufSize = 32 << 10
+
+// uvarintLen returns the encoded size of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// connWriter serializes frame writes onto one connection through a buffered
+// writer with flush coalescing: a writer that observes other writers queued
+// behind it leaves flushing to the last of them, so a burst of concurrent
+// frames reaches the kernel in a single syscall. Write errors are sticky —
+// once a frame fails the connection is dead and every later write fails.
+type connWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	waiters atomic.Int32
+	err     error
+}
+
+func newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{bw: bufio.NewWriterSize(w, connBufSize)}
+}
+
+// lock enters the writer's critical section, tracking this writer in the
+// waiter count so the holder can skip its flush. Returns the sticky error.
+func (w *connWriter) lock() error {
+	w.waiters.Add(1)
+	w.mu.Lock()
+	w.waiters.Add(-1)
+	return w.err
+}
+
+// finish flushes unless another writer is queued, records any sticky error
+// and leaves the critical section.
+func (w *connWriter) finish(err error) error {
+	if err == nil && w.waiters.Load() == 0 {
+		err = w.bw.Flush()
+	}
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	return err
+}
+
+func putUvarint(bw *bufio.Writer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	bw.Write(tmp[:n])
+}
+
+func putFrameHeader(bw *bufio.Writer, size int, kind frameKind) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(size))
+	hdr[4] = byte(kind)
+	bw.Write(hdr[:])
+}
+
+// requestFrameSize returns the frame size (kind byte + body) of a request.
+func requestFrameSize(seq uint64, service, method string, payload []byte) int {
+	return 1 + uvarintLen(seq) +
+		uvarintLen(uint64(len(service))) + len(service) +
+		uvarintLen(uint64(len(method))) + len(method) +
+		uvarintLen(uint64(len(payload))) + len(payload)
+}
+
+func (w *connWriter) writeRequest(seq uint64, service, method string, payload []byte) error {
+	size := requestFrameSize(seq, service, method, payload)
+	if size > MaxFrame {
+		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
+	}
+	if err := w.lock(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	bw := w.bw
+	putFrameHeader(bw, size, frameRequest)
+	putUvarint(bw, seq)
+	putUvarint(bw, uint64(len(service)))
+	bw.WriteString(service)
+	putUvarint(bw, uint64(len(method)))
+	bw.WriteString(method)
+	putUvarint(bw, uint64(len(payload)))
+	_, err := bw.Write(payload) // bufio errors are sticky; checking the last suffices
+	return w.finish(err)
+}
+
+// responseFrameSize returns the frame size (kind byte + body) of a response.
+func responseFrameSize(seq uint64, payload []byte, errMsg string, redirect []string) int {
+	size := 1 + uvarintLen(seq) +
+		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
+		uvarintLen(uint64(len(redirect))) +
+		uvarintLen(uint64(len(payload))) + len(payload)
+	for _, t := range redirect {
+		size += uvarintLen(uint64(len(t))) + len(t)
+	}
+	return size
+}
+
+func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, redirect []string) error {
+	if responseFrameSize(seq, payload, errMsg, redirect) > MaxFrame {
+		// Surface the overflow to the caller as a RemoteError instead of
+		// poisoning the connection with an unreadable frame.
+		payload, redirect = nil, nil
+		errMsg = fmt.Sprintf("%v: response frame exceeds %d bytes", ErrFrameTooLarge, MaxFrame)
+	}
+	size := responseFrameSize(seq, payload, errMsg, redirect)
+	if err := w.lock(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	bw := w.bw
+	putFrameHeader(bw, size, frameResponse)
+	putUvarint(bw, seq)
+	putUvarint(bw, uint64(len(errMsg)))
+	bw.WriteString(errMsg)
+	putUvarint(bw, uint64(len(redirect)))
+	for _, t := range redirect {
+		putUvarint(bw, uint64(len(t)))
+		bw.WriteString(t)
+	}
+	putUvarint(bw, uint64(len(payload)))
+	_, err := bw.Write(payload)
+	return w.finish(err)
+}
+
+// readFrame reads one length-prefixed frame and returns its kind and body.
+// The body is freshly allocated: parsed payloads alias it and outlive the
+// next read.
+func readFrame(br *bufio.Reader) (frameKind, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes outside (0, %d]", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return frameKind(body[0]), body[1:], nil
+}
+
+// takeUvarint consumes a uvarint from b.
+func takeUvarint(b []byte) (uint64, []byte, bool) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return x, b[n:], true
+}
+
+// takeBytes consumes a uvarint-length-prefixed byte string from b without
+// copying.
+func takeBytes(b []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeUvarint(b)
+	if !ok || n > uint64(len(rest)) {
+		return nil, nil, false
+	}
+	return rest[:n], rest[n:], true
+}
+
+// parseRequest decodes a request body. Service and Method are copied out;
+// Payload aliases body.
+func parseRequest(body []byte) (*Request, error) {
+	seq, rest, ok := takeUvarint(body)
+	if !ok {
+		return nil, errMalformed
+	}
+	service, rest, ok := takeBytes(rest)
+	if !ok {
+		return nil, errMalformed
+	}
+	method, rest, ok := takeBytes(rest)
+	if !ok {
+		return nil, errMalformed
+	}
+	payload, rest, ok := takeBytes(rest)
+	if !ok || len(rest) != 0 {
+		return nil, errMalformed
+	}
+	return &Request{
+		Seq:     seq,
+		Service: string(service),
+		Method:  string(method),
+		Payload: payload,
+	}, nil
+}
+
+// parseResponse decodes a response body into res. res.payload aliases body.
+func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
+	seq, rest, ok := takeUvarint(body)
+	if !ok {
+		return 0, errMalformed
+	}
+	errMsg, rest, ok := takeBytes(rest)
+	if !ok {
+		return 0, errMalformed
+	}
+	if len(errMsg) > 0 {
+		res.errMsg = string(errMsg)
+	}
+	nredir, rest, ok := takeUvarint(rest)
+	if !ok || nredir > uint64(len(rest)) {
+		return 0, errMalformed
+	}
+	if nredir > 0 {
+		// Grow by append rather than trusting the declared count: a corrupt
+		// count must not amplify a small frame into a huge allocation.
+		initial := nredir
+		if initial > 64 {
+			initial = 64
+		}
+		res.redirect = make([]string, 0, initial)
+		for i := uint64(0); i < nredir; i++ {
+			var t []byte
+			t, rest, ok = takeBytes(rest)
+			if !ok {
+				return 0, errMalformed
+			}
+			res.redirect = append(res.redirect, string(t))
+		}
+	}
+	payload, rest, ok := takeBytes(rest)
+	if !ok || len(rest) != 0 {
+		return 0, errMalformed
+	}
+	res.payload = payload
+	return seq, nil
+}

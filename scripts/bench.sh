@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — gate and benchmark the transport hot path.
+#
+# Runs go vet and the transport race tests, then the transport
+# microbenchmarks, and rewrites BENCH_transport.json with the current
+# numbers next to the frozen seed baseline (the gob-framed transport at
+# commit b60f3ab, measured with the same bench_test.go), so every PR can see
+# the perf trajectory at a glance.
+#
+# Usage: scripts/bench.sh            (or: make bench)
+#        BENCHTIME=5s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/transport/...
+
+OUT=$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-2s}" ./internal/transport/)
+printf '%s\n' "$OUT"
+
+# The seed baseline is frozen: it is the reference every later run is
+# compared against, not something a rerun should overwrite.
+IFS= read -r -d '' SEED_BASELINE <<'EOF' || true
+    "description": "seed transport (per-frame gob codec, unbuffered writes) at commit b60f3ab, same bench_test.go, same machine class",
+    "BenchmarkCall": {"ns_per_op": 59063, "mb_per_s": 1.08, "bytes_per_op": 25696, "allocs_per_op": 524},
+    "BenchmarkCall4KB": {"ns_per_op": 67681, "mb_per_s": 60.52, "bytes_per_op": 70864, "allocs_per_op": 526},
+    "BenchmarkCall256KB": {"ns_per_op": 605175, "mb_per_s": 433.17, "bytes_per_op": 2710784, "allocs_per_op": 528},
+    "BenchmarkCallConcurrent8": {"ns_per_op": 56244, "mb_per_s": 1.14, "bytes_per_op": 25688, "allocs_per_op": 524},
+    "BenchmarkCallConcurrent64": {"ns_per_op": 62723, "mb_per_s": 1.02, "bytes_per_op": 25688, "allocs_per_op": 524}
+EOF
+
+{
+  echo '{'
+  echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo '  "package": "elasticrmi/internal/transport",'
+  echo '  "baseline_seed": {'
+  printf '%s\n' "$SEED_BASELINE"
+  echo '  },'
+  echo '  "current": {'
+  printf '%s\n' "$OUT" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; mbs = "null"; bop = "null"; aop = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "MB/s")      mbs = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+      }
+      lines[n++] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, mbs, bop, aop)
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+  '
+  echo '  }'
+  echo '}'
+} > BENCH_transport.json
+echo "wrote BENCH_transport.json"
