@@ -1,8 +1,25 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench ci fuzz-smoke
 
 all: vet test
+
+# ci is the full gate (run by .github/workflows/ci.yml): build, vet, the
+# whole test suite under the race detector, then a short fuzz smoke over the
+# wire codec.
+ci: build vet
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each wire-codec fuzz target briefly; `go test -fuzz`
+# accepts exactly one target per invocation, hence the loop.
+FUZZ_TARGETS := FuzzReadFrame FuzzParseRequest FuzzParseResponse FuzzParseBatch
+FUZZTIME ?= 10s
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/transport/ || exit 1; \
+	done
 
 build:
 	$(GO) build ./...

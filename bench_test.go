@@ -330,6 +330,49 @@ func BenchmarkInvokeParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkInvokeAsyncPipelined measures the asynchronous invocation
+// pipeline end to end through the elastic pool: a batching stub keeps a
+// window of 64 typed futures in flight against the same workload
+// BenchmarkInvokeGet drives one call at a time.
+func BenchmarkInvokeAsyncPipelined(b *testing.B) {
+	env := startLive(b, 2, 2)
+	stub, err := core.LookupStub("bench-cache", env.regCli,
+		core.WithBatching(200*time.Microsecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { stub.Close() })
+	// Spread over keys: a single hot key serializes on the store's per-key
+	// coherence, which would mask the pipeline.
+	const window, keys = 64, 128
+	for i := 0; i < keys; i++ {
+		if _, err := core.Call[cache.PutArgs, cache.PutReply](stub, cache.MethodPut,
+			cache.PutArgs{Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	futures := make([]*core.Future[cache.GetReply], 0, window)
+	for done := 0; done < b.N; {
+		n := window
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		futures = futures[:0]
+		for j := 0; j < n; j++ {
+			futures = append(futures,
+				core.GoCall[cache.GetArgs, cache.GetReply](stub, cache.MethodGet,
+					cache.GetArgs{Key: fmt.Sprintf("k%d", (done+j)%keys)}))
+		}
+		for _, f := range futures {
+			if _, err := f.Get(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done += n
+	}
+}
+
 // BenchmarkScaleUp measures the live provisioning interval: request a slice,
 // launch a member, first request served.
 func BenchmarkScaleUp(b *testing.B) {

@@ -19,9 +19,12 @@
 //   - internal/workload, internal/agility, internal/benchsim — the
 //     evaluation harness reproducing every figure of the paper.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each figure: run
+// See README.md for a tour of the packages, the synchronous/asynchronous
+// invocation API and the test harness. The benchmarks in bench_test.go
+// regenerate the paper's figures plus the live-runtime microbenchmarks:
 //
 //	go test -bench=. -benchmem .
+//
+// BENCH_transport.json and BENCH_async.json record the wire hot path and
+// the async-pipeline throughput figures (regenerate with `make bench`).
 package elasticrmi

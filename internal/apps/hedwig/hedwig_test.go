@@ -250,3 +250,72 @@ func TestDeliveryAcrossScaleUp(t *testing.T) {
 		}
 	}
 }
+
+// TestPublishOneWayDelivers: fire-and-forget publishes still sequence,
+// retain and deliver exactly like acknowledged ones — the publisher just
+// stops paying round trips. Uses a batching stub so the one-way storm
+// coalesces into batch frames on the wire.
+func TestPublishOneWayDelivers(t *testing.T) {
+	env := ermitest.New(t, 10)
+	env.StartPool(t, core.Config{
+		Name: "hedwig-oneway", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, hedwig.New(hedwig.Config{}))
+	stub := env.Stub(t, "hedwig-oneway", core.WithBatching(300*time.Microsecond))
+
+	subscribe(t, stub, "news", "alice")
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := hedwig.PublishOneWay(stub, hedwig.PublishArgs{
+			Topic: "news", Body: []byte(fmt.Sprintf("msg-%d", i)),
+		}); err != nil {
+			t.Fatalf("PublishOneWay %d: %v", i, err)
+		}
+	}
+	// One-way publishes carry no receipt; poll consumption until all have
+	// been sequenced and claimed.
+	var got []hedwig.Message
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d/%d one-way publishes", len(got), n)
+		}
+		got = append(got, consume(t, stub, "news", "alice", n)...)
+		time.Sleep(2 * time.Millisecond)
+	}
+	seen := make(map[int64]bool)
+	for _, m := range got {
+		if seen[m.Seq] {
+			t.Fatalf("message seq %d delivered twice", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct messages = %d, want %d", len(seen), n)
+	}
+}
+
+// TestPublishAsyncPipelines: a publisher keeps a window of publishes in
+// flight and every receipt carries a distinct sequence number.
+func TestPublishAsyncPipelines(t *testing.T) {
+	_, stub := startRegion(t, 2, 4)
+	subscribe(t, stub, "ticks", "bob")
+	const n = 32
+	futures := make([]*core.Future[hedwig.PublishReply], n)
+	for i := range futures {
+		futures[i] = hedwig.PublishAsync(stub, hedwig.PublishArgs{
+			Topic: "ticks", Body: []byte{byte(i)},
+		})
+	}
+	seen := make(map[int64]bool)
+	for i, f := range futures {
+		rep, err := f.Get()
+		if err != nil {
+			t.Fatalf("PublishAsync %d: %v", i, err)
+		}
+		if seen[rep.Seq] {
+			t.Fatalf("sequence %d assigned twice", rep.Seq)
+		}
+		seen[rep.Seq] = true
+	}
+}

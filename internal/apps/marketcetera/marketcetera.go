@@ -330,6 +330,14 @@ func (r *Router) ChangePoolSize() int {
 // Pending reports orders currently being persisted on this member.
 func (r *Router) Pending() int64 { return r.pending.Load() }
 
+// RouteAsync pipelines an order through the elastic routing pool: a
+// strategy engine submits its whole burst without waiting for receipts,
+// then collects them — the two-node persistence of each order overlaps with
+// the submission of the next instead of serializing behind it.
+func RouteAsync(s *core.Stub, o Order) *core.Future[Receipt] {
+	return core.GoCall[Order, Receipt](s, MethodRoute, o)
+}
+
 // list encoding helpers: the shared store holds flat strings.
 
 func splitList(s string) []string {

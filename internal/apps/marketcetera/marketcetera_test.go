@@ -202,3 +202,55 @@ func TestRouteWithoutVenuesFails(t *testing.T) {
 		t.Fatalf("application error misclassified as unavailability: %v", err)
 	}
 }
+
+// TestRouteAsyncPipelinesOrderFlow: a strategy engine submits its whole
+// burst through RouteAsync before collecting receipts; every order must be
+// routed exactly once and persisted on both nodes, exactly as in the
+// synchronous path.
+func TestRouteAsyncPipelinesOrderFlow(t *testing.T) {
+	_, stub := startRouting(t)
+	addVenue(t, stub, marketcetera.Venue{Name: "ARCA"})
+
+	const n = 64
+	futures := make([]*core.Future[marketcetera.Receipt], n)
+	for i := 0; i < n; i++ {
+		futures[i] = marketcetera.RouteAsync(stub, marketcetera.Order{
+			ID:     marketcetera.OrderID("engine", int64(i)),
+			Trader: "engine", Symbol: "IBM", Side: marketcetera.Buy, Qty: 10,
+		})
+	}
+	for i, f := range futures {
+		rec, err := f.Get()
+		if err != nil {
+			t.Fatalf("order %d: %v", i, err)
+		}
+		if rec.OrderID != marketcetera.OrderID("engine", int64(i)) || rec.Venue != "ARCA" {
+			t.Fatalf("order %d receipt = %+v", i, rec)
+		}
+	}
+	st, err := core.Call[struct{}, marketcetera.Status](stub, marketcetera.MethodStatus, struct{}{})
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Routed != n || st.ByVenue["ARCA"] != n {
+		t.Fatalf("status = %+v, want %d routed via ARCA", st, n)
+	}
+}
+
+// TestRouteAsyncRejectsBadOrderThroughFuture: application errors propagate
+// through the async pipeline without being retried on other members.
+func TestRouteAsyncRejectsBadOrderThroughFuture(t *testing.T) {
+	_, stub := startRouting(t)
+	addVenue(t, stub, marketcetera.Venue{Name: "ARCA"})
+	_, err := marketcetera.RouteAsync(stub, marketcetera.Order{ID: "", Symbol: "IBM", Side: marketcetera.Buy, Qty: 1}).Get()
+	if err == nil || !strings.Contains(err.Error(), "empty ID") {
+		t.Fatalf("err = %v, want validation error through future", err)
+	}
+	st, err := core.Call[struct{}, marketcetera.Status](stub, marketcetera.MethodStatus, struct{}{})
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want exactly 1 (no retry of an app error)", st.Rejected)
+	}
+}

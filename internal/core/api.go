@@ -9,6 +9,12 @@
 // burst interval according to a scaling policy (implicit CPU-based, coarse
 // CPU/RAM thresholds, fine-grained ChangePoolSize, or application-level
 // Decider).
+//
+// Invocation is synchronous (Stub.Invoke, Call) or asynchronous: InvokeAsync
+// returns a future so one caller can pipeline many invocations against the
+// pool, InvokeOneWay submits fire-and-forget work, and WithBatching
+// coalesces concurrent invocations bound for the same member into batch
+// frames (see async.go and internal/transport).
 package core
 
 import (

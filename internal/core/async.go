@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"elasticrmi/internal/transport"
+)
+
+// This file is the stub half of the asynchronous invocation pipeline: the
+// synchronous Invoke of stub.go decouples into submission (InvokeAsync,
+// InvokeOneWay) and completion (AsyncCall), so one caller can keep many
+// invocations in flight against the elastic pool. The first attempt rides
+// the transport's pipelined Go path — and its adaptive batcher when the
+// stub was built WithBatching — while failures fall back to the full
+// synchronous failover loop (redirects, member retry, refresh), keeping
+// the paper's "error surfaces only when the whole pool is unreachable"
+// contract.
+
+// AsyncCall is the stub-level future of one asynchronous invocation. It
+// always completes: retries and failovers happen behind it.
+type AsyncCall struct {
+	done chan struct{}
+	out  []byte
+	err  error
+}
+
+func newCompletedAsync(err error) *AsyncCall {
+	ac := &AsyncCall{done: make(chan struct{}), err: err}
+	close(ac.done)
+	return ac
+}
+
+// Done returns a channel closed when the invocation completes.
+func (ac *AsyncCall) Done() <-chan struct{} { return ac.done }
+
+// Err blocks until completion and returns the invocation's error.
+func (ac *AsyncCall) Err() error {
+	<-ac.done
+	return ac.err
+}
+
+// Result blocks until completion and returns the raw response payload.
+func (ac *AsyncCall) Result() ([]byte, error) {
+	<-ac.done
+	return ac.out, ac.err
+}
+
+// Decode blocks until completion and gob-decodes the response payload into
+// reply. A nil reply discards the payload.
+func (ac *AsyncCall) Decode(reply interface{}) error {
+	out, err := ac.Result()
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	return transport.Decode(out, reply)
+}
+
+// Pending reports the number of asynchronous invocations started on this
+// stub that have not completed yet — client-side queued work the member
+// meters cannot see until the frames arrive.
+func (s *Stub) Pending() int {
+	return int(s.pendingN.Load())
+}
+
+// InvokeAsync starts one remote method invocation and returns its future
+// immediately. Semantics match Invoke: redirects are followed, failed
+// members retried, application errors propagated verbatim; only the waiting
+// moved off the caller.
+func (s *Stub) InvokeAsync(method string, payload []byte) *AsyncCall {
+	ac := &AsyncCall{done: make(chan struct{})}
+	s.pendingN.Add(1)
+	go func() {
+		defer s.pendingN.Add(-1)
+		defer close(ac.done)
+		ac.out, ac.err = s.invokePipelined(method, payload)
+	}()
+	return ac
+}
+
+// invokePipelined makes the first attempt over the pipelined (and, when
+// enabled, batched) transport path, then hands anything retryable to the
+// synchronous failover loop.
+func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
+	addr, err := s.pick()
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.conn(addr)
+	if err == nil {
+		out, cerr := c.Go(s.name, method, payload).Wait(s.timeout)
+		switch {
+		case cerr == nil:
+			return out, nil
+		case isRemoteAppError(cerr), errors.Is(cerr, transport.ErrFrameTooLarge):
+			// The method executed and failed, or the request cannot be
+			// framed anywhere: retrying elsewhere would be wrong.
+			return nil, cerr
+		}
+		// Redirect or transport failure: fall through to the failover loop.
+	}
+	return s.Invoke(method, payload)
+}
+
+// InvokeOneWay submits a fire-and-forget invocation: the member executes
+// the method but sends no response, and the caller learns only whether the
+// request was accepted toward a reachable member. The invocation is
+// at-most-once, and that governs failover too: only failures that
+// guarantee nothing was submitted (dial errors, connections already known
+// dead) are retried on other members. A write that fails mid-flight is
+// ambiguous — the member may have executed it — so it is never resubmitted;
+// the member is dropped and the error surfaced. On a batching stub
+// submission is asynchronous: a batch-write failure after InvokeOneWay
+// returned nil loses the invocation silently and surfaces on the next one.
+func (s *Stub) InvokeOneWay(method string, payload []byte) error {
+	var lastErr error
+	tried := make(map[string]bool)
+	refreshed := false
+
+	addr, err := s.pick()
+	if err != nil {
+		return err
+	}
+	attempts := len(s.Members()) + 2
+	for i := 0; i < attempts; i++ {
+		c, err := s.conn(addr)
+		if err == nil {
+			werr := c.OneWay(s.name, method, payload)
+			if werr == nil {
+				return nil
+			}
+			if errors.Is(werr, transport.ErrFrameTooLarge) {
+				return werr // caller-side payload bug; no member can take it
+			}
+			if !errors.Is(werr, transport.ErrClosed) {
+				// The frame may have reached the member before the failure;
+				// resubmitting could execute the invocation twice.
+				s.dropMember(addr)
+				return fmt.Errorf("core: %s.%s: one-way delivery uncertain: %w", s.name, method, werr)
+			}
+			err = werr // refused before submission: safe to try elsewhere
+		}
+		lastErr = err
+		tried[addr] = true
+		s.dropMember(addr)
+		if addr = s.nextCandidate(tried, &refreshed); addr == "" {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("core: no members left to try")
+	}
+	return fmt.Errorf("%w: %s.%s: %v", ErrUnavailable, s.name, method, lastErr)
+}
+
+// Future is the typed stub-level future the generated async stub variants
+// return (the counterpart of Call for the asynchronous pipeline).
+type Future[Reply any] struct {
+	ac   *AsyncCall
+	once sync.Once
+	rep  Reply
+	err  error
+}
+
+// Done returns a channel closed when the invocation completes.
+func (f *Future[Reply]) Done() <-chan struct{} { return f.ac.Done() }
+
+// Get blocks until completion and returns the decoded reply. Repeated calls
+// return the same result without re-decoding.
+func (f *Future[Reply]) Get() (Reply, error) {
+	f.once.Do(func() {
+		f.err = f.ac.Decode(&f.rep)
+	})
+	return f.rep, f.err
+}
+
+// GoCall is the typed asynchronous counterpart of Call: it gob-encodes the
+// argument, starts the invocation and returns the typed future.
+func GoCall[Arg, Reply any](s *Stub, method string, arg Arg) *Future[Reply] {
+	payload, err := transport.Encode(arg)
+	if err != nil {
+		return &Future[Reply]{ac: newCompletedAsync(err)}
+	}
+	return &Future[Reply]{ac: s.InvokeAsync(method, payload)}
+}
+
+// OneWayCall is the typed fire-and-forget counterpart of Call.
+func OneWayCall[Arg any](s *Stub, method string, arg Arg) error {
+	payload, err := transport.Encode(arg)
+	if err != nil {
+		return err
+	}
+	return s.InvokeOneWay(method, payload)
+}

@@ -128,15 +128,21 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 			Methods:  methods,
 		})
 	}
-	if m.draining.Load() {
-		// The skeleton redirects all further invocations to other objects in
-		// the pool after the runtime decides to shut it down (§2.3).
-		return nil, &transport.RedirectError{Targets: m.otherAddrs()}
-	}
-	if targets, ok := m.redirectTarget(); ok {
-		// Server-side rebalancing: shed a fraction of arrivals to the
-		// targets the sentinel's bin-packing plan selected (§4.3).
-		return nil, &transport.RedirectError{Targets: targets}
+	// One-way invocations get no response, so a redirect would be a silent
+	// drop: execute them locally instead — a draining member still serves
+	// its in-flight work (§2.5), and rebalance shedding only steers load.
+	if !req.OneWay {
+		if m.draining.Load() {
+			// The skeleton redirects all further invocations to other
+			// objects in the pool after the runtime decides to shut it
+			// down (§2.3).
+			return nil, &transport.RedirectError{Targets: m.otherAddrs()}
+		}
+		if targets, ok := m.redirectTarget(); ok {
+			// Server-side rebalancing: shed a fraction of arrivals to the
+			// targets the sentinel's bin-packing plan selected (§4.3).
+			return nil, &transport.RedirectError{Targets: targets}
+		}
 	}
 	finish := m.meter.Begin(req.Method)
 	defer finish()

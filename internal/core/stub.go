@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elasticrmi/internal/transport"
@@ -21,11 +22,17 @@ type Stub struct {
 	name    string
 	timeout time.Duration
 	random  bool
+	batch   transport.BatchOptions // zero value: batching disabled
 
 	// conns dials and caches one client per member outside the stub lock,
 	// with a per-address singleflight guard: a slow or unreachable member
 	// stalls only the callers that picked it, never the whole stub.
 	conns *transport.ConnCache
+
+	// pendingN counts asynchronous invocations started but not yet
+	// completed, so callers (and scaling policies polling Pending) can see
+	// queued async work that has not reached a member's meter yet.
+	pendingN atomic.Int64
 
 	mu      sync.Mutex
 	members []string // known skeleton addresses, sentinel first
@@ -46,6 +53,15 @@ func WithCallTimeout(d time.Duration) StubOption {
 	return func(s *Stub) { s.timeout = d }
 }
 
+// WithBatching coalesces concurrent invocations destined for the same
+// member into batch frames, waiting at most maxDelay for companions (the
+// adaptive flusher never delays sparse traffic; see transport.BatchOptions).
+// Worth enabling for pipelined async workloads; plain request/response
+// callers pay nothing when traffic is sparse.
+func WithBatching(maxDelay time.Duration) StubOption {
+	return func(s *Stub) { s.batch = transport.BatchOptions{MaxDelay: maxDelay} }
+}
+
 // NewStub creates a stub for the elastic class name from seed endpoints
 // (typically the registry binding, sentinel first). The stub contacts the
 // sentinel on first use to learn the identities of the other skeletons.
@@ -60,11 +76,13 @@ func NewStub(name string, endpoints []string, opts ...StubOption) (*Stub, error)
 		name:    name,
 		timeout: 10 * time.Second,
 		members: append([]string(nil), endpoints...),
-		conns:   transport.NewConnCache(2 * time.Second),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// The cache is built after options so WithBatching applies to every
+	// member connection it dials.
+	s.conns = transport.NewConnCacheBatched(2*time.Second, s.batch)
 	return s, nil
 }
 

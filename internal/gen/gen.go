@@ -245,6 +245,18 @@ func (s *{{.Name}}Stub) Close() error { return s.stub.Close() }
 func (s *{{$svc}}Stub) {{.Name}}(arg {{.ArgType}}) ({{.ReplyType}}, error) {
 	return core.Call[{{.ArgType}}, {{.ReplyType}}](s.stub, {{printf "%q" .Name}}, arg)
 }
+
+// {{.Name}}Async starts the invocation without blocking and returns its
+// typed future; many calls can be pipelined from one goroutine.
+func (s *{{$svc}}Stub) {{.Name}}Async(arg {{.ArgType}}) *core.Future[{{.ReplyType}}] {
+	return core.GoCall[{{.ArgType}}, {{.ReplyType}}](s.stub, {{printf "%q" .Name}}, arg)
+}
+
+// {{.Name}}OneWay fires the invocation without waiting for — or the pool
+// ever sending — a response. Delivery is at-most-once.
+func (s *{{$svc}}Stub) {{.Name}}OneWay(arg {{.ArgType}}) error {
+	return core.OneWayCall[{{.ArgType}}](s.stub, {{printf "%q" .Name}}, arg)
+}
 {{end}}
 // Register{{.Name}} binds an implementation to the method table of a
 // skeleton (the generated server-side dispatch).

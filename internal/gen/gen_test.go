@@ -99,6 +99,10 @@ func TestGenerateCompilesAndContainsAPI(t *testing.T) {
 		"func LookupCalc(name string, reg *core.RegistryClient",
 		"func (s *CalcStub) Double(arg Args) (Reply, error)",
 		"core.Call[Args, Reply](s.stub, \"Double\", arg)",
+		"func (s *CalcStub) DoubleAsync(arg Args) *core.Future[Reply]",
+		"core.GoCall[Args, Reply](s.stub, \"Double\", arg)",
+		"func (s *CalcStub) DoubleOneWay(arg Args) error",
+		"core.OneWayCall[Args](s.stub, \"Double\", arg)",
 		"func RegisterCalc(mux *core.Mux, impl Calc)",
 		"func NewCalcFactory(",
 		"var _ Calc = (*CalcStub)(nil)",

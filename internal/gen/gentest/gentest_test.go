@@ -71,3 +71,50 @@ func TestGeneratedFactoryForwardsPoolSizer(t *testing.T) {
 		t.Fatalf("size = %d, want 3 (generated object forwarded ChangePoolSize)", got)
 	}
 }
+
+// TestGeneratedAsyncVariants drives the generated async and one-way stub
+// methods against a live pool: pipelined futures resolve to typed replies,
+// and one-way bumps land in shared state without a response.
+func TestGeneratedAsyncVariants(t *testing.T) {
+	env := ermitest.New(t, 8)
+	env.StartPool(t, core.Config{
+		Name: "gen-async", MinPoolSize: 2, MaxPoolSize: 4,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, NewCounterFactory(NewImpl))
+
+	svc, err := LookupCounter("gen-async", env.RegCli, core.WithBatching(300*time.Microsecond))
+	if err != nil {
+		t.Fatalf("LookupCounter: %v", err)
+	}
+	defer svc.Close()
+
+	const n = 32
+	futures := make([]*core.Future[BumpReply], n)
+	for i := range futures {
+		futures[i] = svc.BumpAsync(BumpArgs{N: 1})
+	}
+	for i, f := range futures {
+		if _, err := f.Get(); err != nil {
+			t.Fatalf("BumpAsync %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := svc.BumpOneWay(BumpArgs{N: 1}); err != nil {
+			t.Fatalf("BumpOneWay %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep, err := svc.Peek(PeekArgs{})
+		if err != nil {
+			t.Fatalf("Peek: %v", err)
+		}
+		if rep.Total == 2*n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("total = %d, want %d", rep.Total, 2*n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

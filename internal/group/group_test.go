@@ -44,41 +44,9 @@ func collect(t *testing.T, m *Member, n int, timeout time.Duration) []Message {
 	return out
 }
 
-func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
-	members := startMembers(t, 3, 0)
-	if err := members[0].Broadcast("topic", []byte("hello")); err != nil {
-		t.Fatalf("Broadcast: %v", err)
-	}
-	for i, m := range members {
-		msgs := collect(t, m, 1, 2*time.Second)
-		if msgs[0].Topic != "topic" || string(msgs[0].Payload) != "hello" {
-			t.Fatalf("member %d got %+v", i, msgs[0])
-		}
-		if msgs[0].From != members[0].Addr() {
-			t.Fatalf("member %d sender = %s, want %s", i, msgs[0].From, members[0].Addr())
-		}
-		if msgs[0].ViewID != 1 {
-			t.Fatalf("member %d viewID = %d, want 1", i, msgs[0].ViewID)
-		}
-	}
-}
-
-func TestPointToPointSend(t *testing.T) {
-	members := startMembers(t, 3, 0)
-	if err := members[1].Send(members[2].Addr(), "direct", []byte("x")); err != nil {
-		t.Fatalf("Send: %v", err)
-	}
-	msgs := collect(t, members[2], 1, 2*time.Second)
-	if msgs[0].Topic != "direct" {
-		t.Fatalf("got %+v", msgs[0])
-	}
-	// Nobody else receives it.
-	select {
-	case m := <-members[0].Messages():
-		t.Fatalf("member 0 received %+v", m)
-	case <-time.After(50 * time.Millisecond):
-	}
-}
+// TestBroadcastReachesAllIncludingSelf and TestPointToPointSend moved to
+// harness_test.go (package group_test), where they run on the shared
+// ermitest spin-up helpers.
 
 func TestSelfSendDeliversLocally(t *testing.T) {
 	members := startMembers(t, 2, 0)

@@ -1,0 +1,48 @@
+// Group tests running on the shared ermitest harness (external test
+// package: ermitest depends on group, so they cannot live in package
+// group). TestBroadcastReachesAllIncludingSelf and TestPointToPointSend
+// migrated here from group_test.go.
+package group_test
+
+import (
+	"testing"
+	"time"
+
+	"elasticrmi/internal/ermitest"
+)
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	members := ermitest.StartGroup(t, 3, 0)
+	if err := members[0].Broadcast("topic", []byte("hello")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for i, m := range members {
+		msgs := ermitest.Collect(t, m, 1, 2*time.Second)
+		if msgs[0].Topic != "topic" || string(msgs[0].Payload) != "hello" {
+			t.Fatalf("member %d got %+v", i, msgs[0])
+		}
+		if msgs[0].From != members[0].Addr() {
+			t.Fatalf("member %d sender = %s, want %s", i, msgs[0].From, members[0].Addr())
+		}
+		if msgs[0].ViewID != 1 {
+			t.Fatalf("member %d viewID = %d, want 1", i, msgs[0].ViewID)
+		}
+	}
+}
+
+func TestPointToPointSend(t *testing.T) {
+	members := ermitest.StartGroup(t, 3, 0)
+	if err := members[1].Send(members[2].Addr(), "direct", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msgs := ermitest.Collect(t, members[2], 1, 2*time.Second)
+	if msgs[0].Topic != "direct" {
+		t.Fatalf("got %+v", msgs[0])
+	}
+	// Nobody else receives it.
+	select {
+	case m := <-members[0].Messages():
+		t.Fatalf("member 0 received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -49,6 +49,52 @@ func (c *Client) call(method string, req, reply interface{}) error {
 	return nil
 }
 
+// AsyncPut is the future of a pipelined Put (see GoPut).
+type AsyncPut struct {
+	call *transport.Call
+	// done is captured at creation: Version releases the pooled call, after
+	// which the call object must not be touched, but this channel stays
+	// valid (completion always closes it first).
+	done    <-chan struct{}
+	once    sync.Once
+	version uint64
+	err     error
+}
+
+// Done returns a channel closed when the put completes.
+func (p *AsyncPut) Done() <-chan struct{} { return p.done }
+
+// Version blocks (bounded by the store's call timeout, like Put) until the
+// put completes and returns the stored version. Repeated calls return the
+// same result.
+func (p *AsyncPut) Version() (uint64, error) {
+	p.once.Do(func() {
+		out, err := p.call.Wait(defaultCallTimeout) // releases the call
+		if err != nil {
+			p.err = unwireError(err)
+			return
+		}
+		var rep putReply
+		if err := transport.Decode(out, &rep); err != nil {
+			p.err = err
+			return
+		}
+		p.version = rep.Version
+	})
+	return p.version, p.err
+}
+
+// GoPut pipelines a Put: many puts can be in flight on the single store
+// connection, so a writer's throughput is bounded by the store, not by the
+// round-trip latency of each put. The future resolves to the new version.
+func (c *Client) GoPut(key string, value []byte) *AsyncPut {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	call := conn.GoDecode(ServiceName, "Put", putReq{Key: key, Val: value})
+	return &AsyncPut{call: call, done: call.Done()}
+}
+
 // Get fetches key.
 func (c *Client) Get(key string) (Versioned, error) {
 	var rep getReply

@@ -325,3 +325,45 @@ func TestClusterLocksRouteByName(t *testing.T) {
 		t.Fatalf("Unlock: %v", err)
 	}
 }
+
+func TestGoPutPipelines(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	c, err := NewClient(srv.Addr())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+
+	// Submit a whole window of puts before collecting a single version:
+	// throughput bounded by the store, not by per-put round trips.
+	const n = 100
+	puts := make([]*AsyncPut, n)
+	for i := 0; i < n; i++ {
+		puts[i] = c.GoPut(fmt.Sprintf("pipe/%03d", i), []byte{byte(i)})
+	}
+	for i, p := range puts {
+		v, err := p.Version()
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if v == 0 {
+			t.Fatalf("put %d: version 0", i)
+		}
+		if v2, err2 := p.Version(); v2 != v || err2 != nil {
+			t.Fatalf("put %d: repeated Version drifted: %d/%v vs %d", i, v2, err2, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := c.Get(fmt.Sprintf("pipe/%03d", i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if len(got.Value) != 1 || got.Value[0] != byte(i) {
+			t.Fatalf("get %d = %v", i, got.Value)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/simclock"
+)
+
+// BatchOptions enables adaptive client-side batching: concurrent Go and
+// OneWay invocations on one client are coalesced into batch frames, so a
+// pipelined workload pays one frame write per batch instead of one per
+// call.
+//
+// The batcher is adaptive on three levels. A dedicated flusher drains the
+// whole queue per wakeup, so batch size naturally tracks the ratio of
+// arrival rate to write rate (a saturated connection produces bigger
+// batches, a sparse caller flushes immediately). The coalescing target —
+// how many entries accumulate before the flusher is woken at all — grows
+// while drains keep exceeding it and shrinks back to observed demand on
+// every timer flush. And a caller that blocks on a still-queued future
+// forces its flush instantly, so request/response traffic never waits for
+// companions that are not coming. MaxDelay bounds the wait of entries
+// nobody is blocked on (e.g. one-way fire-and-forget).
+type BatchOptions struct {
+	// MaxDelay is the latency bound: the longest an enqueued invocation may
+	// wait for companions before its batch is flushed. <= 0 disables
+	// batching entirely.
+	MaxDelay time.Duration
+	// MaxEntries caps the entries per batch frame. Default 128, hard
+	// ceiling 1024.
+	MaxEntries int
+	// MaxBytes wakes the flusher early once queued payload bytes reach this
+	// threshold. Default 64 KiB.
+	MaxBytes int
+	// Clock drives the latency-bound timer; nil means the wall clock. Tests
+	// inject a simclock.Sim to make the bound deterministic.
+	Clock simclock.Clock
+}
+
+func (bo BatchOptions) withDefaults() BatchOptions {
+	if bo.MaxEntries <= 0 {
+		bo.MaxEntries = 128
+	}
+	if bo.MaxEntries > maxBatchEntries {
+		bo.MaxEntries = maxBatchEntries
+	}
+	if bo.MaxBytes <= 0 {
+		bo.MaxBytes = 64 << 10
+	}
+	if bo.Clock == nil {
+		bo.Clock = simclock.Real{}
+	}
+	return bo
+}
+
+// batcher coalesces invocations bound for one connection into batch
+// frames. Producers only append and signal; the flusher goroutine drains
+// and writes, so a single pipelining caller keeps producing while the
+// previous batch is on its way to the kernel.
+type batcher struct {
+	c     *Client
+	clock simclock.Clock
+
+	maxDelay   time.Duration
+	maxEntries int
+	maxBytes   int
+
+	mu          sync.Mutex
+	queue       []batchEntry
+	queuedBytes int // encoded size of queued entries (batch body share)
+	target      int // adaptive wake threshold, in [1, maxEntries]
+	closed      bool
+	// flushing counts writes in progress (entries dequeued but possibly
+	// still referenced by the writer); flushDone is broadcast when one
+	// finishes, so purge can wait out a write it raced with.
+	flushing  int
+	flushDone sync.Cond // on mu
+
+	wake chan struct{} // capacity 1: coalesced flusher wakeups
+	arm  chan struct{} // capacity 1: coalesced latency-timer arms
+	stop chan struct{}
+}
+
+func newBatcher(c *Client, bo BatchOptions) *batcher {
+	bo = bo.withDefaults()
+	b := &batcher{
+		c:          c,
+		clock:      bo.Clock,
+		maxDelay:   bo.MaxDelay,
+		maxEntries: bo.MaxEntries,
+		maxBytes:   bo.MaxBytes,
+		target:     1,
+		wake:       make(chan struct{}, 1),
+		arm:        make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+	}
+	b.flushDone.L = &b.mu
+	go b.flushLoop()
+	go b.timerLoop()
+	return b
+}
+
+// enqueue appends one invocation. It never writes: when the queue reaches
+// the wake threshold the flusher is signalled; below it, the latency-bound
+// timer armed when the queue went non-empty guarantees progress.
+func (b *batcher) enqueue(e batchEntry) {
+	size := batchEntrySize(&e)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		if e.ca != nil {
+			b.c.failCall(e.seq, e.ca, ErrClosed)
+		}
+		return
+	}
+	if e.ca != nil {
+		e.ca.queued.Store(true)
+	}
+	b.queue = append(b.queue, e)
+	b.queuedBytes += size
+	ready := len(b.queue) >= b.target || b.queuedBytes >= b.maxBytes || len(b.queue) >= b.maxEntries
+	armTimer := !ready && len(b.queue) == 1
+	b.mu.Unlock()
+	if ready {
+		b.kick()
+	} else if armTimer {
+		select {
+		case b.arm <- struct{}{}:
+		default: // a timer round is already pending; it flushes us too
+		}
+	}
+}
+
+// kick wakes the flusher; a wakeup already pending coalesces.
+func (b *batcher) kick() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// purge removes ca's entry from the queue, if still there. Release calls it
+// before pooling an abandoned Call so the flusher can never transmit a
+// payload whose owner was told the call is over, nor touch the pooled (and
+// possibly reused) object. An entry that already left the queue may be
+// mid-write (the queued flag stays set until the write finishes); purge
+// then waits for in-flight writes to complete, after which the payload is
+// fully buffered and safe for the caller to recycle.
+func (b *batcher) purge(ca *Call) {
+	b.mu.Lock()
+	for i := range b.queue {
+		if b.queue[i].ca == ca {
+			b.queuedBytes -= batchEntrySize(&b.queue[i])
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			ca.queued.Store(false)
+			b.mu.Unlock()
+			return
+		}
+	}
+	for ca.queued.Load() && b.flushing > 0 {
+		b.flushDone.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// flushLoop is the dedicated flusher: per wakeup it drains the queue to the
+// wire until empty. Batches form naturally while a write is in progress —
+// everything enqueued meanwhile goes out in the next drain.
+func (b *batcher) flushLoop() {
+	for {
+		select {
+		case <-b.wake:
+		case <-b.stop:
+			return
+		}
+		for {
+			b.mu.Lock()
+			if b.closed || len(b.queue) == 0 {
+				b.mu.Unlock()
+				break
+			}
+			b.flushAndUnlock(true)
+		}
+	}
+}
+
+// timerLoop enforces the latency bound with one persistent goroutine
+// instead of a spawn per armed window: each arm signal starts one MaxDelay
+// sleep, after which whatever is queued is flushed. A sleep already in
+// progress when a new window opens ends no later than that window's own
+// bound would, and flushing early is always allowed — so every entry still
+// reaches the wire within MaxDelay of enqueue (plus write time). On the
+// wall clock the timer is reused across rounds.
+func (b *batcher) timerLoop() {
+	var tm *time.Timer // wall clock only; simclock drives After directly
+	_, wall := b.clock.(simclock.Real)
+	defer func() {
+		if tm != nil {
+			tm.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-b.arm:
+		case <-b.stop:
+			return
+		}
+		var fire <-chan time.Time
+		if wall {
+			if tm == nil {
+				tm = time.NewTimer(b.maxDelay)
+			} else {
+				tm.Reset(b.maxDelay)
+			}
+			fire = tm.C
+		} else {
+			fire = b.clock.After(b.maxDelay)
+		}
+		select {
+		case <-fire:
+		case <-b.stop:
+			return
+		}
+		b.mu.Lock()
+		if b.closed || len(b.queue) == 0 {
+			b.mu.Unlock()
+			continue
+		}
+		b.flushAndUnlock(false)
+	}
+}
+
+// flushAndUnlock takes as much of the queue as one batch frame may carry,
+// adapts the wake threshold, then writes outside the lock so producers keep
+// accumulating the next batch during the write. Caller must hold b.mu; it
+// is unlocked on return.
+func (b *batcher) flushAndUnlock(sizeTriggered bool) {
+	// Take the longest prefix within the frame's entry-count cap and
+	// MaxFrame byte budget; the flusher's outer loop drains any remainder.
+	n, taken := 0, 0
+	for _, e := range b.queue {
+		sz := batchEntrySize(&e)
+		if n > 0 && (n >= b.maxEntries || taken+sz+16 > MaxFrame) {
+			break
+		}
+		n++
+		taken += sz
+	}
+	entries := b.queue[:n:n]
+	b.queue = append([]batchEntry(nil), b.queue[n:]...)
+	b.queuedBytes -= taken
+	if sizeTriggered {
+		// Drains that keep outgrowing the threshold mean demand outpaces
+		// the writer: raise the threshold so wakeups (and frames) get
+		// rarer and larger.
+		if n >= 2*b.target && b.target < b.maxEntries {
+			b.target *= 2
+			if b.target > b.maxEntries {
+				b.target = b.maxEntries
+			}
+		}
+	} else if n < b.target {
+		// The timer fired below the threshold: match it to the demand one
+		// latency bound actually produced, so the next burst of this size
+		// wakes the flusher on arrival instead of waiting out the timer.
+		b.target = n
+		if b.target < 1 {
+			b.target = 1
+		}
+	}
+	b.flushing++
+	b.mu.Unlock()
+	b.write(entries)
+	b.mu.Lock()
+	// Clear the queued flags only now: until the write returned, the
+	// payloads were still referenced, and purge keys off flag+flushing to
+	// wait that window out before a caller may recycle its buffer.
+	for i := range entries {
+		if ca := entries[i].ca; ca != nil {
+			ca.queued.Store(false)
+		}
+	}
+	b.flushing--
+	b.flushDone.Broadcast()
+	b.mu.Unlock()
+}
+
+// write emits the flushed entries — as a plain request/one-way frame when
+// there is a single entry (no batch overhead), as one batch frame
+// otherwise — and fails the affected futures on write errors.
+func (b *batcher) write(entries []batchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	var err error
+	if len(entries) == 1 {
+		e := &entries[0]
+		if e.oneway {
+			err = b.c.w.writeOneWay(e.seq, e.service, e.method, e.payload)
+		} else {
+			err = b.c.w.writeRequest(e.seq, e.service, e.method, e.payload)
+		}
+	} else {
+		err = b.c.w.writeBatch(entries)
+	}
+	if err != nil {
+		err = fmt.Errorf("transport: write: %w", err)
+		for i := range entries {
+			if ca := entries[i].ca; ca != nil {
+				b.c.failCall(entries[i].seq, ca, err)
+			}
+		}
+	}
+}
+
+// close fails everything still queued and stops the flusher and pending
+// timers. Runs before the connection closes, so queued futures see
+// ErrClosed rather than a generic connection loss.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	entries := b.queue
+	b.queue = nil
+	b.queuedBytes = 0
+	b.mu.Unlock()
+	close(b.stop)
+	for i := range entries {
+		if ca := entries[i].ca; ca != nil {
+			ca.queued.Store(false)
+			b.c.failCall(entries[i].seq, ca, ErrClosed)
+		}
+	}
+}

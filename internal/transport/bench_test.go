@@ -90,3 +90,89 @@ func BenchmarkCall256KB(b *testing.B) { benchmarkEcho(b, 256<<10, 1) }
 // write coalescing under contention.
 func BenchmarkCallConcurrent8(b *testing.B)  { benchmarkEcho(b, 64, 8) }
 func BenchmarkCallConcurrent64(b *testing.B) { benchmarkEcho(b, 64, 64) }
+
+// benchmarkEchoPipelined measures the asynchronous invocation pipeline: a
+// single caller keeps a window of futures in flight on one connection
+// (optionally under the adaptive batcher), the workload BenchmarkCall runs
+// strictly sequentially.
+func benchmarkEchoPipelined(b *testing.B, payloadSize, window int, bo BatchOptions) {
+	srv := startBenchServer(b)
+	c, err := DialBatched(srv.Addr(), 5*time.Second, bo)
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	b.Cleanup(func() { c.Close() })
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := c.Call("svc", "Echo", payload, 10*time.Second); err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	b.SetBytes(int64(payloadSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+
+	calls := make([]*Call, 0, window)
+	for done := 0; done < b.N; {
+		n := window
+		if rem := b.N - done; n > rem {
+			n = rem
+		}
+		calls = calls[:0]
+		for j := 0; j < n; j++ {
+			calls = append(calls, c.Go("svc", "Echo", payload))
+		}
+		for _, ca := range calls {
+			if _, err := ca.Wait(10 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done += n
+	}
+}
+
+// BenchmarkCallPipelined64 is the async-futures figure: window of 64
+// outstanding Go calls, no batching.
+func BenchmarkCallPipelined64(b *testing.B) {
+	benchmarkEchoPipelined(b, 64, 64, BatchOptions{})
+}
+
+// BenchmarkCallBatched64 adds the adaptive batcher: the same window
+// coalesced into batch frames.
+func BenchmarkCallBatched64(b *testing.B) {
+	benchmarkEchoPipelined(b, 64, 64, BatchOptions{MaxDelay: 200 * time.Microsecond})
+}
+
+// BenchmarkCallBatched256 widens the window to the batcher's frame cap
+// territory — the deep-pipeline figure.
+func BenchmarkCallBatched256(b *testing.B) {
+	benchmarkEchoPipelined(b, 64, 256, BatchOptions{MaxDelay: 200 * time.Microsecond})
+}
+
+// BenchmarkOneWay measures fire-and-forget submission throughput; a sync
+// barrier call at the end keeps the server honest about having consumed
+// the stream.
+func BenchmarkOneWay(b *testing.B) {
+	srv := startBenchServer(b)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	b.Cleanup(func() { c.Close() })
+	payload := make([]byte, 64)
+	if _, err := c.Call("svc", "Echo", payload, 10*time.Second); err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.OneWay("svc", "Echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.Call("svc", "Echo", payload, 30*time.Second); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -11,15 +11,18 @@ import (
 )
 
 // Client is a connection to one Server. It is safe for concurrent use; calls
-// are multiplexed over a single TCP connection.
+// are multiplexed over a single TCP connection, and concurrent invocations
+// may be coalesced into batch frames when batching is enabled (see
+// BatchOptions).
 type Client struct {
-	addr string
-	conn net.Conn
-	w    *connWriter
-	seq  atomic.Uint64
+	addr  string
+	conn  net.Conn
+	w     *connWriter
+	seq   atomic.Uint64
+	batch *batcher // nil unless batching is enabled
 
 	mu      sync.Mutex
-	pending map[uint64]*call
+	pending map[uint64]*Call
 	closed  bool
 	readErr error
 
@@ -35,14 +38,189 @@ type callResult struct {
 	err      error    // transport-level failure
 }
 
-// call is the per-invocation rendezvous. Exactly one callResult is ever sent
-// on ch per checkout (by whoever removes the entry from Client.pending), so
-// the buffered channel never blocks a sender and the object can be pooled.
-type call struct {
-	ch chan callResult
+// Call is one in-flight invocation: the future returned by Go. Exactly one
+// callResult is ever delivered per checkout (by whoever removes the entry
+// from Client.pending), closing done; the object is pooled, so after
+// Release (or Wait, which releases) the Call must not be touched again.
+type Call struct {
+	c       *Client
+	service string
+	method  string
+	seq     uint64
+	res     callResult
+	done    chan struct{}
+	// queued is set while the call sits in the batcher's queue; a caller
+	// blocking on it then forces the flush (flush-on-wait), so
+	// request/response traffic never waits out the batch latency bound.
+	queued atomic.Bool
 }
 
-var callPool = sync.Pool{New: func() interface{} { return &call{ch: make(chan callResult, 1)} }}
+var callPool = sync.Pool{New: func() interface{} { return new(Call) }}
+
+// newCall checks a Call out of the pool. The done channel is fresh per
+// checkout: completion closes it, and a closed channel cannot be reused.
+func newCall(c *Client, service, method string, seq uint64) *Call {
+	ca := callPool.Get().(*Call)
+	ca.c = c
+	ca.service, ca.method, ca.seq = service, method, seq
+	ca.res = callResult{}
+	ca.done = make(chan struct{})
+	ca.queued.Store(false)
+	return ca
+}
+
+// kickIfQueued forces the batcher flush when this call is still sitting in
+// its queue: the caller is about to block, so waiting for companions can
+// only add latency.
+func (ca *Call) kickIfQueued() {
+	if ca.c != nil && ca.c.batch != nil && ca.queued.Load() {
+		ca.c.batch.kick()
+	}
+}
+
+// deliver completes the call. The pending-map checkout discipline guarantees
+// it runs at most once per checkout.
+func (ca *Call) deliver(res callResult) {
+	ca.res = res
+	close(ca.done)
+}
+
+// Done returns a channel closed when the call completes (successfully or
+// not). It is selectable alongside other futures. Done itself does not
+// force a batched call onto the wire — capturing the channel early is
+// cheap — so a caller that only ever selects on Done may wait out the
+// batch latency bound; the blocking accessors (Err, Payload, Decode, Wait)
+// flush immediately.
+func (ca *Call) Done() <-chan struct{} {
+	return ca.done
+}
+
+// err translates the delivered result into the caller-visible error.
+func (ca *Call) err() error {
+	switch {
+	case ca.res.err != nil:
+		return ca.res.err
+	case len(ca.res.redirect) > 0:
+		return &RedirectError{Targets: ca.res.redirect}
+	case ca.res.errMsg != "":
+		return &RemoteError{Service: ca.service, Method: ca.method, Msg: ca.res.errMsg}
+	}
+	return nil
+}
+
+// Err blocks until the call completes and returns its error (nil on
+// success).
+func (ca *Call) Err() error {
+	ca.kickIfQueued()
+	<-ca.done
+	return ca.err()
+}
+
+// Payload blocks until the call completes and returns the raw response
+// payload.
+func (ca *Call) Payload() ([]byte, error) {
+	ca.kickIfQueued()
+	<-ca.done
+	if err := ca.err(); err != nil {
+		return nil, err
+	}
+	return ca.res.payload, nil
+}
+
+// Decode blocks until the call completes and gob-decodes the response
+// payload into reply. A nil reply discards the payload.
+func (ca *Call) Decode(reply interface{}) error {
+	out, err := ca.Payload()
+	if err != nil {
+		return err
+	}
+	if reply == nil {
+		return nil
+	}
+	return Decode(out, reply)
+}
+
+// Release returns the call object to the pool. An incomplete call is
+// abandoned first: its pending entry is reclaimed (or the imminent result
+// drained), so the pooled object is always quiescent. The Call must not be
+// used after Release.
+func (ca *Call) Release() {
+	if ca.done == nil {
+		return // already released (programmer error; keep it non-fatal)
+	}
+	if ca.c != nil && ca.c.batch != nil && ca.queued.Load() {
+		// Still sitting in the batch queue: remove the entry so the flusher
+		// cannot transmit a payload the caller is now free to recycle, nor
+		// touch this object once pooled.
+		ca.c.batch.purge(ca)
+	}
+	select {
+	case <-ca.done:
+	default:
+		if ca.c.reclaim(ca.seq) {
+			// We won the race: no result will ever arrive. Complete the
+			// call ourselves so concurrent Done waiters unblock.
+			ca.deliver(callResult{err: fmt.Errorf("%s.%s: call abandoned: %w", ca.service, ca.method, ErrClosed)})
+		} else {
+			// The read loop checked the entry out first; its delivery is
+			// imminent. Wait for it so the pooled object is quiescent.
+			<-ca.done
+		}
+	}
+	ca.c = nil
+	ca.res = callResult{}
+	ca.done = nil
+	callPool.Put(ca)
+}
+
+// Wait blocks until the call completes or timeout elapses (timeout <= 0
+// waits indefinitely), returns the response payload and releases the call
+// object. The Call must not be used after Wait returns.
+func (ca *Call) Wait(timeout time.Duration) ([]byte, error) {
+	ca.kickIfQueued()
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		select {
+		case <-ca.done: // already complete: skip the timer entirely
+		default:
+			if t, ok := timerPool.Get().(*time.Timer); ok {
+				t.Reset(timeout)
+				timer = t
+			} else {
+				timer = time.NewTimer(timeout)
+			}
+			expired = timer.C
+		}
+	}
+	select {
+	case <-ca.done:
+		if timer != nil {
+			if !timer.Stop() {
+				// Pre-go1.23 timer semantics could leave the fired value
+				// buffered; drain so a pooled timer can never satisfy a
+				// later call's deadline instantly.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerPool.Put(timer)
+		}
+		payload := ca.res.payload
+		err := ca.err()
+		ca.Release()
+		if err != nil {
+			return nil, err
+		}
+		return payload, nil
+	case <-expired:
+		timerPool.Put(timer) // already fired; Reset on reuse rearms it
+		service, method := ca.service, ca.method
+		ca.Release()
+		return nil, fmt.Errorf("%s.%s: %w", service, method, ErrTimeout)
+	}
+}
 
 var timerPool sync.Pool // *time.Timer, stopped
 
@@ -56,6 +234,12 @@ func Dial(addr string) (*Client, error) {
 
 // DialTimeout connects with a bounded dial time.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	return DialBatched(addr, timeout, BatchOptions{})
+}
+
+// DialBatched connects with a bounded dial time and, when bo.MaxDelay > 0,
+// enables adaptive client-side batching (see BatchOptions).
+func DialBatched(addr string, timeout time.Duration, bo BatchOptions) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
@@ -67,8 +251,11 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		addr:    addr,
 		conn:    conn,
 		w:       newConnWriter(conn),
-		pending: make(map[uint64]*call),
+		pending: make(map[uint64]*Call),
 		done:    make(chan struct{}),
+	}
+	if bo.MaxDelay > 0 {
+		c.batch = newBatcher(c, bo)
 	}
 	// The preamble rides in the write buffer until the first frame flushes,
 	// so it costs no extra syscall.
@@ -106,7 +293,7 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ca.ch <- res
+			ca.deliver(res)
 		}
 		// A response for an unknown seq was abandoned by a timed-out caller
 		// that reclaimed its pending entry first; drop it.
@@ -121,18 +308,18 @@ func (c *Client) failAll(err error) {
 		c.readErr = err
 	}
 	pend := c.pending
-	c.pending = make(map[uint64]*call)
+	c.pending = make(map[uint64]*Call)
 	c.mu.Unlock()
 	res := callResult{err: fmt.Errorf("transport: connection lost: %w", ErrClosed)}
 	for _, ca := range pend {
-		ca.ch <- res
+		ca.deliver(res)
 	}
 }
 
 // reclaim removes seq from the pending map. It reports whether the caller
-// won the race: true means no result will ever be sent for this call, false
-// means the read loop (or failAll) already checked the entry out and a
-// result is imminent on ca.ch.
+// won the race: true means no result will ever be delivered for this call,
+// false means the read loop (or failAll) already checked the entry out and
+// delivery is imminent.
 func (c *Client) reclaim(seq uint64) bool {
 	c.mu.Lock()
 	_, present := c.pending[seq]
@@ -143,85 +330,98 @@ func (c *Client) reclaim(seq uint64) bool {
 	return present
 }
 
-// Call invokes service.method with the given payload and waits up to timeout
-// for the response payload. timeout <= 0 means wait indefinitely.
-func (c *Client) Call(service, method string, payload []byte, timeout time.Duration) ([]byte, error) {
-	ca := callPool.Get().(*call)
+// failCall delivers err to ca unless the read loop got there first (in
+// which case the genuine result stands) or the caller abandoned the call.
+// seq is passed explicitly rather than read from ca: a batch entry may
+// outlive its released Call object (Release/Wait-timeout while queued), and
+// the stale pointer's seq field could already belong to a reused checkout —
+// the captured seq makes the reclaim miss, so nothing is ever delivered to
+// an object the error path no longer owns.
+func (c *Client) failCall(seq uint64, ca *Call, err error) {
+	if c.reclaim(seq) {
+		ca.deliver(callResult{err: err})
+	}
+}
+
+// Go starts an asynchronous invocation of service.method and returns its
+// future. The returned Call always completes — pre-flight failures (closed
+// or poisoned connections, write errors) are delivered through it. The
+// payload must stay valid until the call completes: batching may hold it
+// briefly before writing. Consume the result with Wait, or with
+// Done/Err/Decode followed by Release.
+func (c *Client) Go(service, method string, payload []byte) *Call {
 	seq := c.seq.Add(1)
+	ca := newCall(c, service, method, seq)
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		callPool.Put(ca)
-		return nil, ErrClosed
+		ca.deliver(callResult{err: ErrClosed})
+		return ca
 	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		callPool.Put(ca)
-		return nil, fmt.Errorf("transport: connection failed: %w", err)
+		ca.deliver(callResult{err: fmt.Errorf("transport: connection failed: %w", err)})
+		return ca
 	}
 	c.pending[seq] = ca
 	c.mu.Unlock()
 
+	if c.batch != nil {
+		c.batch.enqueue(batchEntry{seq: seq, service: service, method: method, payload: payload, ca: ca})
+		return ca
+	}
 	if err := c.w.writeRequest(seq, service, method, payload); err != nil {
-		c.release(seq, ca)
-		return nil, fmt.Errorf("transport: write: %w", err)
+		c.failCall(seq, ca, fmt.Errorf("transport: write: %w", err))
 	}
-
-	var timer *time.Timer
-	var expired <-chan time.Time
-	if timeout > 0 {
-		if t, ok := timerPool.Get().(*time.Timer); ok {
-			t.Reset(timeout)
-			timer = t
-		} else {
-			timer = time.NewTimer(timeout)
-		}
-		expired = timer.C
-	}
-
-	select {
-	case res := <-ca.ch:
-		if timer != nil {
-			if !timer.Stop() {
-				// Pre-go1.23 timer semantics could leave the fired value
-				// buffered; drain so a pooled timer can never satisfy a
-				// later call's deadline instantly.
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timerPool.Put(timer)
-		}
-		callPool.Put(ca)
-		if res.err != nil {
-			return nil, res.err
-		}
-		if len(res.redirect) > 0 {
-			return nil, &RedirectError{Targets: res.redirect}
-		}
-		if res.errMsg != "" {
-			return nil, &RemoteError{Service: service, Method: method, Msg: res.errMsg}
-		}
-		return res.payload, nil
-	case <-expired:
-		timerPool.Put(timer) // already fired; Reset on reuse rearms it
-		c.release(seq, ca)
-		return nil, fmt.Errorf("%s.%s: %w", service, method, ErrTimeout)
-	}
+	return ca
 }
 
-// release abandons a call without consuming its result, returning the call
-// object to the pool once it is quiescent. If the read loop won the race for
-// the pending entry, the in-flight result is drained first so the pooled
-// channel is guaranteed empty.
-func (c *Client) release(seq uint64, ca *call) {
-	if !c.reclaim(seq) {
-		<-ca.ch
+// OneWay invokes service.method without waiting for — or the server ever
+// sending — a response frame. Delivery is at-most-once: a connection
+// failure after submission loses the invocation silently, which is the
+// contract of a one-way call. With batching enabled submission is
+// asynchronous, so even the write itself may fail after OneWay returned
+// nil; the connection's sticky error then surfaces on the next invocation.
+// No call object is allocated or pooled.
+func (c *Client) OneWay(service, method string, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
 	}
-	callPool.Put(ca)
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		// Wrap ErrClosed: nothing was submitted, so callers (stub failover)
+		// can distinguish this from an ambiguous post-write failure and
+		// safely resubmit elsewhere.
+		return fmt.Errorf("transport: connection failed: %v: %w", err, ErrClosed)
+	}
+	c.mu.Unlock()
+
+	// Refuse unframeable payloads before submission on both paths: a
+	// batched one-way has no future to carry the error, so a post-enqueue
+	// failure would be a permanent silent drop of a deterministic caller
+	// bug.
+	if size := requestFrameSize(0, service, method, payload); size > MaxFrame {
+		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
+	}
+	if c.batch != nil {
+		c.batch.enqueue(batchEntry{oneway: true, service: service, method: method, payload: payload})
+		return nil
+	}
+	if err := c.w.writeOneWay(0, service, method, payload); err != nil {
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	return nil
+}
+
+// Call invokes service.method with the given payload and waits up to timeout
+// for the response payload. timeout <= 0 means wait indefinitely.
+func (c *Client) Call(service, method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.Go(service, method, payload).Wait(timeout)
 }
 
 // CallDecode is the typed convenience around Call: it gob-encodes arg,
@@ -247,6 +447,36 @@ func (c *Client) CallDecode(service, method string, arg, reply interface{}, time
 	return Decode(out, reply)
 }
 
+// GoDecode is the typed convenience around Go: it gob-encodes arg and
+// starts the asynchronous invocation. Encoding failures are delivered
+// through the returned future.
+func (c *Client) GoDecode(service, method string, arg interface{}) *Call {
+	var payload []byte
+	if arg != nil {
+		var err error
+		payload, err = Encode(arg)
+		if err != nil {
+			ca := newCall(c, service, method, 0)
+			ca.deliver(callResult{err: err})
+			return ca
+		}
+	}
+	return c.Go(service, method, payload)
+}
+
+// OneWayDecode is the typed convenience around OneWay.
+func (c *Client) OneWayDecode(service, method string, arg interface{}) error {
+	var payload []byte
+	if arg != nil {
+		var err error
+		payload, err = Encode(arg)
+		if err != nil {
+			return err
+		}
+	}
+	return c.OneWay(service, method, payload)
+}
+
 // Close tears down the connection. Outstanding calls fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -256,6 +486,9 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.batch != nil {
+		c.batch.close()
+	}
 	err := c.conn.Close()
 	<-c.done
 	return err

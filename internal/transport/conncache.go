@@ -15,6 +15,7 @@ import (
 // instead of each maintaining its own map of clients.
 type ConnCache struct {
 	timeout time.Duration
+	batch   BatchOptions // zero value: batching disabled
 
 	mu      sync.Mutex
 	conns   map[string]*Client
@@ -32,11 +33,18 @@ type dialWait struct {
 // NewConnCache creates a cache whose dials are bounded by dialTimeout
 // (<= 0 means 2s, the historical per-member dial bound).
 func NewConnCache(dialTimeout time.Duration) *ConnCache {
+	return NewConnCacheBatched(dialTimeout, BatchOptions{})
+}
+
+// NewConnCacheBatched is NewConnCache with adaptive batching enabled on
+// every client it dials (when bo.MaxDelay > 0).
+func NewConnCacheBatched(dialTimeout time.Duration, bo BatchOptions) *ConnCache {
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
 	}
 	return &ConnCache{
 		timeout: dialTimeout,
+		batch:   bo,
 		conns:   make(map[string]*Client),
 		dialing: make(map[string]*dialWait),
 	}
@@ -63,7 +71,7 @@ func (cc *ConnCache) Get(addr string) (*Client, error) {
 	cc.dialing[addr] = w
 	cc.mu.Unlock()
 
-	c, err := DialTimeout(addr, cc.timeout)
+	c, err := DialBatched(addr, cc.timeout, cc.batch)
 
 	cc.mu.Lock()
 	delete(cc.dialing, addr)

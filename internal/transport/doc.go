@@ -33,9 +33,10 @@
 // length counts the kind byte plus the body and must not exceed MaxFrame
 // (64 MiB); oversized frames are rejected by the reader (killing the
 // connection) and refused by the writer before any byte is written (failing
-// only that call). kind is 1 for a request, 2 for a response. All integers
-// inside a body are unsigned varints (encoding/binary uvarint); strings and
-// byte slices are length-prefixed with a uvarint.
+// only that call). kind is 1 for a request, 2 for a response, 3 for a
+// one-way request, 4 for a batch of requests. All integers inside a body
+// are unsigned varints (encoding/binary uvarint); strings and byte slices
+// are length-prefixed with a uvarint.
 //
 // Request body (kind 1):
 //
@@ -52,8 +53,30 @@
 //	                                   // count>0 => RedirectError (draining)
 //	payload  uvarint n, then n bytes
 //
+// One-way body (kind 3): identical to a request body. The server executes
+// the invocation and sends no response frame of any kind; handler results
+// and errors are dropped. The seq is carried for symmetry and debugging but
+// is never echoed.
+//
+// Batch body (kind 4): several coalesced requests in one frame, written by
+// the client-side adaptive batcher (see BatchOptions):
+//
+//	count    uvarint   // 1..1024
+//	entries  count times:
+//	  flags    1 byte  // bit 0: one-way (no response for this entry)
+//	  seq      uvarint
+//	  service  uvarint n, then n bytes
+//	  method   uvarint n, then n bytes
+//	  payload  uvarint n, then n bytes
+//
+// The server fans batch entries out to the handler exactly as if each had
+// arrived in its own frame; responses for the two-way entries travel as
+// ordinary response frames (kind 2), in completion order, coalesced by the
+// writer's flush elision. There is no batch-response frame kind.
+//
 // A frame whose body is shorter or longer than its declared fields is a
-// protocol violation and closes the connection.
+// protocol violation and closes the connection. Unknown flag bits in a
+// batch entry are a protocol violation, reserving them for future use.
 //
 // # Performance notes
 //
@@ -64,4 +87,11 @@
 // per frame (the payload handed to the handler or caller aliases it). Client
 // call state (completion channels, timers) is pooled, and sequence numbers
 // come from an atomic counter, so a steady-state Call is allocation-light.
+//
+// Asynchronous invocation pipelines through the same machinery: Client.Go
+// returns a pooled future immediately, so one caller can keep many requests
+// in flight on one connection; Client.OneWay skips response state entirely.
+// With batching enabled, concurrent Go/OneWay invocations destined for the
+// same server coalesce into batch frames under an adaptive, latency-bounded
+// flusher.
 package transport

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// The wire codec is the trust boundary of every ElasticRMI component: a
+// hostile or corrupt peer can put arbitrary bytes on the connection. These
+// fuzz targets assert the parsers never panic, never allocate proportionally
+// to attacker-declared counts, and are round-trip stable: anything a parser
+// accepts re-encodes through the production writers to a body the parser
+// reads back identically. (Byte-exact re-encoding is deliberately not
+// asserted — encoding/binary accepts non-minimal varints.) Seeds come from
+// the protocol edge cases exercised in protocol_test.go (boundary frames,
+// hostile counts, truncated bodies).
+
+// frameBytes renders a full frame (header + kind + body) via the production
+// writer so fuzz seeds and re-encodings stay in sync with the encoder.
+func frameBytes(t testing.TB, write func(w *connWriter) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := newConnWriter(&buf)
+	if err := write(w); err != nil {
+		t.Fatalf("fuzz write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	f.Add(hdr[:])
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	f.Add(hdr[:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // hostile declared length
+	f.Add([]byte{0, 0, 0, 2, byte(frameRequest)})  // truncated body
+	var t testing.T
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, "svc", "m", []byte("hi")) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, "svc", "m", nil) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeResponse(9, []byte("out"), "", nil, false) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error {
+		return w.writeBatch([]batchEntry{
+			{seq: 1, service: "s", method: "a", payload: []byte{1}},
+			{oneway: true, seq: 2, service: "s", method: "b", payload: []byte{2}},
+		})
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		// A parsed frame's declared size is honored exactly: kind byte plus
+		// body must fit inside the input.
+		if len(body)+1 > len(data)-4 {
+			t.Fatalf("frame body of %d bytes from %d input bytes", len(body), len(data))
+		}
+		// Whatever the kind claims, every parser must be total on the body.
+		switch kind {
+		case frameRequest, frameOneWay:
+			_, _ = parseRequest(body)
+		case frameResponse:
+			var res callResult
+			_, _ = parseResponse(body, &res)
+		case frameBatch:
+			items, err := parseBatch(body)
+			if err == nil && (len(items) == 0 || len(items) > maxBatchEntries) {
+				t.Fatalf("parseBatch accepted %d entries", len(items))
+			}
+		}
+	})
+}
+
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 1, 's', 1, 'm', 0})
+	f.Add(binary.AppendUvarint(nil, 1<<40)) // seq only, then truncation
+	seed := binary.AppendUvarint(nil, 3)
+	seed = binary.AppendUvarint(seed, 200) // service length beyond the body
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := parseRequest(body)
+		if err != nil {
+			return
+		}
+		// Round-trip stability: what the parser accepted re-encodes to a
+		// body it parses back field-identically.
+		out := frameBytes(t, func(w *connWriter) error {
+			return w.writeRequest(req.Seq, req.Service, req.Method, req.Payload)
+		})
+		again, err := parseRequest(out[5:])
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v", err)
+		}
+		if again.Seq != req.Seq || again.Service != req.Service ||
+			again.Method != req.Method || !bytes.Equal(again.Payload, req.Payload) {
+			t.Fatalf("round trip drifted: %+v != %+v", again, req)
+		}
+	})
+}
+
+func FuzzParseResponse(f *testing.F) {
+	f.Add([]byte{})
+	// The hostile-redirect-count seed from protocol_test.go: a declared
+	// count of 67M backed by 64 bytes.
+	hostile := binary.AppendUvarint(nil, 9)
+	hostile = binary.AppendUvarint(hostile, 0)
+	hostile = binary.AppendUvarint(hostile, 67_000_000)
+	hostile = append(hostile, make([]byte, 64)...)
+	f.Add(hostile)
+	ok := binary.AppendUvarint(nil, 4)
+	ok = binary.AppendUvarint(ok, 4)
+	ok = append(ok, "boom"...)
+	ok = binary.AppendUvarint(ok, 1)
+	ok = binary.AppendUvarint(ok, 3)
+	ok = append(ok, "a:1"...)
+	ok = binary.AppendUvarint(ok, 0)
+	f.Add(ok)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<20 {
+			return // keep re-encoding clear of the writer's MaxFrame clamp
+		}
+		var res callResult
+		seq, err := parseResponse(body, &res)
+		if err != nil {
+			// The redirect guard must hold even on rejected bodies: storage
+			// never grows proportionally to a declared count.
+			if len(res.redirect) > len(body) {
+				t.Fatalf("rejected body of %d bytes materialized %d redirects", len(body), len(res.redirect))
+			}
+			return
+		}
+		out := frameBytes(t, func(w *connWriter) error {
+			return w.writeResponse(seq, res.payload, res.errMsg, res.redirect, false)
+		})
+		var again callResult
+		seq2, err := parseResponse(out[5:], &again)
+		if err != nil {
+			t.Fatalf("re-encoded response rejected: %v", err)
+		}
+		if seq2 != seq || again.errMsg != res.errMsg ||
+			len(again.redirect) != len(res.redirect) || !bytes.Equal(again.payload, res.payload) {
+			t.Fatalf("round trip drifted: %+v != %+v", again, res)
+		}
+		for i := range res.redirect {
+			if again.redirect[i] != res.redirect[i] {
+				t.Fatalf("redirect %d drifted: %q != %q", i, again.redirect[i], res.redirect[i])
+			}
+		}
+	})
+}
+
+func FuzzParseBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.AppendUvarint(nil, 0))               // zero entries is malformed
+	f.Add(binary.AppendUvarint(nil, 1<<30))           // hostile count
+	f.Add(binary.AppendUvarint(nil, 2))               // declared 2, zero present
+	f.Add(append(binary.AppendUvarint(nil, 1), 0xFE)) // unknown flag bits
+	var t testing.T
+	good := frameBytes(&t, func(w *connWriter) error {
+		return w.writeBatch([]batchEntry{
+			{seq: 5, service: "svc", method: "Echo", payload: []byte("abc")},
+			{oneway: true, seq: 0, service: "svc", method: "Tick", payload: nil},
+		})
+	})
+	f.Add(good[5:]) // strip header + kind: parseBatch sees the body
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<20 {
+			return // keep re-encoding clear of the writer's MaxFrame bound
+		}
+		items, err := parseBatch(body)
+		if err != nil {
+			return
+		}
+		if len(items) == 0 || len(items) > maxBatchEntries {
+			t.Fatalf("accepted %d entries", len(items))
+		}
+		entries := make([]batchEntry, len(items))
+		for i, it := range items {
+			entries[i] = batchEntry{
+				oneway:  it.oneway,
+				seq:     it.req.Seq,
+				service: it.req.Service,
+				method:  it.req.Method,
+				payload: it.req.Payload,
+			}
+		}
+		out := frameBytes(t, func(w *connWriter) error { return w.writeBatch(entries) })
+		again, err := parseBatch(out[5:])
+		if err != nil {
+			t.Fatalf("re-encoded batch rejected: %v", err)
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip drifted: %d entries != %d", len(again), len(items))
+		}
+		for i := range items {
+			a, b := again[i], items[i]
+			if a.oneway != b.oneway || a.req.Seq != b.req.Seq || a.req.Service != b.req.Service ||
+				a.req.Method != b.req.Method || !bytes.Equal(a.req.Payload, b.req.Payload) {
+				t.Fatalf("entry %d drifted: %+v != %+v", i, a.req, b.req)
+			}
+		}
+	})
+}

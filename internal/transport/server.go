@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Server accepts connections and dispatches requests to a Handler.
@@ -23,12 +25,21 @@ type Server struct {
 // Serve starts a server listening on addr ("host:port"; ":0" picks a free
 // port). The handler is invoked on its own goroutine per request.
 func Serve(addr string, handler Handler) (*Server, error) {
-	if handler == nil {
-		return nil, errors.New("transport: nil handler")
-	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return ServeListener(lis, handler)
+}
+
+// ServeListener serves on an already-created listener. It lets tests wrap
+// the listener (e.g. ermitest's fault-injecting listener) and production
+// callers bring their own socket configuration. The server owns lis and
+// closes it on Close.
+func ServeListener(lis net.Listener, handler Handler) (*Server, error) {
+	if handler == nil {
+		lis.Close()
+		return nil, errors.New("transport: nil handler")
 	}
 	s := &Server{
 		lis:     lis,
@@ -79,7 +90,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if _, err := io.ReadFull(br, pre[:]); err != nil || pre != preamble {
 		return // wrong magic or unsupported protocol version
 	}
-	w := newConnWriter(conn)
+	st := &connState{conn: conn, w: newConnWriter(conn)}
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
@@ -87,32 +98,110 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if kind != frameRequest {
-			return
-		}
-		req, err := parseRequest(body)
-		if err != nil {
-			return
-		}
-		reqWG.Add(1)
-		go func() {
-			defer reqWG.Done()
-			payload, err := s.handler(req)
-			var errMsg string
-			var redirect []string
+		switch kind {
+		case frameRequest:
+			req, err := parseRequest(body)
 			if err != nil {
-				var redir *RedirectError
-				if errors.As(err, &redir) {
-					redirect = redir.Targets
-				} else {
-					errMsg = err.Error()
+				return
+			}
+			st.outstanding.Add(1)
+			reqWG.Add(1)
+			go s.respond(st, req, &reqWG)
+		case frameOneWay:
+			req, err := parseRequest(body)
+			if err != nil {
+				return
+			}
+			req.OneWay = true
+			reqWG.Add(1)
+			go s.discard(req, &reqWG)
+		case frameBatch:
+			items, err := parseBatch(body)
+			if err != nil {
+				return
+			}
+			// Fan-out: every entry of the batch runs on its own goroutine,
+			// exactly as if it had arrived in its own frame. Responses are
+			// ordinary response frames, coalesced on the return path by the
+			// outstanding-count flush elision below.
+			for _, it := range items {
+				if !it.oneway {
+					st.outstanding.Add(1)
 				}
 			}
-			if werr := w.writeResponse(req.Seq, payload, errMsg, redirect); werr != nil {
-				conn.Close()
+			for _, it := range items {
+				reqWG.Add(1)
+				if it.oneway {
+					go s.discard(it.req, &reqWG)
+				} else {
+					go s.respond(st, it.req, &reqWG)
+				}
 			}
-		}()
+		default:
+			return
+		}
 	}
+}
+
+// connState is the per-connection server state shared by the reader and the
+// response writers: the writer itself plus the outstanding-request count
+// driving response flush coalescing.
+type connState struct {
+	conn net.Conn
+	w    *connWriter
+	// outstanding counts requests read but not yet answered. A responder
+	// that is not the last one holds its flush — more responses are
+	// imminent — so a wave of completions reaches the kernel in one
+	// syscall; the timer below bounds the wait when a straggler keeps the
+	// count up.
+	outstanding atomic.Int64
+	timerArmed  atomic.Bool
+}
+
+// responseFlushBound caps how long a completed response may sit buffered
+// behind still-running handlers on the same connection.
+const responseFlushBound = 100 * time.Microsecond
+
+// respond executes one two-way request and writes its response frame,
+// flushing according to the outstanding count.
+func (s *Server) respond(st *connState, req *Request, wg *sync.WaitGroup) {
+	defer wg.Done()
+	payload, err := s.handler(req)
+	var errMsg string
+	var redirect []string
+	if err != nil {
+		var redir *RedirectError
+		if errors.As(err, &redir) {
+			redirect = redir.Targets
+		} else {
+			errMsg = err.Error()
+		}
+	}
+	hold := st.outstanding.Add(-1) > 0
+	if werr := st.w.writeResponse(req.Seq, payload, errMsg, redirect, hold); werr != nil {
+		st.conn.Close()
+		return
+	}
+	// Arm the straggler timer only after the bytes are buffered: a timer
+	// armed earlier could fire and flush before this response lands, leaving
+	// it stuck behind an arbitrarily long-running handler. The callback
+	// disarms before flushing, so any response buffered after the disarm
+	// observes timerArmed == false and arms a fresh round.
+	if hold && st.timerArmed.CompareAndSwap(false, true) {
+		time.AfterFunc(responseFlushBound, func() {
+			st.timerArmed.Store(false)
+			if st.w.flushNow() != nil {
+				st.conn.Close()
+			}
+		})
+	}
+}
+
+// discard executes one one-way request; the result, including any error, is
+// dropped — the client asked for no response frame.
+func (s *Server) discard(req *Request, wg *sync.WaitGroup) {
+	defer wg.Done()
+	_, _ = s.handler(req)
 }
 
 // Close stops accepting, closes all connections and waits for in-flight

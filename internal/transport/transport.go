@@ -52,6 +52,11 @@ type Request struct {
 	Service string
 	Method  string
 	Payload []byte
+	// OneWay is set by the server for invocations that will never be
+	// answered (one-way frames and one-way batch entries). Handlers that
+	// would return steering errors nobody can see — e.g. a draining
+	// member's redirect — should execute such invocations locally instead.
+	OneWay bool
 }
 
 // Response answers a Request with the same Seq. It is the logical shape of a

@@ -1,46 +1,13 @@
 package transport
 
 import (
-	"bytes"
 	"testing"
 	"time"
 )
 
-// TestLargeFrameRoundTrip pushes a multi-megabyte payload through the
-// framed protocol.
-func TestLargeFrameRoundTrip(t *testing.T) {
-	srv := startEcho(t)
-	c := dial(t, srv.Addr())
-	big := bytes.Repeat([]byte{0xAB}, 4<<20)
-	payload, err := Encode(echoArgs{Text: string(big)})
-	if err != nil {
-		t.Fatalf("Encode: %v", err)
-	}
-	out, err := c.Call("svc", "Echo", payload, 30*time.Second)
-	if err != nil {
-		t.Fatalf("Call: %v", err)
-	}
-	var got echoArgs
-	if err := Decode(out, &got); err != nil {
-		t.Fatalf("Decode: %v", err)
-	}
-	if len(got.Text) != len(big) {
-		t.Fatalf("round trip %d bytes, want %d", len(got.Text), len(big))
-	}
-}
-
-// TestSequentialCallsReuseConnection verifies many calls work over one
-// connection without resource buildup.
-func TestSequentialCallsReuseConnection(t *testing.T) {
-	srv := startEcho(t)
-	c := dial(t, srv.Addr())
-	payload, _ := Encode(echoArgs{N: 1})
-	for i := 0; i < 500; i++ {
-		if _, err := c.Call("svc", "Echo", payload, 5*time.Second); err != nil {
-			t.Fatalf("call %d: %v", i, err)
-		}
-	}
-}
+// TestLargeFrameRoundTrip and TestSequentialCallsReuseConnection moved to
+// fault_test.go (package transport_test), where they run on the shared
+// ermitest fault-injection harness.
 
 // TestFrameCorruptionClosesConnection writes garbage to the server; the
 // connection dies but the server survives and accepts new connections.

@@ -26,7 +26,22 @@ type frameKind byte
 const (
 	frameRequest  frameKind = 1
 	frameResponse frameKind = 2
+	// frameOneWay is a request the server executes without sending any
+	// response frame (fire-and-forget). Body shape is identical to a
+	// request; the seq is carried for debugging but never answered.
+	frameOneWay frameKind = 3
+	// frameBatch carries several coalesced requests in one frame. The
+	// server fans the entries out to the handler; responses (for the
+	// entries that want one) travel as ordinary response frames.
+	frameBatch frameKind = 4
 )
+
+// oneWayFlag marks a batch entry whose response the client does not want.
+const oneWayFlag = 0x1
+
+// maxBatchEntries bounds the entries one batch frame may carry; writers
+// split above it and readers treat larger counts as malformed.
+const maxBatchEntries = 1024
 
 // errMalformed kills a connection whose peer sent an unparseable frame.
 var errMalformed = errors.New("transport: malformed frame")
@@ -105,6 +120,15 @@ func requestFrameSize(seq uint64, service, method string, payload []byte) int {
 }
 
 func (w *connWriter) writeRequest(seq uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameRequest, seq, service, method, payload)
+}
+
+// writeOneWay emits a request the server will not answer.
+func (w *connWriter) writeOneWay(seq uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameOneWay, seq, service, method, payload)
+}
+
+func (w *connWriter) writeRequestKind(kind frameKind, seq uint64, service, method string, payload []byte) error {
 	size := requestFrameSize(seq, service, method, payload)
 	if size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
@@ -114,7 +138,7 @@ func (w *connWriter) writeRequest(seq uint64, service, method string, payload []
 		return err
 	}
 	bw := w.bw
-	putFrameHeader(bw, size, frameRequest)
+	putFrameHeader(bw, size, kind)
 	putUvarint(bw, seq)
 	putUvarint(bw, uint64(len(service)))
 	bw.WriteString(service)
@@ -122,6 +146,72 @@ func (w *connWriter) writeRequest(seq uint64, service, method string, payload []
 	bw.WriteString(method)
 	putUvarint(bw, uint64(len(payload)))
 	_, err := bw.Write(payload) // bufio errors are sticky; checking the last suffices
+	return w.finish(err)
+}
+
+// batchEntry is one invocation inside a batch frame. For two-way entries ca
+// carries the future delivery is owed to; one-way entries leave it nil.
+type batchEntry struct {
+	oneway  bool
+	seq     uint64
+	service string
+	method  string
+	payload []byte
+	ca      *Call
+}
+
+// batchEntrySize returns the encoded size of one batch entry (flag byte +
+// request fields).
+func batchEntrySize(e *batchEntry) int {
+	return 1 + requestFrameSize(e.seq, e.service, e.method, e.payload) - 1
+}
+
+// batchFrameSize returns the frame size (kind byte + body) of a batch.
+func batchFrameSize(entries []batchEntry) int {
+	size := 1 + uvarintLen(uint64(len(entries)))
+	for i := range entries {
+		size += batchEntrySize(&entries[i])
+	}
+	return size
+}
+
+// writeBatch emits one batch frame carrying every entry. The caller keeps
+// batches within MaxFrame and maxBatchEntries; violations fail the whole
+// write before any byte reaches the wire.
+func (w *connWriter) writeBatch(entries []batchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) > maxBatchEntries {
+		return fmt.Errorf("%w: batch of %d entries exceeds %d", ErrFrameTooLarge, len(entries), maxBatchEntries)
+	}
+	size := batchFrameSize(entries)
+	if size > MaxFrame {
+		return fmt.Errorf("%w: batch frame of %d bytes", ErrFrameTooLarge, size)
+	}
+	if err := w.lock(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	bw := w.bw
+	putFrameHeader(bw, size, frameBatch)
+	putUvarint(bw, uint64(len(entries)))
+	var err error
+	for i := range entries {
+		e := &entries[i]
+		var flags byte
+		if e.oneway {
+			flags |= oneWayFlag
+		}
+		bw.WriteByte(flags)
+		putUvarint(bw, e.seq)
+		putUvarint(bw, uint64(len(e.service)))
+		bw.WriteString(e.service)
+		putUvarint(bw, uint64(len(e.method)))
+		bw.WriteString(e.method)
+		putUvarint(bw, uint64(len(e.payload)))
+		_, err = bw.Write(e.payload)
+	}
 	return w.finish(err)
 }
 
@@ -137,7 +227,12 @@ func responseFrameSize(seq uint64, payload []byte, errMsg string, redirect []str
 	return size
 }
 
-func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, redirect []string) error {
+// writeResponse emits one response frame. hold skips the flush even when no
+// other writer is queued — the server passes it while more responses for
+// this connection are imminent (outstanding requests), so a wave of
+// completions reaches the kernel in one syscall; the caller guarantees a
+// later flush (last writer, or its straggler timer).
+func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, redirect []string, hold bool) error {
 	if responseFrameSize(seq, payload, errMsg, redirect) > MaxFrame {
 		// Surface the overflow to the caller as a RemoteError instead of
 		// poisoning the connection with an unreadable frame.
@@ -161,7 +256,30 @@ func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, re
 	}
 	putUvarint(bw, uint64(len(payload)))
 	_, err := bw.Write(payload)
+	if hold && err == nil {
+		if w.err == nil {
+			w.mu.Unlock()
+			return nil
+		}
+		err = w.err
+	}
 	return w.finish(err)
+}
+
+// flushNow pushes any buffered frames to the kernel (a no-op on an empty
+// buffer). Used by the server's straggler timer to bound how long held
+// responses may sit.
+func (w *connWriter) flushNow() error {
+	w.mu.Lock()
+	err := w.err
+	if err == nil {
+		err = w.bw.Flush()
+		if err != nil {
+			w.err = err
+		}
+	}
+	w.mu.Unlock()
+	return err
 }
 
 // readFrame reads one length-prefixed frame and returns its kind and body.
@@ -227,6 +345,66 @@ func parseRequest(body []byte) (*Request, error) {
 		Method:  string(method),
 		Payload: payload,
 	}, nil
+}
+
+// batchItem is one decoded entry of a batch frame as handed to the server.
+type batchItem struct {
+	oneway bool
+	req    *Request
+}
+
+// parseBatch decodes a batch body. Service and Method strings are copied
+// out; payloads alias body.
+func parseBatch(body []byte) ([]batchItem, error) {
+	count, rest, ok := takeUvarint(body)
+	if !ok || count == 0 || count > maxBatchEntries {
+		return nil, errMalformed
+	}
+	// Grow by append rather than trusting the declared count outright: the
+	// count is capped above, but entries must actually be present.
+	items := make([]batchItem, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, errMalformed
+		}
+		flags := rest[0]
+		rest = rest[1:]
+		if flags&^oneWayFlag != 0 {
+			return nil, errMalformed
+		}
+		var seq uint64
+		seq, rest, ok = takeUvarint(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		var service, method, payload []byte
+		service, rest, ok = takeBytes(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		method, rest, ok = takeBytes(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		payload, rest, ok = takeBytes(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		items = append(items, batchItem{
+			oneway: flags&oneWayFlag != 0,
+			req: &Request{
+				Seq:     seq,
+				Service: string(service),
+				Method:  string(method),
+				Payload: payload,
+				OneWay:  flags&oneWayFlag != 0,
+			},
+		})
+	}
+	if len(rest) != 0 {
+		return nil, errMalformed
+	}
+	return items, nil
 }
 
 // parseResponse decodes a response body into res. res.payload aliases body.

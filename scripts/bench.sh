@@ -5,7 +5,9 @@
 # microbenchmarks, and rewrites BENCH_transport.json with the current
 # numbers next to the frozen seed baseline (the gob-framed transport at
 # commit b60f3ab, measured with the same bench_test.go), so every PR can see
-# the perf trajectory at a glance.
+# the perf trajectory at a glance. Also rewrites BENCH_async.json comparing
+# sequential-sync, pipelined-async, batched-async and one-way echo
+# throughput (the PR-2 asynchronous invocation pipeline figure).
 #
 # Usage: scripts/bench.sh            (or: make bench)
 #        BENCHTIME=5s scripts/bench.sh
@@ -55,3 +57,34 @@ EOF
   echo '}'
 } > BENCH_transport.json
 echo "wrote BENCH_transport.json"
+
+# BENCH_async.json: the asynchronous invocation pipeline figure — the same
+# 64B echo workload driven sequentially-sync, as a pipelined window of
+# futures, through the adaptive batcher, and fire-and-forget. speedup_x is
+# relative to the sequential-sync baseline of this same run.
+printf '%s\n' "$OUT" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i-1)
+  }
+  END {
+    base = ns["BenchmarkCall"]
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", gen
+    printf "  \"workload\": \"64B echo over one connection (internal/transport/bench_test.go)\",\n"
+    printf "  \"note\": \"pipelined = window of 64 Client.Go futures; batched = same window under the adaptive batcher (BatchOptions); oneway = fire-and-forget submission\",\n"
+    n = split("BenchmarkCall BenchmarkCallPipelined64 BenchmarkCallBatched64 BenchmarkCallBatched256 BenchmarkOneWay", keys, " ")
+    split("sync_sequential async_pipelined_64 async_batched_64 async_batched_256 oneway", labels, " ")
+    first = 1
+    for (i = 1; i <= n; i++) {
+      k = keys[i]
+      if (!(k in ns)) continue
+      if (!first) printf ",\n"
+      first = 0
+      printf "  \"%s\": {\"ns_per_op\": %s, \"speedup_x\": %.2f}", labels[i], ns[k], base / ns[k]
+    }
+    printf "\n}\n"
+  }
+' > BENCH_async.json
+echo "wrote BENCH_async.json"
+cat BENCH_async.json
