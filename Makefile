@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci fuzz-smoke
+.PHONY: all build vet fmt-check test race bench ci fuzz-smoke
 
 all: vet test
 
-# ci is the full gate (run by .github/workflows/ci.yml): build, vet, the
-# whole test suite under the race detector, then a short fuzz smoke over the
-# wire codec.
-ci: build vet
+# ci is the full gate (run by .github/workflows/ci.yml): formatting, build,
+# vet, the whole test suite under the race detector, then a short fuzz
+# smoke over the wire codec.
+ci: fmt-check build vet
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+
+# fmt-check fails if any file is not gofmt-clean (gofmt -l lists offenders).
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$files"; exit 1; \
+	fi
 
 # fuzz-smoke runs each wire-codec fuzz target briefly; `go test -fuzz`
 # accepts exactly one target per invocation, hence the loop.

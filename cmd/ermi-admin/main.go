@@ -82,11 +82,12 @@ func status(reg *core.RegistryClient, pool string) error {
 		return fmt.Errorf("pool %s has no endpoints", pool)
 	}
 	// Discover the authoritative roster through the sentinel.
-	roster, err := discover(pool, eps[0])
+	rep, err := discover(pool, eps[0])
 	if err != nil {
 		return fmt.Errorf("discover via sentinel: %w", err)
 	}
-	fmt.Printf("pool %s: %d members (sentinel first)\n", pool, len(roster))
+	roster := rep.Members
+	fmt.Printf("pool %s: %d members (sentinel first), routing epoch %d\n", pool, len(roster), rep.Epoch)
 	fmt.Printf("%-22s %6s %8s %9s %7s %7s  %s\n",
 		"address", "uid", "pending", "draining", "cpu%", "ram%", "methods (rate/s @ avg latency)")
 	for _, m := range roster {
@@ -105,17 +106,17 @@ func status(reg *core.RegistryClient, pool string) error {
 	return nil
 }
 
-func discover(pool, sentinel string) ([]core.MemberInfo, error) {
+func discover(pool, sentinel string) (core.DiscoverReply, error) {
 	c, err := transport.Dial(sentinel)
 	if err != nil {
-		return nil, err
+		return core.DiscoverReply{}, err
 	}
 	defer c.Close()
 	var rep core.DiscoverReply
 	if err := c.CallDecode(pool, core.MethodDiscover, nil, &rep, 5*time.Second); err != nil {
-		return nil, err
+		return core.DiscoverReply{}, err
 	}
-	return rep.Members, nil
+	return rep, nil
 }
 
 func memberStats(pool, addr string) (core.StatsReply, error) {

@@ -9,10 +9,15 @@
 //
 //   - internal/core — the ElasticRMI runtime (pools, stubs, skeletons,
 //     sentinel, scaling policies, registry, shared state).
+//   - internal/route — the epoch-versioned routing layer: membership
+//     tables stamped by the pool runtime, the consistent-hash ring, and
+//     the client-side pickers (round-robin, power-of-two-choices,
+//     key affinity) stubs balance with.
 //   - internal/transport, internal/kvstore, internal/cluster,
 //     internal/group, internal/metrics, internal/simclock — the substrates
-//     (wire protocol, HyperDex-like store, Mesos-like cluster manager,
-//     JGroups-like group communication, workload metering, virtual time).
+//     (wire protocol with piggybacked route updates, HyperDex-like store,
+//     Mesos-like cluster manager, JGroups-like group communication,
+//     workload metering, virtual time).
 //   - internal/apps — the evaluation applications (Marketcetera order
 //     routing, Hedwig pub/sub, Paxos, DCS) plus the paper's running cache
 //     example.
@@ -25,6 +30,7 @@
 //
 //	go test -bench=. -benchmem .
 //
-// BENCH_transport.json and BENCH_async.json record the wire hot path and
-// the async-pipeline throughput figures (regenerate with `make bench`).
+// BENCH_transport.json, BENCH_async.json and BENCH_routing.json record the
+// wire hot path, the async-pipeline throughput and the routing-strategy
+// figures (regenerate with `make bench`).
 package elasticrmi

@@ -70,10 +70,12 @@ func run() error {
 	}
 	defer stub.Close()
 
-	// Fill the cache and read it back through different members.
+	// Fill the cache and read it back with key affinity: every Put/Get for
+	// a key is routed to that key's consistent-hash owner, so the same
+	// member that stored a page serves its reads.
 	for i := 0; i < 16; i++ {
 		key := fmt.Sprintf("page-%02d", i)
-		if _, err := core.Call[cache.PutArgs, cache.PutReply](stub, cache.MethodPut,
+		if _, err := core.CallKeyed[cache.PutArgs, cache.PutReply](stub, cache.MethodPut, key,
 			cache.PutArgs{Key: key, Value: []byte(fmt.Sprintf("<html>content %d</html>", i))}); err != nil {
 			return err
 		}
@@ -81,7 +83,7 @@ func run() error {
 	hits := 0
 	for i := 0; i < 16; i++ {
 		key := fmt.Sprintf("page-%02d", i)
-		rep, err := core.Call[cache.GetArgs, cache.GetReply](stub, cache.MethodGet, cache.GetArgs{Key: key})
+		rep, err := core.CallKeyed[cache.GetArgs, cache.GetReply](stub, cache.MethodGet, key, cache.GetArgs{Key: key})
 		if err != nil {
 			return err
 		}
@@ -89,7 +91,7 @@ func run() error {
 			hits++
 		}
 	}
-	fmt.Printf("16 puts, 16 gets through round-robin members: %d hits (single-object illusion)\n", hits)
+	fmt.Printf("16 puts, 16 gets routed by key affinity: %d hits (single-object illusion)\n", hits)
 
 	// Hot-key contention: many writers updating ONE key. Fig. 5's logic
 	// refuses to grow the pool because lock contention, not capacity, is
@@ -102,7 +104,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				_, _ = core.Call[cache.PutArgs, cache.PutReply](stub, cache.MethodPut,
+				_, _ = core.CallKeyed[cache.PutArgs, cache.PutReply](stub, cache.MethodPut, "hot",
 					cache.PutArgs{Key: "hot", Value: []byte("x")})
 			}
 		}()

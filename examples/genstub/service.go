@@ -28,7 +28,13 @@ type (
 //
 //ermi:elastic
 type KVService interface {
+	// Set and Get are annotated with key extractors: the generated stub
+	// grows SetWithAffinity/GetWithAffinity variants that consistently
+	// route each key to one pool member.
+	//
+	//ermi:affinity Key
 	Set(arg SetArgs) (SetReply, error)
+	//ermi:affinity Key
 	Get(arg GetArgs) (GetReply, error)
 }
 

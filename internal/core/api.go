@@ -105,6 +105,10 @@ type Config struct {
 	// SliceCPUs is the CPU capacity of each member's slice used for
 	// utilization accounting. Default 2 (the paper's example reservation).
 	SliceCPUs float64
+	// DrainTimeout bounds how long a removed member waits for pending
+	// invocations before shutdown (§2.5). Default 10s; tests use a short
+	// value to keep scale-down fast.
+	DrainTimeout time.Duration
 	// DisableBroadcast turns off the periodic pool-state broadcast (used by
 	// tests that exercise the pool without group traffic).
 	DisableBroadcast bool
@@ -139,6 +143,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.SliceCPUs == 0 {
 		out.SliceCPUs = 2
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 10 * time.Second
 	}
 	return out
 }

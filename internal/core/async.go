@@ -86,22 +86,34 @@ func (s *Stub) InvokeAsync(method string, payload []byte) *AsyncCall {
 // enabled, batched) transport path, then hands anything retryable to the
 // synchronous failover loop.
 func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
-	addr, err := s.pick()
-	if err != nil {
-		return nil, err
+	if s.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	addr, ok := s.pickFor("")
+	if !ok {
+		return nil, ErrUnavailable
 	}
 	c, err := s.conn(addr)
 	if err == nil {
+		release := s.routes.Acquire(addr)
 		out, cerr := c.Go(s.name, method, payload).Wait(s.timeout)
+		release()
 		switch {
 		case cerr == nil:
+			s.routes.Readmit(addr)
 			return out, nil
 		case isRemoteAppError(cerr), errors.Is(cerr, transport.ErrFrameTooLarge):
 			// The method executed and failed, or the request cannot be
 			// framed anywhere: retrying elsewhere would be wrong.
 			return nil, cerr
 		}
-		// Redirect or transport failure: fall through to the failover loop.
+		// Transport failure: exclude and hand off to the failover loop.
+		s.routes.Exclude(addr)
+		s.conns.Drop(addr)
+	} else if errors.Is(err, ErrPoolClosed) {
+		return nil, err
+	} else {
+		s.routes.Exclude(addr)
 	}
 	return s.Invoke(method, payload)
 }
@@ -117,20 +129,24 @@ func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
 // submission is asynchronous: a batch-write failure after InvokeOneWay
 // returned nil loses the invocation silently and surfaces on the next one.
 func (s *Stub) InvokeOneWay(method string, payload []byte) error {
-	var lastErr error
-	tried := make(map[string]bool)
-	refreshed := false
-
-	addr, err := s.pick()
-	if err != nil {
-		return err
+	if s.closed.Load() {
+		return ErrPoolClosed
 	}
-	attempts := len(s.Members()) + 2
+	var lastErr error
+	attempts := s.routes.Len() + 2
 	for i := 0; i < attempts; i++ {
+		addr, ok := s.pickFor("")
+		if !ok {
+			break
+		}
+		if i > 0 {
+			s.staleRetries.Add(1)
+		}
 		c, err := s.conn(addr)
 		if err == nil {
 			werr := c.OneWay(s.name, method, payload)
 			if werr == nil {
+				s.routes.Readmit(addr)
 				return nil
 			}
 			if errors.Is(werr, transport.ErrFrameTooLarge) {
@@ -139,17 +155,17 @@ func (s *Stub) InvokeOneWay(method string, payload []byte) error {
 			if !errors.Is(werr, transport.ErrClosed) {
 				// The frame may have reached the member before the failure;
 				// resubmitting could execute the invocation twice.
-				s.dropMember(addr)
+				s.routes.Exclude(addr)
+				s.conns.Drop(addr)
 				return fmt.Errorf("core: %s.%s: one-way delivery uncertain: %w", s.name, method, werr)
 			}
 			err = werr // refused before submission: safe to try elsewhere
+		} else if errors.Is(err, ErrPoolClosed) {
+			return err
 		}
 		lastErr = err
-		tried[addr] = true
-		s.dropMember(addr)
-		if addr = s.nextCandidate(tried, &refreshed); addr == "" {
-			break
-		}
+		s.routes.Exclude(addr)
+		s.conns.Drop(addr)
 	}
 	if lastErr == nil {
 		lastErr = errors.New("core: no members left to try")

@@ -237,12 +237,13 @@ func TestBatchedStubPipelines(t *testing.T) {
 	}
 }
 
-// TestOneWayExecutesOnDrainingMember: a redirect is useless for an
-// invocation that gets no response, so draining (or rebalancing) members
-// must execute one-way work locally instead of silently dropping it —
-// otherwise every scale-down loses fire-and-forget traffic for the whole
-// drain window.
-func TestOneWayExecutesOnDrainingMember(t *testing.T) {
+// TestInvocationsExecuteOnDrainingMember: under epoch routing a draining
+// member never refuses work — clients are steered away by the routing
+// table, not by errors. Anything that still reaches the member (stale
+// two-way callers, and one-way invocations, which carry no reply to
+// correct the sender with) must execute locally instead of being dropped —
+// otherwise every scale-down loses traffic for the whole drain window.
+func TestInvocationsExecuteOnDrainingMember(t *testing.T) {
 	env := newTestEnv(t, 8)
 	var hits atomic.Int64
 	factory := func(ctx *MemberContext) (Object, error) {
@@ -280,12 +281,14 @@ func TestOneWayExecutesOnDrainingMember(t *testing.T) {
 		}
 	})
 
-	// Two-way invocations are redirected away (and, with everyone
-	// draining, eventually fail)...
-	if _, err := stub.Invoke("Tick", transport.MustEncode(struct{}{})); err == nil {
-		t.Fatal("two-way invocation served by a draining member without redirect")
+	// Two-way invocations that reach a draining member are served (the
+	// stub's table still lists both members; only a fresh epoch would
+	// exclude them)...
+	if _, err := stub.Invoke("Tick", transport.MustEncode(struct{}{})); err != nil {
+		t.Fatalf("two-way invocation refused by draining member: %v", err)
 	}
-	// ...but one-way invocations must execute rather than vanish.
+	hits.Store(0)
+	// ...and one-way invocations must execute rather than vanish.
 	const n = 10
 	for i := 0; i < n; i++ {
 		if err := stub.InvokeOneWay("Tick", transport.MustEncode(struct{}{})); err != nil {

@@ -1,22 +1,26 @@
 package core
 
 import (
-	"errors"
+	"sync"
 	"testing"
 	"time"
 
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/transport"
 )
 
-// TestDrainingSkeletonRedirectsDirectCalls talks to a skeleton directly
-// (bypassing the stub) while its member drains: the skeleton must answer
-// with a redirect listing the surviving members (§2.5), which is what the
-// stub transparently follows.
-func TestDrainingSkeletonRedirectsDirectCalls(t *testing.T) {
+// TestDrainingSkeletonServesAndSteersDirectCalls talks to a skeleton
+// directly (bypassing the stub) while its member drains. Under epoch
+// routing the draining member does not refuse: it keeps serving whatever
+// reaches it, and every reply piggybacks the post-shrink routing table —
+// which no longer lists the member — so the caller is steered away within
+// one round-trip (§2.5 without the redirect bounce).
+func TestDrainingSkeletonServesAndSteersDirectCalls(t *testing.T) {
 	env := newTestEnv(t, 8)
 	pool := newTestPool(t, env, Config{
 		Name: "draintest", MinPoolSize: 2, MaxPoolSize: 4,
 		BurstInterval: time.Hour, DisableBroadcast: true,
+		DrainTimeout: 2 * time.Second,
 	})
 	if err := pool.Resize(1); err != nil {
 		t.Fatalf("Resize: %v", err)
@@ -24,40 +28,56 @@ func TestDrainingSkeletonRedirectsDirectCalls(t *testing.T) {
 	eps := pool.Endpoints()
 	victim := eps[len(eps)-1] // highest UID: the one shrink removes
 
-	// Start the shrink; the roster is refreshed before draining, so the
-	// victim knows where to point.
+	// Start the shrink; the view is stamped before draining, so the victim
+	// already holds the table that excludes it.
 	done := make(chan error, 1)
 	go func() { done <- pool.Resize(-1) }()
 
 	// Talk to the victim directly while it drains. Depending on timing we
-	// observe either a redirect or a closed connection — both are the
-	// "removed member" signals the stub handles.
-	c, err := transport.Dial(victim)
+	// observe served calls carrying a corrective route update, or a closed
+	// connection — both are the "removed member" signals the stub handles.
+	var mu sync.Mutex
+	var updates []route.Table
+	c, err := transport.DialOpts(victim, transport.DialOptions{
+		OnRouteUpdate: func(tab route.Table) {
+			mu.Lock()
+			updates = append(updates, tab)
+			mu.Unlock()
+		},
+	})
 	if err == nil {
 		defer c.Close()
+		// A reply may carry a pre-shrink table if the call lands in the
+		// instant before the victim receives the shrunken one; keep calling
+		// until a table that excludes the victim arrives (the corrective
+		// signal) or the connection is torn down (member fully removed).
+		excludesVictim := func(u route.Table) bool {
+			for _, m := range u.Members {
+				if m.Addr == victim && !m.Draining {
+					return false
+				}
+			}
+			return true
+		}
 		payload := transport.MustEncode(addArgs{N: 1})
+		corrected, severed := false, false
 		deadline := time.Now().Add(2 * time.Second)
-		sawRedirect := false
-		for time.Now().Before(deadline) {
-			_, callErr := c.Call("draintest", "Add", payload, time.Second)
-			var redirect *transport.RedirectError
-			if errors.As(callErr, &redirect) {
-				sawRedirect = true
-				if len(redirect.Targets) == 0 {
-					t.Fatal("redirect with no targets")
-				}
-				for _, target := range redirect.Targets {
-					if target == victim {
-						t.Fatal("redirect points at the draining member itself")
-					}
-				}
+		for time.Now().Before(deadline) && !corrected && !severed {
+			if _, callErr := c.Call("draintest", "Add", payload, time.Second); callErr != nil {
+				severed = true
 				break
 			}
-			if callErr != nil {
-				break // connection torn down: member fully removed
+			mu.Lock()
+			for _, u := range updates {
+				if excludesVictim(u) {
+					corrected = true
+				}
 			}
+			mu.Unlock()
 		}
-		_ = sawRedirect // either observation is acceptable; assertions above
+		if !corrected && !severed {
+			t.Error("draining member neither steered the caller away nor closed the connection")
+		}
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("Resize(-1): %v", err)

@@ -119,7 +119,8 @@ func TestBroadcastDisseminatesRoster(t *testing.T) {
 	pool.BroadcastNow()
 	time.Sleep(100 * time.Millisecond)
 
-	// A stub seeded with ONE member must discover all four via __discover.
+	// A stub seeded with ONE member must learn all four from the routing
+	// table piggybacked on its first reply.
 	stub, err := NewStub("bcast", []string{pool.Endpoints()[3]})
 	if err != nil {
 		t.Fatalf("NewStub: %v", err)

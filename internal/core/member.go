@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +10,7 @@ import (
 	"elasticrmi/internal/cluster"
 	"elasticrmi/internal/group"
 	"elasticrmi/internal/metrics"
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/transport"
 )
 
@@ -18,8 +18,9 @@ import (
 // the application's remote methods but are handled by the skeleton itself.
 const (
 	// MethodDiscover asks a skeleton for the identities (address, UID) of
-	// the members of its pool. Stubs call it on first contact with the
-	// sentinel (§4.3).
+	// the members of its pool. Stubs no longer need it — the routing table
+	// reaches them piggybacked on ordinary replies — but it remains the
+	// admin/observability surface (ermi-admin).
 	MethodDiscover = "__discover"
 	// MethodPing is a liveness probe.
 	MethodPing = "__ping"
@@ -43,7 +44,6 @@ type StatsReply struct {
 // Group topics used inside a pool.
 const (
 	topicPoolState = "poolstate"
-	topicRebalance = "rebalance"
 	// appTopicPrefix namespaces application peer messages away from the
 	// runtime's own topics.
 	appTopicPrefix = "app:"
@@ -62,16 +62,16 @@ type MemberInfo struct {
 // DiscoverReply answers MethodDiscover.
 type DiscoverReply struct {
 	Pool    string
+	Epoch   uint64
 	Members []MemberInfo // sentinel first
 }
 
+// poolStateMsg is the sentinel's periodic pool-state broadcast: the roster
+// for discovery answers plus the epoch-stamped routing table members serve
+// to stale clients.
 type poolStateMsg struct {
-	ViewID  uint64
+	Table   route.Table
 	Members []MemberInfo
-}
-
-type rebalanceMsg struct {
-	Plans []RedirectPlan
 }
 
 // member is one object of the elastic pool: the application Object plus its
@@ -89,15 +89,41 @@ type member struct {
 
 	draining atomic.Bool
 
+	// table is the newest routing table this member holds; the transport
+	// server snapshots it per response to piggyback route updates to stale
+	// clients.
+	table atomic.Pointer[route.Table]
+
 	mu        sync.Mutex
 	roster    []MemberInfo // last known pool membership, sentinel first
-	plan      *RedirectPlan
 	lastStats map[string]metrics.MethodStat
 	lastUsage metrics.Usage
 	closed    bool
 
 	msgStop chan struct{}
 	msgDone chan struct{}
+}
+
+// currentTable snapshots the member's routing table (transport.RouteSource).
+func (m *member) currentTable() route.Table {
+	if t := m.table.Load(); t != nil {
+		return *t
+	}
+	return route.Table{}
+}
+
+// setTable installs t if it is newer than what the member holds.
+func (m *member) setTable(t route.Table) {
+	for {
+		cur := m.table.Load()
+		if cur != nil && t.Epoch <= cur.Epoch {
+			return
+		}
+		fresh := t.Clone()
+		if m.table.CompareAndSwap(cur, &fresh) {
+			return
+		}
+	}
 }
 
 // skeleton request handling.
@@ -107,7 +133,8 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 	}
 	switch req.Method {
 	case MethodDiscover:
-		return transport.Encode(DiscoverReply{Pool: m.pool.cfg.Name, Members: m.rosterCopy()})
+		t := m.currentTable()
+		return transport.Encode(DiscoverReply{Pool: m.pool.cfg.Name, Epoch: t.Epoch, Members: m.rosterCopy()})
 	case MethodPing:
 		return nil, nil
 	case MethodStats:
@@ -128,22 +155,11 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 			Methods:  methods,
 		})
 	}
-	// One-way invocations get no response, so a redirect would be a silent
-	// drop: execute them locally instead — a draining member still serves
-	// its in-flight work (§2.5), and rebalance shedding only steers load.
-	if !req.OneWay {
-		if m.draining.Load() {
-			// The skeleton redirects all further invocations to other
-			// objects in the pool after the runtime decides to shut it
-			// down (§2.3).
-			return nil, &transport.RedirectError{Targets: m.otherAddrs()}
-		}
-		if targets, ok := m.redirectTarget(); ok {
-			// Server-side rebalancing: shed a fraction of arrivals to the
-			// targets the sentinel's bin-packing plan selected (§4.3).
-			return nil, &transport.RedirectError{Targets: targets}
-		}
-	}
+	// A draining member still serves every invocation that reaches it
+	// (§2.5's pending work, plus arrivals from stale clients): the client
+	// is steered away not by refusal but by the piggybacked routing table
+	// on this very reply, which excludes the member. One-way invocations
+	// get the same treatment minus the correction (they carry no reply).
 	finish := m.meter.Begin(req.Method)
 	defer finish()
 	return m.obj.HandleCall(req.Method, req.Payload)
@@ -155,35 +171,8 @@ func (m *member) rosterCopy() []MemberInfo {
 	return append([]MemberInfo(nil), m.roster...)
 }
 
-func (m *member) otherAddrs() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.roster))
-	for _, info := range m.roster {
-		if info.Addr != m.srv.Addr() && !info.Draining {
-			out = append(out, info.Addr)
-		}
-	}
-	return out
-}
-
-// redirectTarget decides probabilistically whether this arrival should be
-// redirected under the current rebalance plan.
-func (m *member) redirectTarget() ([]string, bool) {
-	m.mu.Lock()
-	plan := m.plan
-	m.mu.Unlock()
-	if plan == nil || plan.Fraction <= 0 || len(plan.Targets) == 0 {
-		return nil, false
-	}
-	if rand.Float64() >= plan.Fraction { //nolint:gosec // balancing, not crypto
-		return nil, false
-	}
-	return append([]string(nil), plan.Targets...), true
-}
-
 // messageLoop consumes group traffic: pool-state broadcasts from the
-// sentinel and rebalance instructions.
+// sentinel (roster + routing table) and application peer messages.
 func (m *member) messageLoop() {
 	defer close(m.msgDone)
 	for {
@@ -202,21 +191,7 @@ func (m *member) messageLoop() {
 			m.mu.Lock()
 			m.roster = st.Members
 			m.mu.Unlock()
-		case topicRebalance:
-			var rb rebalanceMsg
-			if err := transport.Decode(msg.Payload, &rb); err != nil {
-				continue
-			}
-			var mine *RedirectPlan
-			for i := range rb.Plans {
-				if rb.Plans[i].From == m.srv.Addr() {
-					mine = &rb.Plans[i]
-					break
-				}
-			}
-			m.mu.Lock()
-			m.plan = mine
-			m.mu.Unlock()
+			m.setTable(st.Table)
 		default:
 			if len(msg.Topic) > len(appTopicPrefix) && msg.Topic[:len(appTopicPrefix)] == appTopicPrefix {
 				m.ctx.deliverPeer(msg.From, msg.Topic[len(appTopicPrefix):], msg.Payload)
@@ -253,14 +228,27 @@ func (m *member) cachedUsage() metrics.Usage {
 	return m.lastUsage
 }
 
-// drain implements the §2.5 removal protocol: redirect new invocations, wait
-// for pending ones to finish (or the timeout to expire), then shut down.
-func (m *member) drain(timeout time.Duration) {
+// drain implements the §2.5 removal protocol under epoch routing: the
+// member keeps serving while every reply steers its callers to the new
+// table (which excludes it); once the in-flight count reaches zero (or the
+// timeout expires) the skeleton quiesces — late arrivals are dropped
+// unexecuted and every acknowledged response is flushed to the wire — so
+// the close that follows can never cut an ack and trick a retrying caller
+// into a duplicate execution.
+// It reports whether the member went down clean; false means the timeout
+// forced the shutdown with work still in flight, so at-most-once may have
+// been forfeited for the calls that were cut.
+func (m *member) drain(timeout time.Duration) bool {
 	m.draining.Store(true)
 	deadline := time.Now().Add(timeout)
 	for m.meter.InFlight() > 0 && time.Now().Before(deadline) {
 		time.Sleep(500 * time.Microsecond)
 	}
+	quiesce := time.Until(deadline)
+	if quiesce < 100*time.Millisecond {
+		quiesce = 100 * time.Millisecond
+	}
+	return m.srv.Quiesce(quiesce)
 }
 
 // close releases the member's servers. Safe to call twice.

@@ -11,6 +11,7 @@ import (
 	"elasticrmi/internal/group"
 	"elasticrmi/internal/kvstore"
 	"elasticrmi/internal/metrics"
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/transport"
 )
 
@@ -40,11 +41,12 @@ type ScaleEvent struct {
 	// ProvisioningLatency is the time from initiating the resource request
 	// to the new member(s) being able to serve; zero for removals.
 	ProvisioningLatency time.Duration
+	// ForcedDrains counts removed members whose drain timed out with work
+	// still in flight: their shutdown may have cut acknowledged responses,
+	// forfeiting at-most-once for the affected calls. Zero on clean
+	// shrinks and on all grow events.
+	ForcedDrains int
 }
-
-// drainTimeout bounds how long a removed member waits for pending
-// invocations before shutdown.
-const drainTimeout = 10 * time.Second
 
 // Pool is an instantiated elastic class: the elastic object pool plus its
 // runtime (sentinel election, monitoring, scaling, load balancing).
@@ -55,11 +57,10 @@ type Pool struct {
 	policy  Policy
 	fine    bool
 
-	gm *group.Member // the runtime's group endpoint (view coordinator)
+	gm *group.Member // the runtime's group endpoint (view coordinator, epoch source)
 
 	mu      sync.Mutex
 	members []*member // sorted by UID; members[0] is the sentinel
-	viewID  uint64
 	closed  bool
 
 	scaleMu sync.Mutex // serializes grow/shrink/failure handling
@@ -191,6 +192,9 @@ func (p *Pool) launchMember(s *cluster.Slice) (*member, error) {
 		return nil, err
 	}
 	m.srv = srv
+	// Every response this skeleton writes piggybacks the member's routing
+	// table to requesters carrying an older epoch.
+	srv.SetRouteSource(m.currentTable)
 	go m.messageLoop()
 
 	p.mu.Lock()
@@ -200,36 +204,76 @@ func (p *Pool) launchMember(s *cluster.Slice) (*member, error) {
 	return m, nil
 }
 
-// refreshView installs a new group view (runtime endpoint first, so the
-// runtime coordinates view dissemination) and pushes the fresh roster to all
-// members so discovery answers stay current even without broadcasts.
-func (p *Pool) refreshView() {
-	p.mu.Lock()
-	p.viewID++
-	id := p.viewID
-	addrs := make([]string, 0, len(p.members)+1)
-	addrs = append(addrs, p.gm.Addr())
+// snapshotLocked builds the roster and the epoch-stamped routing table for
+// the current membership. weights maps member address to routing weight
+// (nil: every member gets route.DefaultWeight). Caller holds p.mu.
+func (p *Pool) snapshotLocked(epoch uint64, weights map[string]int32) ([]MemberInfo, route.Table) {
 	roster := make([]MemberInfo, 0, len(p.members))
+	table := route.Table{Epoch: epoch, Members: make([]route.Member, 0, len(p.members))}
 	for _, m := range p.members {
-		addrs = append(addrs, m.gm.Addr())
-		roster = append(roster, MemberInfo{
+		info := MemberInfo{
 			Addr:     m.srv.Addr(),
 			Group:    m.gm.Addr(),
 			UID:      m.uid,
 			Pending:  m.meter.InFlight(),
 			Draining: m.draining.Load(),
+		}
+		roster = append(roster, info)
+		w := int32(route.DefaultWeight)
+		if weights != nil {
+			if ww, ok := weights[info.Addr]; ok {
+				w = ww
+			}
+		}
+		table.Members = append(table.Members, route.Member{
+			Addr:     info.Addr,
+			UID:      info.UID,
+			Weight:   w,
+			Load:     int32(info.Pending),
+			Draining: info.Draining,
 		})
 	}
-	members := append([]*member(nil), p.members...)
-	p.mu.Unlock()
+	return roster, table
+}
 
-	_ = p.gm.InstallView(group.View{ID: id, Members: addrs})
+// publish pushes roster and table to the given members directly (the
+// runtime holds in-process references; group dissemination additionally
+// covers observers and is driven by the broadcast loop).
+func publish(members []*member, roster []MemberInfo, table route.Table) {
 	for _, m := range members {
 		m.mu.Lock()
 		m.roster = append([]MemberInfo(nil), roster...)
 		m.mu.Unlock()
+		m.setTable(table)
 	}
 }
+
+// refreshView stamps a new membership epoch, installs the matching group
+// view (runtime endpoint first, so the runtime coordinates view
+// dissemination) and pushes the fresh roster plus epoch-stamped routing
+// table to all members, so every skeleton immediately corrects stale
+// clients on its next reply. The published roster and table are returned
+// so callers that must hand the SAME view to additional parties (shrink's
+// victims) never mint a second, different table under the same epoch.
+func (p *Pool) refreshView() ([]MemberInfo, route.Table) {
+	epoch := p.gm.NextEpoch()
+	p.mu.Lock()
+	addrs := make([]string, 0, len(p.members)+1)
+	addrs = append(addrs, p.gm.Addr())
+	for _, m := range p.members {
+		addrs = append(addrs, m.gm.Addr())
+	}
+	roster, table := p.snapshotLocked(epoch, nil)
+	members := append([]*member(nil), p.members...)
+	p.mu.Unlock()
+
+	_ = p.gm.InstallView(group.View{ID: epoch, Members: addrs})
+	publish(members, roster, table)
+	return roster, table
+}
+
+// Epoch returns the pool's current membership epoch.
+func (p *Pool) Epoch() uint64 { return p.gm.Epoch() }
 
 // rebind refreshes the registry binding (sentinel first).
 func (p *Pool) rebind() {
@@ -454,20 +498,30 @@ func (p *Pool) shrink(n, from int) error {
 		return nil
 	}
 
-	// Update the roster before draining so redirects point only at the
-	// surviving members.
-	p.refreshView()
+	// Stamp the shrunken view before draining, and hand the exact same
+	// roster and table to the victims too: a stale client that still
+	// reaches a draining member is served and corrected by the piggybacked
+	// table on that very reply, which no longer lists the victim.
+	roster, table := p.refreshView()
 	p.rebind()
 	for _, v := range victims {
-		v.drain(drainTimeout)
+		v.draining.Store(true)
+	}
+	publish(victims, roster, table)
+	forced := 0
+	for _, v := range victims {
+		if !v.drain(p.cfg.DrainTimeout) {
+			forced++
+		}
 		v.close()
 		_ = p.deps.Cluster.Release(v.slice)
 	}
 	p.emit(ScaleEvent{
-		At:     p.cfg.Clock.Now(),
-		From:   from,
-		To:     from - len(victims),
-		Policy: p.policy.Name(),
+		At:           p.cfg.Clock.Now(),
+		From:         from,
+		To:           from - len(victims),
+		Policy:       p.policy.Name(),
+		ForcedDrains: forced,
 	})
 	return nil
 }
@@ -494,8 +548,11 @@ func (p *Pool) broadcastLoop() {
 	}
 }
 
-// broadcastState performs one pool-state broadcast plus rebalance planning.
-// Exposed to tests via BroadcastNow.
+// broadcastState performs one pool-state broadcast: the sentinel stamps a
+// fresh epoch over the current membership with up-to-date load reports and
+// rebalance-derived weights, so power-of-two clients see recent pending
+// counts and overloaded members shed new arrivals by weight instead of
+// bouncing them through redirects. Exposed to tests via BroadcastNow.
 func (p *Pool) broadcastState() {
 	p.mu.Lock()
 	if p.closed || len(p.members) == 0 {
@@ -503,33 +560,42 @@ func (p *Pool) broadcastState() {
 		return
 	}
 	sentinel := p.members[0]
-	viewID := p.viewID
-	roster := make([]MemberInfo, 0, len(p.members))
 	loads := make([]MemberLoad, 0, len(p.members))
 	for _, m := range p.members {
-		info := MemberInfo{
-			Addr:     m.srv.Addr(),
-			Group:    m.gm.Addr(),
-			UID:      m.uid,
-			Pending:  m.meter.InFlight(),
-			Draining: m.draining.Load(),
-		}
-		roster = append(roster, info)
-		if !info.Draining {
-			loads = append(loads, MemberLoad{Addr: info.Addr, Pending: info.Pending})
+		if !m.draining.Load() {
+			loads = append(loads, MemberLoad{Addr: m.srv.Addr(), Pending: m.meter.InFlight()})
 		}
 	}
 	p.mu.Unlock()
 
-	payload, err := transport.Encode(poolStateMsg{ViewID: viewID, Members: roster})
-	if err == nil {
-		_ = sentinel.gm.Broadcast(topicPoolState, payload)
-	}
-	plans := PlanRebalance(loads, 2.0)
-	if len(plans) > 0 {
-		if rb, err := transport.Encode(rebalanceMsg{Plans: plans}); err == nil {
-			_ = sentinel.gm.Broadcast(topicRebalance, rb)
+	// The sentinel's bin-packing plan (§4.3) becomes client-visible weight:
+	// a member told to shed fraction f of its arrivals is weighted down to
+	// (1-f) of the default share.
+	var weights map[string]int32
+	if plans := PlanRebalance(loads, 2.0); len(plans) > 0 {
+		weights = make(map[string]int32, len(plans))
+		for _, plan := range plans {
+			w := int32((1 - plan.Fraction) * route.DefaultWeight)
+			if w < 0 {
+				w = 0
+			}
+			weights[plan.From] = w
 		}
+	}
+
+	epoch := p.gm.NextEpoch()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	roster, table := p.snapshotLocked(epoch, weights)
+	members := append([]*member(nil), p.members...)
+	p.mu.Unlock()
+
+	publish(members, roster, table)
+	if payload, err := transport.Encode(poolStateMsg{Table: table, Members: roster}); err == nil {
+		_ = sentinel.gm.Broadcast(topicPoolState, payload)
 	}
 }
 

@@ -88,6 +88,10 @@ func (o *counterObject) HandleCall(method string, arg []byte) ([]byte, error) {
 
 func newTestPool(t *testing.T, env *testEnv, cfg Config) *Pool {
 	t.Helper()
+	if cfg.DrainTimeout == 0 {
+		// Shrinks in tests should not sit out the production drain bound.
+		cfg.DrainTimeout = time.Second
+	}
 	pool, err := NewPool(cfg, newCounterFactory(), env.deps())
 	if err != nil {
 		t.Fatalf("NewPool: %v", err)

@@ -217,17 +217,15 @@ func TestMemberFailureRecovery(t *testing.T) {
 	}
 }
 
-func TestStubFollowsRedirectsFromRebalance(t *testing.T) {
+func TestStubLearnsMembersFromSentinelSeed(t *testing.T) {
 	env := newTestEnv(t, 8)
 	pool := newTestPool(t, env, Config{
 		Name: "rebalance", MinPoolSize: 3, MaxPoolSize: 3,
 		BurstInterval: time.Hour,
 	})
-	// Issue the pool-state broadcast so skeletons know the roster, then a
-	// synthetic rebalance: not needed for correctness here — the important
-	// behaviour is that redirected invocations still complete, which the
-	// drain path exercises via Resize in other tests. Here we check
-	// discovery: a stub seeded ONLY with the sentinel learns all members.
+	// Issue the pool-state broadcast so skeletons hold the fresh table,
+	// then check in-band discovery: a stub seeded ONLY with the sentinel
+	// learns every member from its first piggybacked reply.
 	pool.BroadcastNow()
 	time.Sleep(50 * time.Millisecond)
 	stub, err := NewStub("rebalance", []string{pool.SentinelAddr()})

@@ -3,30 +3,39 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/transport"
 )
 
 // Stub is the client's local representative of an elastic object pool
 // (§2.3). To the client application the pool is a single remote object; the
-// stub knows about the pool members, performs client-side load balancing
-// (round-robin or random, §4.3), follows redirects from draining or
-// rebalancing skeletons, and fails invocations over to other members. Only
+// stub holds an epoch-versioned routing table (internal/route), picks a
+// member per call — round-robin, power-of-two-choices over the piggybacked
+// load reports, or consistent-hash key affinity — and fails invocations
+// over to other members. Stale tables correct themselves in-band: every
+// request carries the stub's epoch and any reply from a member holding a
+// newer table piggybacks the update, so a scale event converges within one
+// reply round-trip with no redirect bouncing and no sentinel hot spot. Only
 // when all attempts to communicate with the pool fail is the error
 // propagated to the application.
 type Stub struct {
-	name    string
-	timeout time.Duration
-	random  bool
-	batch   transport.BatchOptions // zero value: batching disabled
+	name     string
+	timeout  time.Duration
+	strategy route.Strategy
+	batch    transport.BatchOptions // zero value: batching disabled
 
-	// conns dials and caches one client per member outside the stub lock,
+	// routes is the epoch-versioned routing view, advanced exclusively by
+	// piggybacked updates arriving on this stub's connections.
+	routes *route.State
+
+	// conns dials and caches one client per member outside any stub lock,
 	// with a per-address singleflight guard: a slow or unreachable member
-	// stalls only the callers that picked it, never the whole stub.
+	// stalls only the callers that picked it, never the whole stub. Every
+	// client it dials stamps requests with the stub's epoch and feeds
+	// route updates back into routes.
 	conns *transport.ConnCache
 
 	// pendingN counts asynchronous invocations started but not yet
@@ -34,18 +43,30 @@ type Stub struct {
 	// queued async work that has not reached a member's meter yet.
 	pendingN atomic.Int64
 
-	mu      sync.Mutex
-	members []string // known skeleton addresses, sentinel first
-	next    int
-	closed  bool
+	// staleRetries counts failover attempts after the first pick of an
+	// invocation — the cost of acting on a stale or degraded view. Churn
+	// tests assert this stays bounded.
+	staleRetries atomic.Uint64
+
+	closed atomic.Bool
 }
 
 // StubOption customizes stub behaviour.
 type StubOption func(*Stub)
 
-// WithRandomBalancing selects random instead of round-robin member choice.
+// WithRandomBalancing selects uniform random instead of round-robin member
+// choice.
 func WithRandomBalancing() StubOption {
-	return func(s *Stub) { s.random = true }
+	return func(s *Stub) { s.strategy = route.Random }
+}
+
+// WithPowerOfTwoBalancing selects power-of-two-choices member choice: two
+// random members are sampled per call and the one with the lower load wins,
+// where load combines the pool's piggybacked pending reports with this
+// stub's own in-flight counts. Under skewed or bursty load it avoids hot
+// members that round-robin keeps feeding.
+func WithPowerOfTwoBalancing() StubOption {
+	return func(s *Stub) { s.strategy = route.PowerOfTwo }
 }
 
 // WithCallTimeout bounds each remote invocation attempt.
@@ -63,8 +84,9 @@ func WithBatching(maxDelay time.Duration) StubOption {
 }
 
 // NewStub creates a stub for the elastic class name from seed endpoints
-// (typically the registry binding, sentinel first). The stub contacts the
-// sentinel on first use to learn the identities of the other skeletons.
+// (typically the registry binding, sentinel first). The seed is an
+// epoch-zero table; the first reply from any member piggybacks the pool's
+// real routing table and supersedes it.
 func NewStub(name string, endpoints []string, opts ...StubOption) (*Stub, error) {
 	if name == "" {
 		return nil, errors.New("core: stub needs a pool name")
@@ -75,14 +97,19 @@ func NewStub(name string, endpoints []string, opts ...StubOption) (*Stub, error)
 	s := &Stub{
 		name:    name,
 		timeout: 10 * time.Second,
-		members: append([]string(nil), endpoints...),
+		routes:  route.NewState(route.Seed(endpoints)),
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	// The cache is built after options so WithBatching applies to every
 	// member connection it dials.
-	s.conns = transport.NewConnCacheBatched(2*time.Second, s.batch)
+	s.conns = transport.NewConnCacheOpts(transport.DialOptions{
+		Timeout:       2 * time.Second,
+		Batch:         s.batch,
+		Epoch:         s.routes.Epoch,
+		OnRouteUpdate: func(t route.Table) { s.routes.Advance(t) },
+	})
 	return s, nil
 }
 
@@ -95,28 +122,50 @@ func LookupStub(name string, reg *RegistryClient, opts ...StubOption) (*Stub, er
 	return NewStub(name, eps, opts...)
 }
 
-// Members returns the stub's current view of the pool membership.
+// Members returns the member addresses the stub currently considers
+// routable (draining and locally unreachable members excluded).
 func (s *Stub) Members() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]string(nil), s.members...)
+	return s.routes.Addrs()
 }
 
-func (s *Stub) pick() (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return "", ErrPoolClosed
+// RouteEpoch returns the epoch of the stub's current routing table (0 =
+// still on the bootstrap seed).
+func (s *Stub) RouteEpoch() uint64 { return s.routes.Epoch() }
+
+// RouteAdvances returns how many piggybacked table updates this stub has
+// installed.
+func (s *Stub) RouteAdvances() uint64 { return s.routes.Advances() }
+
+// StaleRetries returns how many failover attempts the stub has made beyond
+// the first pick of each invocation — the observable cost of view
+// staleness.
+func (s *Stub) StaleRetries() uint64 { return s.staleRetries.Load() }
+
+// Refresh proactively synchronizes the stub's routing table by pinging the
+// pool: if the stub is stale, the reply piggybacks the current table like
+// any other reply would. Ordinary invocations self-correct the same way —
+// Refresh just gives tests and interactive tools a deterministic sync
+// point without invoking an application method.
+func (s *Stub) Refresh() error {
+	_, err := s.Invoke(MethodPing, nil)
+	return err
+}
+
+// pickFor chooses the member for one attempt: the consistent-hash owner
+// when an affinity key is present, the stub's strategy otherwise. When
+// every member is locally excluded it falls back to picking among them
+// anyway — one of those dials succeeding is the only way a reply (and with
+// it a fresh table that clears the exclusions) can ever arrive after a
+// transient total outage.
+func (s *Stub) pickFor(key string) (string, bool) {
+	if key != "" {
+		if addr, ok := s.routes.PickKeyed(key); ok {
+			return addr, ok
+		}
+	} else if addr, ok := s.routes.Pick(s.strategy); ok {
+		return addr, ok
 	}
-	if len(s.members) == 0 {
-		return "", ErrUnavailable
-	}
-	if s.random {
-		return s.members[rand.Intn(len(s.members))], nil //nolint:gosec // balancing
-	}
-	addr := s.members[s.next%len(s.members)]
-	s.next++
-	return addr, nil
+	return s.routes.PickAny()
 }
 
 func (s *Stub) conn(addr string) (*transport.Client, error) {
@@ -127,93 +176,65 @@ func (s *Stub) conn(addr string) (*transport.Client, error) {
 	return c, err
 }
 
-func (s *Stub) dropMember(addr string) {
-	s.mu.Lock()
-	keep := s.members[:0]
-	for _, m := range s.members {
-		if m != addr {
-			keep = append(keep, m)
-		}
-	}
-	s.members = keep
-	s.mu.Unlock()
-	s.conns.Drop(addr)
-}
-
-func (s *Stub) install(members []string) {
-	if len(members) == 0 {
-		return
-	}
-	s.mu.Lock()
-	s.members = append([]string(nil), members...)
-	s.mu.Unlock()
-}
-
-// Refresh re-learns the pool membership by asking any reachable member for
-// the identities of the skeletons (the stub-sentinel discovery of §4.3).
-func (s *Stub) Refresh() error {
-	for _, addr := range s.Members() {
-		c, err := s.conn(addr)
-		if err != nil {
-			continue
-		}
-		var rep DiscoverReply
-		if err := c.CallDecode(s.name, MethodDiscover, nil, &rep, s.timeout); err != nil {
-			continue
-		}
-		fresh := make([]string, 0, len(rep.Members))
-		for _, m := range rep.Members {
-			if !m.Draining {
-				fresh = append(fresh, m.Addr)
-			}
-		}
-		s.install(fresh)
-		return nil
-	}
-	return ErrUnavailable
-}
-
-// Invoke executes one remote method invocation against the pool. Redirects
-// are followed, failed members retried on others; the error is propagated
-// only if all attempts to communicate with the pool fail.
+// Invoke executes one remote method invocation against the pool, balanced
+// by the stub's strategy. Failed members are excluded and retried on
+// others; the error is propagated only if all attempts to communicate with
+// the pool fail.
 func (s *Stub) Invoke(method string, payload []byte) ([]byte, error) {
-	var lastErr error
-	tried := make(map[string]bool)
-	refreshed := false
+	return s.invoke(method, "", payload)
+}
 
-	addr, err := s.pick()
-	if err != nil {
-		return nil, err
+// InvokeKeyed executes one remote method invocation routed by key
+// affinity: all invocations carrying the same key land on the key's
+// consistent-hash owner (every stub holding the same table agrees on it),
+// so member-local state — caches, session data — stays hot. When the owner
+// is draining or unreachable the key fails over to the next member
+// clockwise on the ring and snaps back on the next epoch.
+func (s *Stub) InvokeKeyed(method, key string, payload []byte) ([]byte, error) {
+	return s.invoke(method, key, payload)
+}
+
+func (s *Stub) invoke(method, key string, payload []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrPoolClosed
 	}
-	attempts := len(s.Members())*2 + 2
+	var lastErr error
+	// Bound the failover loop: each iteration either returns, or excludes
+	// the picked member so it cannot be picked again until a newer epoch
+	// arrives. The slack beyond the member count absorbs an epoch advance
+	// (which clears exclusions) landing mid-invocation.
+	attempts := 2*s.routes.Len() + 2
 	for i := 0; i < attempts; i++ {
+		if s.closed.Load() {
+			return nil, ErrPoolClosed
+		}
+		addr, ok := s.pickFor(key)
+		if !ok {
+			break
+		}
+		if i > 0 {
+			s.staleRetries.Add(1)
+		}
 		c, err := s.conn(addr)
 		if err != nil {
-			lastErr = err
-			tried[addr] = true
-			s.dropMember(addr)
-			addr = s.nextCandidate(tried, &refreshed)
-			if addr == "" {
-				break
+			if errors.Is(err, ErrPoolClosed) {
+				return nil, err
 			}
+			// The member may have been removed after its identity reached
+			// this stub (§4.3): exclude it until a newer table says
+			// otherwise and try the next candidate.
+			lastErr = err
+			s.routes.Exclude(addr)
 			continue
 		}
+		release := s.routes.Acquire(addr)
 		out, err := c.Call(s.name, method, payload, s.timeout)
+		release()
 		if err == nil {
+			s.routes.Readmit(addr)
 			return out, nil
 		}
-		var redirect *transport.RedirectError
 		switch {
-		case errors.As(err, &redirect):
-			// Draining or rebalancing member: follow the redirect.
-			tried[addr] = true
-			addr = pickTarget(redirect.Targets, tried)
-			if addr == "" {
-				addr = s.nextCandidate(tried, &refreshed)
-			}
-			if addr == "" {
-				lastErr = err
-			}
 		case isRemoteAppError(err):
 			// The method executed and returned an application error; do not
 			// retry elsewhere.
@@ -224,51 +245,16 @@ func (s *Stub) Invoke(method string, payload []byte) ([]byte, error) {
 			// call instead of dropping members.
 			return nil, err
 		default:
-			// Transport failure: the member may have been removed after its
-			// identity reached this stub (§4.3) — retry on others.
+			// Transport failure: exclude the member and fail over.
 			lastErr = err
-			tried[addr] = true
-			s.dropMember(addr)
-			addr = s.nextCandidate(tried, &refreshed)
-		}
-		if addr == "" {
-			break
+			s.routes.Exclude(addr)
+			s.conns.Drop(addr)
 		}
 	}
 	if lastErr == nil {
 		lastErr = errors.New("core: no members left to try")
 	}
 	return nil, fmt.Errorf("%w: %s.%s: %v", ErrUnavailable, s.name, method, lastErr)
-}
-
-// nextCandidate returns an untried member, refreshing membership once if all
-// known members have been tried.
-func (s *Stub) nextCandidate(tried map[string]bool, refreshed *bool) string {
-	for _, m := range s.Members() {
-		if !tried[m] {
-			return m
-		}
-	}
-	if !*refreshed {
-		*refreshed = true
-		if err := s.Refresh(); err == nil {
-			for _, m := range s.Members() {
-				if !tried[m] {
-					return m
-				}
-			}
-		}
-	}
-	return ""
-}
-
-func pickTarget(targets []string, tried map[string]bool) string {
-	for _, t := range targets {
-		if !tried[t] {
-			return t
-		}
-	}
-	return ""
 }
 
 // isRemoteAppError distinguishes an error raised by the application method
@@ -280,13 +266,9 @@ func isRemoteAppError(err error) bool {
 
 // Close releases all connections.
 func (s *Stub) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
 	return s.conns.Close()
 }
 
@@ -300,6 +282,25 @@ func Call[Arg, Reply any](s *Stub, method string, arg Arg) (Reply, error) {
 		return zero, err
 	}
 	out, err := s.Invoke(method, payload)
+	if err != nil {
+		return zero, err
+	}
+	var reply Reply
+	if err := transport.Decode(out, &reply); err != nil {
+		return zero, err
+	}
+	return reply, nil
+}
+
+// CallKeyed is Call routed by consistent-hash key affinity (see
+// InvokeKeyed): same-key invocations land on the same member.
+func CallKeyed[Arg, Reply any](s *Stub, method, key string, arg Arg) (Reply, error) {
+	var zero Reply
+	payload, err := transport.Encode(arg)
+	if err != nil {
+		return zero, err
+	}
+	out, err := s.InvokeKeyed(method, key, payload)
 	if err != nil {
 		return zero, err
 	}

@@ -159,3 +159,41 @@ func TestStubOversizePayloadNotRetried(t *testing.T) {
 		t.Fatalf("total = %d", rep.Total)
 	}
 }
+
+// TestStubRecoversAfterTotalExclusion: a transient outage can locally
+// exclude every member; exclusions only clear when a fresh table arrives,
+// and a fresh table only arrives on a reply — so the stub must keep dialing
+// excluded members rather than going permanently dark against a pool that
+// has recovered.
+func TestStubRecoversAfterTotalExclusion(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool := newTestPool(t, env, Config{
+		Name: "blackout", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	})
+	stub, err := NewStub("blackout", pool.Endpoints())
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	if _, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	// Simulate the aftermath of a total transient partition.
+	for _, addr := range stub.Members() {
+		stub.routes.Exclude(addr)
+	}
+	if got := len(stub.Members()); got != 0 {
+		t.Fatalf("members after blackout = %d, want 0", got)
+	}
+	rep, err := Call[addArgs, addReply](stub, "Add", addArgs{N: 1})
+	if err != nil {
+		t.Fatalf("invoke after blackout: %v (stub stayed dark against a healthy pool)", err)
+	}
+	if rep.Total != 2 {
+		t.Fatalf("total = %d, want 2", rep.Total)
+	}
+	if got := len(stub.Members()); got == 0 {
+		t.Fatal("exclusions not cleared by the piggybacked table")
+	}
+}

@@ -1,0 +1,171 @@
+package ermitest_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/core"
+	"elasticrmi/internal/ermitest"
+	"elasticrmi/internal/gen/gentest"
+)
+
+// TestRoutingUnderChurn is the routing layer's churn scenario: continuous
+// traffic from round-robin, power-of-two and key-affinity clients while the
+// pool scales up and down repeatedly. The epoch protocol must make the
+// churn invisible:
+//
+//   - zero failed invocations — scale events never surface to callers;
+//   - no lost or duplicated executions — the shared counter equals the
+//     acknowledged adds, so drain/quiesce never cuts an ack nor re-runs a
+//     call;
+//   - bounded stale-epoch retries — a member's removal costs each client at
+//     most a few failovers, not a redirect storm.
+func TestRoutingUnderChurn(t *testing.T) {
+	env := ermitest.New(t, 12)
+	pool := env.StartPool(t, core.Config{
+		Name: "churn", MinPoolSize: 2, MaxPoolSize: 6,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+		DrainTimeout: 500 * time.Millisecond,
+	}, gentest.NewCounterFactory(gentest.NewImpl))
+
+	rr := env.Stub(t, "churn")
+	p2c := env.Stub(t, "churn", core.WithPowerOfTwoBalancing())
+
+	var bumps, failures atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	bumper := func(s *core.Stub) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := core.Call[gentest.BumpArgs, gentest.BumpReply](s, "Bump", gentest.BumpArgs{N: 1}); err != nil {
+				failures.Add(1)
+				t.Errorf("Bump failed during churn: %v", err)
+				return
+			}
+			bumps.Add(1)
+		}
+	}
+	tagger := func(s *core.Stub, id int) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("w%d-key-%d", id, i%8)
+			if _, err := core.CallKeyed[gentest.TagArgs, gentest.TagReply](s, "Tag", key, gentest.TagArgs{Key: key, Value: "v"}); err != nil {
+				failures.Add(1)
+				t.Errorf("Tag(%s) failed during churn: %v", key, err)
+				return
+			}
+		}
+	}
+	wg.Add(6)
+	go bumper(rr)
+	go bumper(rr)
+	go bumper(p2c)
+	go bumper(p2c)
+	go tagger(rr, 0)
+	go tagger(p2c, 1)
+
+	// Scale the pool through grow/shrink cycles mid-traffic, with load
+	// broadcasts (fresh epochs) interleaved. Sizes: 2→4→3→5→3→4→2.
+	victims := 0
+	for _, delta := range []int{2, -1, 2, -2, 1, -2} {
+		if err := pool.Resize(delta); err != nil {
+			t.Fatalf("Resize(%d): %v", delta, err)
+		}
+		if delta < 0 {
+			victims += -delta
+		}
+		pool.BroadcastNow()
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d invocations failed during churn", f)
+	}
+	rep, err := core.Call[gentest.PeekArgs, gentest.BumpReply](rr, "Peek", gentest.PeekArgs{})
+	if err != nil {
+		t.Fatalf("Peek: %v", err)
+	}
+	if rep.Total != bumps.Load() {
+		t.Fatalf("counter = %d, acked = %d (lost or duplicated executions)", rep.Total, bumps.Load())
+	}
+
+	// Stale-epoch retries stay bounded: each of the removed members can
+	// cost each stub's workers at most a handful of failovers before the
+	// piggybacked table (or the local exclusion) steers them off; redirect
+	// storms or discovery loops would blow well past this.
+	retries := rr.StaleRetries() + p2c.StaleRetries()
+	if limit := uint64(6 * victims * 4); retries > limit {
+		t.Fatalf("stale-epoch retries = %d, want <= %d (%d victims)", retries, limit, victims)
+	}
+	t.Logf("churn: %d acked bumps, %d victims, %d stale retries, pool epoch %d",
+		bumps.Load(), victims, retries, pool.Epoch())
+}
+
+// TestStaleStubConvergesInOneReply pins the acceptance criterion of the
+// epoch protocol: after a scale event, a stub holding an old epoch is
+// corrected by the piggybacked route update on its very next reply — one
+// round-trip, zero redirects, zero extra attempts.
+func TestStaleStubConvergesInOneReply(t *testing.T) {
+	env := ermitest.New(t, 8)
+	pool := env.StartPool(t, core.Config{
+		Name: "converge", MinPoolSize: 2, MaxPoolSize: 6,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, gentest.NewCounterFactory(gentest.NewImpl))
+
+	// A bootstrap stub starts at epoch 0 and learns the real table from
+	// its first reply.
+	stub := env.Stub(t, "converge")
+	if got := stub.RouteEpoch(); got != 0 {
+		t.Fatalf("bootstrap epoch = %d, want 0", got)
+	}
+	if err := stub.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if got, want := stub.RouteEpoch(), pool.Epoch(); got != want {
+		t.Fatalf("epoch after first reply = %d, want %d", got, want)
+	}
+	if got := len(stub.Members()); got != 2 {
+		t.Fatalf("members after first reply = %d, want 2", got)
+	}
+
+	// Scale up: the stub is now stale (its members all still exist, so no
+	// failover can hide the measurement). Exactly one invocation must land
+	// the new epoch and the grown membership.
+	if err := pool.Resize(2); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	if stub.RouteEpoch() == pool.Epoch() {
+		t.Fatal("stub cannot already hold the new epoch without a call")
+	}
+	before := stub.StaleRetries()
+	if _, err := core.Call[gentest.BumpArgs, gentest.BumpReply](stub, "Bump", gentest.BumpArgs{N: 1}); err != nil {
+		t.Fatalf("Bump: %v", err)
+	}
+	if got, want := stub.RouteEpoch(), pool.Epoch(); got != want {
+		t.Fatalf("epoch after one reply = %d, want %d (one round-trip convergence)", got, want)
+	}
+	if got := len(stub.Members()); got != 4 {
+		t.Fatalf("members after one reply = %d, want 4", got)
+	}
+	if got := stub.StaleRetries() - before; got != 0 {
+		t.Fatalf("convergence took %d extra attempts, want 0", got)
+	}
+	if stub.RouteAdvances() < 2 {
+		t.Fatalf("route advances = %d, want >= 2 (bootstrap + scale-up)", stub.RouteAdvances())
+	}
+}

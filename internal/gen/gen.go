@@ -32,11 +32,21 @@ import (
 // Marker is the comment that selects interfaces for generation.
 const Marker = "//ermi:elastic"
 
+// AffinityMarker annotates one method of an elastic interface with a key
+// extractor: `//ermi:affinity Field` names a string-typed field of the
+// argument type, and the generated stub grows a NameWithAffinity variant
+// that routes the invocation by consistent-hash affinity on that field
+// (same key, same pool member — see core.CallKeyed).
+const AffinityMarker = "//ermi:affinity"
+
 // Method is one remote method of an elastic interface.
 type Method struct {
 	Name      string
 	ArgType   string
 	ReplyType string
+	// KeyField is the argument field named by an //ermi:affinity
+	// annotation ("" = no affinity variant generated).
+	KeyField string
 }
 
 // Service is one elastic interface.
@@ -120,12 +130,41 @@ func parseInterface(name string, it *ast.InterfaceType) (Service, error) {
 		if err != nil {
 			return Service{}, err
 		}
+		m.KeyField, err = affinityField(name, mname, field.Doc, field.Comment)
+		if err != nil {
+			return Service{}, err
+		}
 		svc.Methods = append(svc.Methods, m)
 	}
 	if len(svc.Methods) == 0 {
 		return Service{}, fmt.Errorf("gen: interface %s has no methods", name)
 	}
 	return svc, nil
+}
+
+// affinityField extracts the //ermi:affinity annotation from a method's
+// comment groups. The named field must be a plain identifier; it is
+// expected to be a string-typed field of the method's argument type (the
+// generated code fails to compile otherwise, which is the diagnostic).
+func affinityField(iface, method string, groups ...*ast.CommentGroup) (string, error) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, AffinityMarker) {
+				continue
+			}
+			field := strings.TrimSpace(strings.TrimPrefix(text, AffinityMarker))
+			if field == "" || !token.IsIdentifier(field) {
+				return "", fmt.Errorf("gen: %s.%s: %s needs a field name, e.g. `%s Key`",
+					iface, method, AffinityMarker, AffinityMarker)
+			}
+			return field, nil
+		}
+	}
+	return "", nil
 }
 
 func parseMethod(iface, name string, fn *ast.FuncType) (Method, error) {
@@ -257,7 +296,15 @@ func (s *{{$svc}}Stub) {{.Name}}Async(arg {{.ArgType}}) *core.Future[{{.ReplyTyp
 func (s *{{$svc}}Stub) {{.Name}}OneWay(arg {{.ArgType}}) error {
 	return core.OneWayCall[{{.ArgType}}](s.stub, {{printf "%q" .Name}}, arg)
 }
-{{end}}
+{{if .KeyField}}
+// {{.Name}}WithAffinity invokes {{.Name}} routed by consistent-hash key
+// affinity on arg.{{.KeyField}}: every invocation carrying the same key
+// lands on the same pool member (across all stubs holding the same routing
+// table), keeping member-local state for that key hot.
+func (s *{{$svc}}Stub) {{.Name}}WithAffinity(arg {{.ArgType}}) ({{.ReplyType}}, error) {
+	return core.CallKeyed[{{.ArgType}}, {{.ReplyType}}](s.stub, {{printf "%q" .Name}}, string(arg.{{.KeyField}}), arg)
+}
+{{end}}{{end}}
 // Register{{.Name}} binds an implementation to the method table of a
 // skeleton (the generated server-side dispatch).
 func Register{{.Name}}(mux *core.Mux, impl {{.Name}}) {

@@ -161,3 +161,59 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("generation is not deterministic")
 	}
 }
+
+// TestAffinityAnnotation: //ermi:affinity on a method yields KeyField and a
+// WithAffinity stub variant; unannotated methods get none; a bare marker is
+// rejected.
+func TestAffinityAnnotation(t *testing.T) {
+	src := `package p
+type Args struct{ Key, Val string }
+type Reply struct{ OK bool }
+//ermi:elastic
+type KV interface {
+	//ermi:affinity Key
+	Put(arg Args) (Reply, error)
+	Flush(arg Args) (Reply, error)
+}`
+	f, err := Parse("kv.go", []byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ms := f.Services[0].Methods
+	if ms[0].KeyField != "Key" || ms[1].KeyField != "" {
+		t.Fatalf("key fields = %q, %q", ms[0].KeyField, ms[1].KeyField)
+	}
+	out, err := Generate(f, "kv.go")
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	code := string(out)
+	if !strings.Contains(code, "func (s *KVStub) PutWithAffinity(arg Args) (Reply, error)") {
+		t.Fatalf("generated code lacks PutWithAffinity:\n%s", code)
+	}
+	if !strings.Contains(code, `core.CallKeyed[Args, Reply](s.stub, "Put", string(arg.Key), arg)`) {
+		t.Fatalf("PutWithAffinity does not route by arg.Key:\n%s", code)
+	}
+	if strings.Contains(code, "FlushWithAffinity") {
+		t.Fatal("unannotated method grew an affinity variant")
+	}
+
+	for _, bad := range []string{
+		`package p
+//ermi:elastic
+type I interface {
+	//ermi:affinity
+	M(a int) (int, error)
+}`,
+		`package p
+//ermi:elastic
+type I interface {
+	//ermi:affinity two words
+	M(a int) (int, error)
+}`,
+	} {
+		if _, err := Parse("bad.go", []byte(bad)); err == nil {
+			t.Fatalf("Parse accepted malformed affinity annotation:\n%s", bad)
+		}
+	}
+}

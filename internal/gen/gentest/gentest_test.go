@@ -1,6 +1,7 @@
 package gentest
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -116,5 +117,49 @@ func TestGeneratedAsyncVariants(t *testing.T) {
 			t.Fatalf("total = %d, want %d", rep.Total, 2*n)
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGeneratedAffinityVariant drives the //ermi:affinity output against a
+// live pool: same-key invocations through TagWithAffinity must land on the
+// same member, and the keyspace must spread across more than one member.
+func TestGeneratedAffinityVariant(t *testing.T) {
+	env := ermitest.New(t, 8)
+	env.StartPool(t, core.Config{
+		Name: "gen-affinity", MinPoolSize: 3, MaxPoolSize: 3,
+		BurstInterval: time.Hour, DisableBroadcast: true,
+	}, NewCounterFactory(NewImpl))
+
+	svc, err := LookupCounter("gen-affinity", env.RegCli)
+	if err != nil {
+		t.Fatalf("LookupCounter: %v", err)
+	}
+	defer svc.Close()
+	// One plain call lands the piggybacked routing table (the seed table
+	// carries no UIDs to hash); affinity placement is stable from then on.
+	if _, err := svc.Tag(TagArgs{Key: "warmup", Value: "x"}); err != nil {
+		t.Fatalf("warmup Tag: %v", err)
+	}
+
+	owners := make(map[string]int64)
+	for round := 0; round < 3; round++ {
+		for k := 0; k < 16; k++ {
+			key := fmt.Sprintf("key-%02d", k)
+			rep, err := svc.TagWithAffinity(TagArgs{Key: key, Value: "v"})
+			if err != nil {
+				t.Fatalf("TagWithAffinity(%s): %v", key, err)
+			}
+			if uid, seen := owners[key]; seen && uid != rep.MemberUID {
+				t.Fatalf("key %s moved from member %d to %d with no view change", key, uid, rep.MemberUID)
+			}
+			owners[key] = rep.MemberUID
+		}
+	}
+	distinct := make(map[int64]bool)
+	for _, uid := range owners {
+		distinct[uid] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all %d keys owned by one member; affinity is not spreading", len(owners))
 	}
 }

@@ -21,6 +21,10 @@ type (
 	BumpReply struct{ Total int64 }
 	// PeekArgs is the empty argument of Peek.
 	PeekArgs struct{}
+	// TagArgs stores Value under Key (the affinity key).
+	TagArgs struct{ Key, Value string }
+	// TagReply names the member that served the store.
+	TagReply struct{ MemberUID int64 }
 )
 
 // Counter is the elastic interface under test.
@@ -29,6 +33,11 @@ type (
 type Counter interface {
 	Bump(arg BumpArgs) (BumpReply, error)
 	Peek(arg PeekArgs) (BumpReply, error)
+	// Tag is annotated with a key extractor, so the generated stub grows a
+	// TagWithAffinity variant routing by arg.Key.
+	//
+	//ermi:affinity Key
+	Tag(arg TagArgs) (TagReply, error)
 }
 
 // Impl implements Counter with shared state; it also implements
@@ -56,6 +65,15 @@ func (i *Impl) Bump(arg BumpArgs) (BumpReply, error) {
 func (i *Impl) Peek(PeekArgs) (BumpReply, error) {
 	total, err := i.ctx.State.GetInt("total")
 	return BumpReply{Total: total}, err
+}
+
+// Tag implements Counter: it records the key in shared state and reports
+// which member executed, so tests can assert affinity placement.
+func (i *Impl) Tag(arg TagArgs) (TagReply, error) {
+	if err := i.ctx.State.PutString("tag/"+arg.Key, arg.Value); err != nil {
+		return TagReply{}, err
+	}
+	return TagReply{MemberUID: i.ctx.UID}, nil
 }
 
 // ChangePoolSize implements core.PoolSizer.

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elasticrmi/internal/simclock"
@@ -81,6 +82,11 @@ type Member struct {
 	hbEvery time.Duration
 	hbDead  time.Duration
 
+	// epoch is the membership-epoch counter (see NextEpoch). It advances
+	// past every view this member observes, so epochs allocated here are
+	// always newer than any installed view.
+	epoch atomic.Uint64
+
 	// conns dials and caches one client per peer with a per-address
 	// singleflight guard, outside the member lock.
 	conns *transport.ConnCache
@@ -136,6 +142,27 @@ func NewMember(cfg Config) (*Member, error) {
 // Addr returns the member's transport address (its identity).
 func (m *Member) Addr() string { return m.addr }
 
+// NextEpoch allocates the next membership epoch: a monotonically
+// increasing stamp for view changes. The view coordinator calls it once
+// per change and installs the view with ID = epoch, so every roster and
+// routing table derived from the view carries the same total order.
+// Epochs start at 1; 0 is reserved for "no view yet" (bootstrap clients).
+func (m *Member) NextEpoch() uint64 { return m.epoch.Add(1) }
+
+// Epoch returns the newest membership epoch this member has allocated or
+// observed through an installed view.
+func (m *Member) Epoch() uint64 { return m.epoch.Load() }
+
+// observeEpoch advances the counter past an externally stamped view.
+func (m *Member) observeEpoch(id uint64) {
+	for {
+		cur := m.epoch.Load()
+		if id <= cur || m.epoch.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
 // Messages delivers broadcast and point-to-point messages.
 func (m *Member) Messages() <-chan Message { return m.msgs }
 
@@ -160,6 +187,7 @@ func (m *Member) InstallView(v View) error {
 		return ErrClosed
 	}
 	m.view = View{ID: v.ID, Members: append([]string(nil), v.Members...)}
+	m.observeEpoch(v.ID)
 	now := m.clock.Now()
 	for _, peer := range v.Members {
 		m.lastSeen[peer] = now
@@ -291,6 +319,7 @@ func (m *Member) handle(req *transport.Request) ([]byte, error) {
 		m.mu.Lock()
 		if w.View.ID >= m.view.ID {
 			m.view = View{ID: w.View.ID, Members: append([]string(nil), w.View.Members...)}
+			m.observeEpoch(w.View.ID)
 			now := m.clock.Now()
 			for _, peer := range w.View.Members {
 				m.lastSeen[peer] = now

@@ -3,26 +3,30 @@ package kvstore
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/simclock"
 )
 
 // Cluster is a sharded deployment of store nodes with a client-side router.
-// Keys (and lock names) are hash-partitioned across the current node set.
-// Nodes can be added online ("ElasticRMI may add additional nodes to
-// HyperDex as necessary", §4.2): AddNode migrates the keys whose ownership
-// moves to the new node before making it visible to routing, so per-key
-// strong consistency is preserved (single owner per key at all times from
-// the router's point of view).
+// Keys (and lock names) are partitioned across the current node set by the
+// same consistent-hash ring the routing layer uses (internal/route), so
+// adding a node moves only the ~1/n of the keyspace the new node takes
+// over — ownership between existing nodes never changes. Nodes can be
+// added online ("ElasticRMI may add additional nodes to HyperDex as
+// necessary", §4.2): AddNode migrates the keys whose ownership moves to
+// the new node before making it visible to routing, so per-key strong
+// consistency is preserved (single owner per key at all times from the
+// router's point of view).
 type Cluster struct {
 	clock simclock.Clock
 
 	mu      sync.Mutex
 	servers []*Server
 	clients []*Client
+	ring    *route.Ring // over servers/clients by index, rebuilt on AddNode
 	closed  bool
 }
 
@@ -56,7 +60,19 @@ func (c *Cluster) addNodeLocked() error {
 	}
 	c.servers = append(c.servers, srv)
 	c.clients = append(c.clients, cli)
+	c.ring = c.buildRingLocked()
 	return nil
+}
+
+// buildRingLocked derives the ownership ring from the current node set.
+// Node identity is the server address, so the ring is stable across
+// rebuilds and every client deriving it agrees on placement.
+func (c *Cluster) buildRingLocked() *route.Ring {
+	t := route.Table{Members: make([]route.Member, len(c.servers))}
+	for i, s := range c.servers {
+		t.Members[i] = route.Member{Addr: s.Addr(), UID: int64(i), Weight: route.DefaultWeight}
+	}
+	return route.BuildRing(t)
 }
 
 // Nodes returns the number of nodes.
@@ -77,16 +93,10 @@ func (c *Cluster) Addrs() []string {
 	return out
 }
 
-func shardOf(key string, n int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
-}
-
 func (c *Cluster) route(key string) *Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.clients[shardOf(key, len(c.clients))]
+	return c.clients[c.ring.Owner(key)]
 }
 
 // Get fetches key from its owning node.
@@ -160,9 +170,11 @@ func (c *Cluster) AddNode() error {
 	if err := c.addNodeLocked(); err != nil {
 		return err
 	}
-	newN := len(c.clients)
-	// Modulo sharding reshuffles ownership between existing nodes as well
-	// as onto the new one, so every key whose owner changed must move.
+	ring := c.ring
+	// Consistent hashing moves ownership only onto the new node (existing
+	// nodes' ring points are unchanged), so each old node exports exactly
+	// the keys whose arcs the newcomer took over — ~1/n of the keyspace in
+	// total, not a full reshuffle.
 	for i := 0; i < oldN; i++ {
 		entries, err := c.clients[i].Export("")
 		if err != nil {
@@ -170,7 +182,7 @@ func (c *Cluster) AddNode() error {
 		}
 		perTarget := make(map[int]map[string]Versioned)
 		for k, v := range entries {
-			owner := shardOf(k, newN)
+			owner := ring.Owner(k)
 			if owner == i {
 				continue
 			}

@@ -59,8 +59,8 @@ func TestGoPipelinesManyCalls(t *testing.T) {
 	}
 }
 
-// TestGoErrorsThroughFuture: remote errors, redirects and pre-flight
-// failures all surface through the future, never as a hang.
+// TestGoErrorsThroughFuture: remote errors and pre-flight failures all
+// surface through the future, never as a hang.
 func TestGoErrorsThroughFuture(t *testing.T) {
 	srv := startEcho(t)
 	c := dial(t, srv.Addr())
@@ -69,12 +69,6 @@ func TestGoErrorsThroughFuture(t *testing.T) {
 	if err := c.Go("svc", "Fail", nil).Err(); !errors.As(err, &remote) {
 		t.Fatalf("Fail err = %v, want RemoteError", err)
 	}
-	var redirect *RedirectError
-	ca := c.Go("svc", "Redirect", nil)
-	if err := ca.Err(); !errors.As(err, &redirect) {
-		t.Fatalf("Redirect err = %v, want RedirectError", err)
-	}
-	ca.Release()
 
 	c2 := dial(t, srv.Addr())
 	c2.Close()

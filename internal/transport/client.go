@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"elasticrmi/internal/route"
 )
 
 // Client is a connection to one Server. It is safe for concurrent use; calls
@@ -15,11 +17,13 @@ import (
 // may be coalesced into batch frames when batching is enabled (see
 // BatchOptions).
 type Client struct {
-	addr  string
-	conn  net.Conn
-	w     *connWriter
-	seq   atomic.Uint64
-	batch *batcher // nil unless batching is enabled
+	addr    string
+	conn    net.Conn
+	w       *connWriter
+	seq     atomic.Uint64
+	batch   *batcher            // nil unless batching is enabled
+	epochFn func() uint64       // nil: requests stamped with epoch 0
+	onRoute func(t route.Table) // nil: piggybacked route updates dropped
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -32,10 +36,10 @@ type Client struct {
 // callResult is the outcome of one call as delivered by the read loop (or by
 // failAll when the connection dies).
 type callResult struct {
-	payload  []byte
-	errMsg   string   // non-empty => RemoteError
-	redirect []string // non-empty => RedirectError
-	err      error    // transport-level failure
+	payload []byte
+	errMsg  string       // non-empty => RemoteError
+	route   *route.Table // piggybacked route update, handed to onRoute
+	err     error        // transport-level failure
 }
 
 // Call is one in-flight invocation: the future returned by Go. Exactly one
@@ -100,8 +104,6 @@ func (ca *Call) err() error {
 	switch {
 	case ca.res.err != nil:
 		return ca.res.err
-	case len(ca.res.redirect) > 0:
-		return &RedirectError{Targets: ca.res.redirect}
 	case ca.res.errMsg != "":
 		return &RemoteError{Service: ca.service, Method: ca.method, Msg: ca.res.errMsg}
 	}
@@ -240,6 +242,30 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 // DialBatched connects with a bounded dial time and, when bo.MaxDelay > 0,
 // enables adaptive client-side batching (see BatchOptions).
 func DialBatched(addr string, timeout time.Duration, bo BatchOptions) (*Client, error) {
+	return DialOpts(addr, DialOptions{Timeout: timeout, Batch: bo})
+}
+
+// DialOptions configures a client connection.
+type DialOptions struct {
+	// Timeout bounds the TCP dial (<= 0: 5s).
+	Timeout time.Duration
+	// Batch enables adaptive client-side batching when MaxDelay > 0.
+	Batch BatchOptions
+	// Epoch, when non-nil, supplies the routing epoch stamped on every
+	// outgoing request (typically route.State.Epoch of the owning stub).
+	Epoch func() uint64
+	// OnRouteUpdate, when non-nil, receives every route table piggybacked
+	// on a response, before the response is delivered to its caller. It
+	// runs on the read loop and must not block.
+	OnRouteUpdate func(t route.Table)
+}
+
+// DialOpts connects with the full option surface.
+func DialOpts(addr string, opts DialOptions) (*Client, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
@@ -251,17 +277,27 @@ func DialBatched(addr string, timeout time.Duration, bo BatchOptions) (*Client, 
 		addr:    addr,
 		conn:    conn,
 		w:       newConnWriter(conn),
+		epochFn: opts.Epoch,
+		onRoute: opts.OnRouteUpdate,
 		pending: make(map[uint64]*Call),
 		done:    make(chan struct{}),
 	}
-	if bo.MaxDelay > 0 {
-		c.batch = newBatcher(c, bo)
+	if opts.Batch.MaxDelay > 0 {
+		c.batch = newBatcher(c, opts.Batch)
 	}
 	// The preamble rides in the write buffer until the first frame flushes,
 	// so it costs no extra syscall.
 	c.w.bw.Write(preamble[:])
 	go c.readLoop()
 	return c, nil
+}
+
+// epoch returns the routing epoch to stamp on an outgoing request.
+func (c *Client) epoch() uint64 {
+	if c.epochFn == nil {
+		return 0
+	}
+	return c.epochFn()
 }
 
 // Addr returns the remote address this client is connected to.
@@ -285,6 +321,12 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.failAll(err)
 			return
+		}
+		if res.route != nil && c.onRoute != nil {
+			// Install the piggybacked table before completing the call, so
+			// a caller that fails over immediately after an error sees the
+			// corrected view rather than re-picking from the stale one.
+			c.onRoute(*res.route)
 		}
 		c.mu.Lock()
 		ca, ok := c.pending[seq]
@@ -368,11 +410,12 @@ func (c *Client) Go(service, method string, payload []byte) *Call {
 	c.pending[seq] = ca
 	c.mu.Unlock()
 
+	epoch := c.epoch()
 	if c.batch != nil {
-		c.batch.enqueue(batchEntry{seq: seq, service: service, method: method, payload: payload, ca: ca})
+		c.batch.enqueue(batchEntry{seq: seq, epoch: epoch, service: service, method: method, payload: payload, ca: ca})
 		return ca
 	}
-	if err := c.w.writeRequest(seq, service, method, payload); err != nil {
+	if err := c.w.writeRequest(seq, epoch, service, method, payload); err != nil {
 		c.failCall(seq, ca, fmt.Errorf("transport: write: %w", err))
 	}
 	return ca
@@ -405,14 +448,15 @@ func (c *Client) OneWay(service, method string, payload []byte) error {
 	// batched one-way has no future to carry the error, so a post-enqueue
 	// failure would be a permanent silent drop of a deterministic caller
 	// bug.
-	if size := requestFrameSize(0, service, method, payload); size > MaxFrame {
+	epoch := c.epoch()
+	if size := requestFrameSize(0, epoch, service, method, payload); size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
 	}
 	if c.batch != nil {
-		c.batch.enqueue(batchEntry{oneway: true, service: service, method: method, payload: payload})
+		c.batch.enqueue(batchEntry{oneway: true, epoch: epoch, service: service, method: method, payload: payload})
 		return nil
 	}
-	if err := c.w.writeOneWay(0, service, method, payload); err != nil {
+	if err := c.w.writeOneWay(0, epoch, service, method, payload); err != nil {
 		return fmt.Errorf("transport: write: %w", err)
 	}
 	return nil

@@ -14,8 +14,7 @@ import (
 // The stub, group and other connection-holding layers share this type
 // instead of each maintaining its own map of clients.
 type ConnCache struct {
-	timeout time.Duration
-	batch   BatchOptions // zero value: batching disabled
+	opts DialOptions
 
 	mu      sync.Mutex
 	conns   map[string]*Client
@@ -33,18 +32,18 @@ type dialWait struct {
 // NewConnCache creates a cache whose dials are bounded by dialTimeout
 // (<= 0 means 2s, the historical per-member dial bound).
 func NewConnCache(dialTimeout time.Duration) *ConnCache {
-	return NewConnCacheBatched(dialTimeout, BatchOptions{})
+	return NewConnCacheOpts(DialOptions{Timeout: dialTimeout})
 }
 
-// NewConnCacheBatched is NewConnCache with adaptive batching enabled on
-// every client it dials (when bo.MaxDelay > 0).
-func NewConnCacheBatched(dialTimeout time.Duration, bo BatchOptions) *ConnCache {
-	if dialTimeout <= 0 {
-		dialTimeout = 2 * time.Second
+// NewConnCacheOpts creates a cache applying opts to every client it dials
+// (batching, epoch stamping, route-update delivery). A zero Timeout means
+// 2s, the historical per-member dial bound.
+func NewConnCacheOpts(opts DialOptions) *ConnCache {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
 	}
 	return &ConnCache{
-		timeout: dialTimeout,
-		batch:   bo,
+		opts:    opts,
 		conns:   make(map[string]*Client),
 		dialing: make(map[string]*dialWait),
 	}
@@ -71,7 +70,7 @@ func (cc *ConnCache) Get(addr string) (*Client, error) {
 	cc.dialing[addr] = w
 	cc.mu.Unlock()
 
-	c, err := DialBatched(addr, cc.timeout, cc.batch)
+	c, err := DialOpts(addr, cc.opts)
 
 	cc.mu.Lock()
 	delete(cc.dialing, addr)

@@ -5,7 +5,7 @@
 // client connection multiplexes concurrent calls; responses are matched to
 // requests by sequence number.
 //
-// # Wire format (version 1)
+// # Wire format (version 2)
 //
 // Framing is a hand-rolled binary codec: no reflection runs on the hot path.
 // Only application payloads — the opaque []byte a Request or Response
@@ -18,9 +18,10 @@
 //	| 'e' | 'R' | 'M' | 'I' | version |
 //	+-----+-----+-----+-----+---------+
 //
-// The current protocol version is 1. A server that reads a bad magic or an
-// unknown version closes the connection before parsing any frame; a future
-// version bump changes only the fifth byte, so mismatched peers fail fast at
+// The current protocol version is 2 (version 1 lacked the request epoch and
+// piggybacked route updates, and carried a redirect list on responses
+// instead). A server that reads a bad magic or an unknown version closes
+// the connection before parsing any frame; mismatched peers fail fast at
 // connection start rather than mid-stream. The preamble is buffered with the
 // first request frame, costing no extra syscall.
 //
@@ -41,6 +42,7 @@
 // Request body (kind 1):
 //
 //	seq      uvarint   // caller-chosen, echoed by the response
+//	epoch    uvarint   // caller's routing epoch (0 = none); see below
 //	service  uvarint n, then n bytes
 //	method   uvarint n, then n bytes
 //	payload  uvarint n, then n bytes
@@ -49,14 +51,34 @@
 //
 //	seq      uvarint   // matches the request
 //	errmsg   uvarint n, then n bytes   // n>0 => RemoteError at the caller
-//	redirect uvarint count, then count strings (uvarint n + n bytes each)
-//	                                   // count>0 => RedirectError (draining)
+//	route    route update (see below); first uvarint 0 = absent
 //	payload  uvarint n, then n bytes
+//
+// Route update: the epoch-versioned membership view of the elastic pool
+// (internal/route.Table), piggybacked by a server whose table is newer than
+// the request's epoch — the in-band view dissemination that replaced the
+// version-1 redirect protocol:
+//
+//	epoch    uvarint   // table epoch, >= 1 (0 means "no update follows")
+//	count    uvarint   // 1..4096 members
+//	members  count times:
+//	  addr     uvarint n, then n bytes
+//	  uid      uvarint
+//	  weight   uvarint  // 0..100 relative share of steered invocations
+//	  load     uvarint  // pending invocations at publication
+//	  flags    1 byte   // bit 0: draining (serves, but take no new work)
+//
+// A stale client is thereby corrected on its very next reply round-trip:
+// the client hands the table to its routing state (DialOptions.
+// OnRouteUpdate), which installs it if the epoch is newer. Servers attach
+// the update to every response kind — success and error alike — so even a
+// failing call re-synchronizes its caller. Requests carrying a current
+// epoch cost one byte (the absent marker) on the response.
 //
 // One-way body (kind 3): identical to a request body. The server executes
 // the invocation and sends no response frame of any kind; handler results
-// and errors are dropped. The seq is carried for symmetry and debugging but
-// is never echoed.
+// and errors are dropped, and there is no reply to piggyback corrections
+// on. The seq is carried for symmetry and debugging but is never echoed.
 //
 // Batch body (kind 4): several coalesced requests in one frame, written by
 // the client-side adaptive batcher (see BatchOptions):
@@ -65,6 +87,7 @@
 //	entries  count times:
 //	  flags    1 byte  // bit 0: one-way (no response for this entry)
 //	  seq      uvarint
+//	  epoch    uvarint
 //	  service  uvarint n, then n bytes
 //	  method   uvarint n, then n bytes
 //	  payload  uvarint n, then n bytes
@@ -76,7 +99,18 @@
 //
 // A frame whose body is shorter or longer than its declared fields is a
 // protocol violation and closes the connection. Unknown flag bits in a
-// batch entry are a protocol violation, reserving them for future use.
+// batch entry or route-update member are a protocol violation, reserving
+// them for future use; so are route updates with epoch 0 in disguise
+// (member counts above 4096) and out-of-range weights or loads.
+//
+// # Graceful shutdown
+//
+// Server.Quiesce prepares a member for removal: newly arriving requests are
+// dropped without executing (their callers retry on a live member once the
+// connection closes — the method provably never ran), and Quiesce blocks
+// until every accepted request has been answered and flushed. Closing
+// without quiescing can cut an acknowledged-but-unflushed response, which a
+// retrying caller would turn into a duplicate execution.
 //
 // # Performance notes
 //

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"elasticrmi/internal/route"
 )
 
 // The wire codec is the trust boundary of every ElasticRMI component: a
@@ -38,12 +40,17 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // hostile declared length
 	f.Add([]byte{0, 0, 0, 2, byte(frameRequest)})  // truncated body
 	var t testing.T
-	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, "svc", "m", []byte("hi")) }))
-	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, "svc", "m", nil) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, 3, "svc", "m", []byte("hi")) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, 0, "svc", "m", nil) }))
 	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeResponse(9, []byte("out"), "", nil, false) }))
 	f.Add(frameBytes(&t, func(w *connWriter) error {
+		return w.writeResponse(4, []byte("out"), "", &route.Table{
+			Epoch: 8, Members: []route.Member{{Addr: "a:1", UID: 1, Weight: 100, Load: 2}},
+		}, false)
+	}))
+	f.Add(frameBytes(&t, func(w *connWriter) error {
 		return w.writeBatch([]batchEntry{
-			{seq: 1, service: "s", method: "a", payload: []byte{1}},
+			{seq: 1, epoch: 5, service: "s", method: "a", payload: []byte{1}},
 			{oneway: true, seq: 2, service: "s", method: "b", payload: []byte{2}},
 		})
 	}))
@@ -76,9 +83,10 @@ func FuzzReadFrame(f *testing.F) {
 
 func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{7, 1, 's', 1, 'm', 0})
+	f.Add([]byte{7, 2, 1, 's', 1, 'm', 0})
 	f.Add(binary.AppendUvarint(nil, 1<<40)) // seq only, then truncation
 	seed := binary.AppendUvarint(nil, 3)
+	seed = binary.AppendUvarint(seed, 1)
 	seed = binary.AppendUvarint(seed, 200) // service length beyond the body
 	f.Add(seed)
 
@@ -90,13 +98,13 @@ func FuzzParseRequest(f *testing.F) {
 		// Round-trip stability: what the parser accepted re-encodes to a
 		// body it parses back field-identically.
 		out := frameBytes(t, func(w *connWriter) error {
-			return w.writeRequest(req.Seq, req.Service, req.Method, req.Payload)
+			return w.writeRequest(req.Seq, req.Epoch, req.Service, req.Method, req.Payload)
 		})
 		again, err := parseRequest(out[5:])
 		if err != nil {
 			t.Fatalf("re-encoded request rejected: %v", err)
 		}
-		if again.Seq != req.Seq || again.Service != req.Service ||
+		if again.Seq != req.Seq || again.Epoch != req.Epoch || again.Service != req.Service ||
 			again.Method != req.Method || !bytes.Equal(again.Payload, req.Payload) {
 			t.Fatalf("round trip drifted: %+v != %+v", again, req)
 		}
@@ -105,20 +113,26 @@ func FuzzParseRequest(f *testing.F) {
 
 func FuzzParseResponse(f *testing.F) {
 	f.Add([]byte{})
-	// The hostile-redirect-count seed from protocol_test.go: a declared
-	// count of 67M backed by 64 bytes.
+	// A hostile route-member count: declared 67M entries backed by 64 bytes.
 	hostile := binary.AppendUvarint(nil, 9)
 	hostile = binary.AppendUvarint(hostile, 0)
+	hostile = binary.AppendUvarint(hostile, 12) // route epoch
 	hostile = binary.AppendUvarint(hostile, 67_000_000)
 	hostile = append(hostile, make([]byte, 64)...)
 	f.Add(hostile)
+	// A well-formed error + route-update body.
 	ok := binary.AppendUvarint(nil, 4)
 	ok = binary.AppendUvarint(ok, 4)
 	ok = append(ok, "boom"...)
-	ok = binary.AppendUvarint(ok, 1)
+	ok = binary.AppendUvarint(ok, 2) // route epoch
+	ok = binary.AppendUvarint(ok, 1) // member count
 	ok = binary.AppendUvarint(ok, 3)
 	ok = append(ok, "a:1"...)
-	ok = binary.AppendUvarint(ok, 0)
+	ok = binary.AppendUvarint(ok, 7)   // uid
+	ok = binary.AppendUvarint(ok, 100) // weight
+	ok = binary.AppendUvarint(ok, 5)   // load
+	ok = append(ok, 0)                 // flags
+	ok = binary.AppendUvarint(ok, 0)   // payload
 	f.Add(ok)
 
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -128,28 +142,38 @@ func FuzzParseResponse(f *testing.F) {
 		var res callResult
 		seq, err := parseResponse(body, &res)
 		if err != nil {
-			// The redirect guard must hold even on rejected bodies: storage
-			// never grows proportionally to a declared count.
-			if len(res.redirect) > len(body) {
-				t.Fatalf("rejected body of %d bytes materialized %d redirects", len(body), len(res.redirect))
+			// The count guard must hold even on rejected bodies: storage
+			// never grows proportionally to a declared member count.
+			if res.route != nil && len(res.route.Members) > len(body) {
+				t.Fatalf("rejected body of %d bytes materialized %d route members", len(body), len(res.route.Members))
 			}
 			return
 		}
+		if res.route != nil && (res.route.Epoch == 0 || len(res.route.Members) > maxRouteMembers) {
+			t.Fatalf("accepted invalid route update: %+v", res.route)
+		}
 		out := frameBytes(t, func(w *connWriter) error {
-			return w.writeResponse(seq, res.payload, res.errMsg, res.redirect, false)
+			return w.writeResponse(seq, res.payload, res.errMsg, res.route, false)
 		})
 		var again callResult
 		seq2, err := parseResponse(out[5:], &again)
 		if err != nil {
 			t.Fatalf("re-encoded response rejected: %v", err)
 		}
-		if seq2 != seq || again.errMsg != res.errMsg ||
-			len(again.redirect) != len(res.redirect) || !bytes.Equal(again.payload, res.payload) {
+		if seq2 != seq || again.errMsg != res.errMsg || !bytes.Equal(again.payload, res.payload) {
 			t.Fatalf("round trip drifted: %+v != %+v", again, res)
 		}
-		for i := range res.redirect {
-			if again.redirect[i] != res.redirect[i] {
-				t.Fatalf("redirect %d drifted: %q != %q", i, again.redirect[i], res.redirect[i])
+		if (again.route == nil) != (res.route == nil) {
+			t.Fatalf("route presence drifted: %+v != %+v", again.route, res.route)
+		}
+		if res.route != nil {
+			if again.route.Epoch != res.route.Epoch || len(again.route.Members) != len(res.route.Members) {
+				t.Fatalf("route drifted: %+v != %+v", again.route, res.route)
+			}
+			for i := range res.route.Members {
+				if again.route.Members[i] != res.route.Members[i] {
+					t.Fatalf("route member %d drifted: %+v != %+v", i, again.route.Members[i], res.route.Members[i])
+				}
 			}
 		}
 	})
@@ -164,7 +188,7 @@ func FuzzParseBatch(f *testing.F) {
 	var t testing.T
 	good := frameBytes(&t, func(w *connWriter) error {
 		return w.writeBatch([]batchEntry{
-			{seq: 5, service: "svc", method: "Echo", payload: []byte("abc")},
+			{seq: 5, epoch: 3, service: "svc", method: "Echo", payload: []byte("abc")},
 			{oneway: true, seq: 0, service: "svc", method: "Tick", payload: nil},
 		})
 	})
@@ -186,6 +210,7 @@ func FuzzParseBatch(f *testing.F) {
 			entries[i] = batchEntry{
 				oneway:  it.oneway,
 				seq:     it.req.Seq,
+				epoch:   it.req.Epoch,
 				service: it.req.Service,
 				method:  it.req.Method,
 				payload: it.req.Payload,
@@ -201,7 +226,8 @@ func FuzzParseBatch(f *testing.F) {
 		}
 		for i := range items {
 			a, b := again[i], items[i]
-			if a.oneway != b.oneway || a.req.Seq != b.req.Seq || a.req.Service != b.req.Service ||
+			if a.oneway != b.oneway || a.req.Seq != b.req.Seq || a.req.Epoch != b.req.Epoch ||
+				a.req.Service != b.req.Service ||
 				a.req.Method != b.req.Method || !bytes.Equal(a.req.Payload, b.req.Payload) {
 				t.Fatalf("entry %d drifted: %+v != %+v", i, a.req, b.req)
 			}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"elasticrmi/internal/route"
 )
 
 // solvePayloadLen finds the payload length that makes a request frame come
@@ -17,7 +19,7 @@ import (
 func solvePayloadLen(t *testing.T, seq uint64, service, method string, target int) int {
 	t.Helper()
 	// base is the frame size excluding the payload-length field and payload.
-	base := requestFrameSize(seq, service, method, nil) - uvarintLen(0)
+	base := requestFrameSize(seq, 0, service, method, nil) - uvarintLen(0)
 	n := target - base - 1
 	for i := 0; i < 6; i++ { // converges: uvarintLen(n) moves by at most 1 per step
 		if base+uvarintLen(uint64(n))+n == target {
@@ -40,7 +42,7 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 
 	var buf bytes.Buffer
 	w := newConnWriter(&buf)
-	if err := w.writeRequest(seq, "s", "m", payload); err != nil {
+	if err := w.writeRequest(seq, 0, "s", "m", payload); err != nil {
 		t.Fatalf("writeRequest at limit: %v", err)
 	}
 	if got := buf.Len(); got != MaxFrame+4 {
@@ -67,7 +69,7 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 	// One byte over: refused cleanly, nothing written.
 	var buf2 bytes.Buffer
 	w2 := newConnWriter(&buf2)
-	err = w2.writeRequest(seq, "s", "m", make([]byte, plen+1))
+	err = w2.writeRequest(seq, 0, "s", "m", make([]byte, plen+1))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("over-limit err = %v, want ErrFrameTooLarge", err)
 	}
@@ -131,20 +133,24 @@ func TestOversizeResponseBecomesRemoteError(t *testing.T) {
 	}
 }
 
-// TestErrorRoundTripsThroughCodec pushes RemoteError and RedirectError edge
-// shapes through the binary response encoding: unicode, empty strings in
-// redirect lists, many targets.
-func TestErrorRoundTripsThroughCodec(t *testing.T) {
-	targets := []string{"", "host-α:1", strings.Repeat("x", 300)}
+// TestErrorAndRouteRoundTripsThroughCodec pushes RemoteError and
+// route-update edge shapes through the binary response encoding: unicode
+// error text, empty addresses, many members, draining flags — piggybacked
+// on both success and error replies.
+func TestErrorAndRouteRoundTripsThroughCodec(t *testing.T) {
+	table := route.Table{Epoch: 42, Members: []route.Member{
+		{Addr: "", UID: 1, Weight: 0, Load: 0, Draining: true},
+		{Addr: "host-α:1", UID: 2, Weight: 100, Load: 7},
+		{Addr: strings.Repeat("x", 300), UID: 3, Weight: 25, Load: 1 << 20},
+	}}
 	for i := 0; i < 40; i++ {
-		targets = append(targets, fmt.Sprintf("10.0.0.%d:90", i))
+		table.Members = append(table.Members, route.Member{
+			Addr: fmt.Sprintf("10.0.0.%d:90", i), UID: int64(i + 4), Weight: 100,
+		})
 	}
 	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
-		switch req.Method {
-		case "Unicode":
+		if req.Method == "Unicode" {
 			return nil, errors.New("объект перегружен ☂ 故障")
-		case "Redirect":
-			return nil, &RedirectError{Targets: targets}
 		}
 		return req.Payload, nil
 	})
@@ -152,43 +158,67 @@ func TestErrorRoundTripsThroughCodec(t *testing.T) {
 		t.Fatalf("Serve: %v", err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	c := dial(t, srv.Addr())
+	srv.SetRouteSource(func() route.Table { return table })
 
+	var mu sync.Mutex
+	var updates []route.Table
+	c, err := DialOpts(srv.Addr(), DialOptions{
+		OnRouteUpdate: func(tab route.Table) {
+			mu.Lock()
+			updates = append(updates, tab)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialOpts: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// The table must ride error replies too: a stale client whose call hit
+	// an application error still converges on that reply.
 	_, err = c.Call("svc", "Unicode", nil, 5*time.Second)
 	var remote *RemoteError
 	if !errors.As(err, &remote) || remote.Msg != "объект перегружен ☂ 故障" {
 		t.Fatalf("unicode remote error = %v", err)
 	}
-	_, err = c.Call("svc", "Redirect", nil, 5*time.Second)
-	var redirect *RedirectError
-	if !errors.As(err, &redirect) {
-		t.Fatalf("err = %v, want RedirectError", err)
+	if _, err := c.Call("svc", "Echo", []byte("p"), 5*time.Second); err != nil {
+		t.Fatalf("Echo: %v", err)
 	}
-	if len(redirect.Targets) != len(targets) {
-		t.Fatalf("targets = %d, want %d", len(redirect.Targets), len(targets))
+	mu.Lock()
+	defer mu.Unlock()
+	// The client stamps epoch 0 on every request (no Epoch source), so both
+	// replies carry the table.
+	if len(updates) != 2 {
+		t.Fatalf("updates = %d, want 2", len(updates))
 	}
-	for i := range targets {
-		if redirect.Targets[i] != targets[i] {
-			t.Fatalf("target %d = %q, want %q", i, redirect.Targets[i], targets[i])
+	for _, u := range updates {
+		if u.Epoch != table.Epoch || len(u.Members) != len(table.Members) {
+			t.Fatalf("update = epoch %d / %d members", u.Epoch, len(u.Members))
+		}
+		for i := range table.Members {
+			if u.Members[i] != table.Members[i] {
+				t.Fatalf("member %d = %+v, want %+v", i, u.Members[i], table.Members[i])
+			}
 		}
 	}
 }
 
-// TestParseResponseRejectsHostileRedirectCount feeds a response body whose
-// declared redirect count vastly exceeds the actual entries; the parser must
-// reject it without allocating storage proportional to the claimed count.
-func TestParseResponseRejectsHostileRedirectCount(t *testing.T) {
+// TestParseResponseRejectsHostileRouteCount feeds a response body whose
+// declared route-member count vastly exceeds the actual entries; the parser
+// must reject it without allocating storage proportional to the claim.
+func TestParseResponseRejectsHostileRouteCount(t *testing.T) {
 	var body []byte
 	body = binary.AppendUvarint(body, 9)          // seq
 	body = binary.AppendUvarint(body, 0)          // no error string
-	body = binary.AppendUvarint(body, 67_000_000) // hostile redirect count...
+	body = binary.AppendUvarint(body, 3)          // route epoch
+	body = binary.AppendUvarint(body, 67_000_000) // hostile member count...
 	body = append(body, make([]byte, 64)...)      // ...backed by 64 bytes
 	var res callResult
 	if _, err := parseResponse(body, &res); !errors.Is(err, errMalformed) {
 		t.Fatalf("err = %v, want errMalformed", err)
 	}
-	if len(res.redirect) > 64 {
-		t.Fatalf("parser materialized %d redirect entries from a hostile count", len(res.redirect))
+	if res.route != nil && len(res.route.Members) > 64 {
+		t.Fatalf("parser materialized %d route members from a hostile count", len(res.route.Members))
 	}
 }
 
@@ -350,5 +380,48 @@ func TestConnCacheSingleflight(t *testing.T) {
 	cc.Close()
 	if _, err := cc.Get(srv.Addr()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRouteUpdateClampsOutOfRangeFields: a RouteSource handing the server
+// unconventional values (weights above 100, negative UIDs/loads) must reach
+// stale clients clamped into the wire format's ranges — the parser treats
+// out-of-range fields as protocol violations, so an unclamped writer would
+// turn one bad weight into a dead connection for every stale caller.
+func TestRouteUpdateClampsOutOfRangeFields(t *testing.T) {
+	srv := startEcho(t)
+	srv.SetRouteSource(func() route.Table {
+		return route.Table{Epoch: 3, Members: []route.Member{
+			{Addr: "a:1", UID: -5, Weight: 1000, Load: -7},
+			{Addr: "b:2", UID: 2, Weight: 50, Load: 4},
+		}}
+	})
+	var mu sync.Mutex
+	var got []route.Table
+	c, err := DialOpts(srv.Addr(), DialOptions{
+		OnRouteUpdate: func(tab route.Table) {
+			mu.Lock()
+			got = append(got, tab)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialOpts: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.Call("svc", "Echo", []byte("x"), 5*time.Second); err != nil {
+		t.Fatalf("Call with hostile route source: %v (connection must survive)", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("updates = %d, want 1", len(got))
+	}
+	m := got[0].Members[0]
+	if m.UID != 0 || m.Weight != route.DefaultWeight || m.Load != 0 {
+		t.Fatalf("clamped member = %+v, want uid 0, weight %d, load 0", m, route.DefaultWeight)
+	}
+	if got[0].Members[1] != (route.Member{Addr: "b:2", UID: 2, Weight: 50, Load: 4}) {
+		t.Fatalf("in-range member altered: %+v", got[0].Members[1])
 	}
 }

@@ -9,17 +9,59 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"elasticrmi/internal/route"
 )
+
+// RouteSource supplies the server's current routing table. The server
+// compares its epoch against each request's epoch and piggybacks the table
+// on the response when the requester is stale, so clients converge within
+// one reply round-trip. It is called on the response path and must be
+// cheap and non-blocking (an atomic snapshot).
+type RouteSource func() route.Table
 
 // Server accepts connections and dispatches requests to a Handler.
 type Server struct {
 	lis     net.Listener
 	handler Handler
+	routes  atomic.Pointer[RouteSource]
+
+	// draining makes the server drop newly arriving requests without
+	// executing them (see Quiesce): the unanswered request fails with the
+	// connection when the server closes, so the caller retries on another
+	// member knowing the method never ran here — at-most-once is preserved
+	// through shutdown.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
+	states map[*connState]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// SetRouteSource installs (or replaces) the server's route source. Safe to
+// call while the server runs; a nil source disables piggybacking.
+func (s *Server) SetRouteSource(src RouteSource) {
+	if src == nil {
+		s.routes.Store(nil)
+		return
+	}
+	s.routes.Store(&src)
+}
+
+// routeUpdateFor returns the table to piggyback for a request carrying
+// reqEpoch, or nil when the requester is already current (or no source).
+func (s *Server) routeUpdateFor(reqEpoch uint64) *route.Table {
+	srcp := s.routes.Load()
+	if srcp == nil {
+		return nil
+	}
+	t := (*srcp)()
+	if t.Epoch <= reqEpoch {
+		return nil
+	}
+	return &t
 }
 
 // Serve starts a server listening on addr ("host:port"; ":0" picks a free
@@ -45,6 +87,7 @@ func ServeListener(lis net.Listener, handler Handler) (*Server, error) {
 		lis:     lis,
 		handler: handler,
 		conns:   make(map[net.Conn]struct{}),
+		states:  make(map[*connState]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -91,6 +134,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		return // wrong magic or unsupported protocol version
 	}
 	st := &connState{conn: conn, w: newConnWriter(conn)}
+	s.mu.Lock()
+	s.states[st] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.states, st)
+		s.mu.Unlock()
+	}()
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
@@ -104,13 +155,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			// Count before the draining check: Quiesce observes a non-zero
+			// outstanding count for any request that slipped past the flag,
+			// so it can never declare the connection quiet under our feet.
 			st.outstanding.Add(1)
+			st.accepted.Add(1)
+			if s.draining.Load() {
+				st.outstanding.Add(-1)
+				st.written.Add(1)
+				continue // dropped unexecuted; fails with the connection
+			}
 			reqWG.Add(1)
 			go s.respond(st, req, &reqWG)
 		case frameOneWay:
 			req, err := parseRequest(body)
 			if err != nil {
 				return
+			}
+			if s.draining.Load() {
+				continue // at-most-once: dropped with the closing member
 			}
 			req.OneWay = true
 			reqWG.Add(1)
@@ -127,7 +190,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			for _, it := range items {
 				if !it.oneway {
 					st.outstanding.Add(1)
+					st.accepted.Add(1)
 				}
+			}
+			if s.draining.Load() {
+				for _, it := range items {
+					if !it.oneway {
+						st.outstanding.Add(-1)
+						st.written.Add(1)
+					}
+				}
+				continue
 			}
 			for _, it := range items {
 				reqWG.Add(1)
@@ -140,6 +213,47 @@ func (s *Server) serveConn(conn net.Conn) {
 		default:
 			return
 		}
+	}
+}
+
+// Quiesce prepares a graceful shutdown: newly arriving requests are dropped
+// without executing (their callers retry elsewhere once the connection
+// closes), and Quiesce blocks until every previously accepted request has
+// run AND had its response fully written — including responses parked under
+// the flush-coalescing straggler hold, which are flushed here — or until
+// timeout. It reports whether the server went quiet. Close may follow
+// immediately without cutting an acknowledged-but-unflushed response, the
+// ambiguity that would otherwise turn a clean scale-down into a duplicate
+// execution at a retrying caller.
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	s.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		quiet := true
+		for st := range s.states {
+			if st.outstanding.Load() != 0 || st.written.Load() != st.accepted.Load() {
+				quiet = false
+				break
+			}
+		}
+		states := make([]*connState, 0, len(s.states))
+		if quiet {
+			for st := range s.states {
+				states = append(states, st)
+			}
+		}
+		s.mu.Unlock()
+		if quiet {
+			for _, st := range states {
+				_ = st.w.flushNow()
+			}
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -156,6 +270,12 @@ type connState struct {
 	// count up.
 	outstanding atomic.Int64
 	timerArmed  atomic.Bool
+	// accepted counts every two-way request read on this connection;
+	// written counts those whose response write has completed (or that
+	// were dropped while draining). accepted == written && outstanding == 0
+	// is the connection-quiet predicate Quiesce waits for.
+	accepted atomic.Int64
+	written  atomic.Int64
 }
 
 // responseFlushBound caps how long a completed response may sit buffered
@@ -168,17 +288,16 @@ func (s *Server) respond(st *connState, req *Request, wg *sync.WaitGroup) {
 	defer wg.Done()
 	payload, err := s.handler(req)
 	var errMsg string
-	var redirect []string
 	if err != nil {
-		var redir *RedirectError
-		if errors.As(err, &redir) {
-			redirect = redir.Targets
-		} else {
-			errMsg = err.Error()
-		}
+		errMsg = err.Error()
 	}
+	// The route update is computed after the handler ran: a view change
+	// during a long invocation still reaches the caller on this reply.
+	rt := s.routeUpdateFor(req.Epoch)
 	hold := st.outstanding.Add(-1) > 0
-	if werr := st.w.writeResponse(req.Seq, payload, errMsg, redirect, hold); werr != nil {
+	werr := st.w.writeResponse(req.Seq, payload, errMsg, rt, hold)
+	st.written.Add(1)
+	if werr != nil {
 		st.conn.Close()
 		return
 	}

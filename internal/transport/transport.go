@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+
+	"elasticrmi/internal/route"
 )
 
 // Exported errors matched by callers with errors.Is.
@@ -32,30 +34,24 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remote %s.%s: %s", e.Service, e.Method, e.Msg)
 }
 
-// RedirectError tells the caller the member is draining and lists the other
-// members of the elastic pool that can serve the invocation (paper §2.5).
-type RedirectError struct {
-	Targets []string
-}
-
-// Error implements error.
-func (e *RedirectError) Error() string {
-	return fmt.Sprintf("redirected to %v", e.Targets)
-}
-
 // Request is a remote method invocation as it travels on the wire. The
 // Payload handed to a server Handler aliases the frame's read buffer; it
 // remains valid indefinitely but is shared with the response write path, so
 // handlers must not mutate it after returning.
 type Request struct {
-	Seq     uint64
+	Seq uint64
+	// Epoch is the routing epoch the caller held when it sent the request
+	// (0 = none). A server with a RouteSource compares it against its own
+	// table and piggybacks the newer table on the response, so stale
+	// callers converge within one reply round-trip.
+	Epoch   uint64
 	Service string
 	Method  string
 	Payload []byte
 	// OneWay is set by the server for invocations that will never be
-	// answered (one-way frames and one-way batch entries). Handlers that
-	// would return steering errors nobody can see — e.g. a draining
-	// member's redirect — should execute such invocations locally instead.
+	// answered (one-way frames and one-way batch entries). There is no
+	// response to piggyback corrections on, so handlers execute them with
+	// whatever routing the caller chose.
 	OneWay bool
 }
 
@@ -63,10 +59,10 @@ type Request struct {
 // response frame (see doc.go); the hot path serializes the fields directly
 // without materializing this struct.
 type Response struct {
-	Seq      uint64
-	Payload  []byte
-	Err      string   // non-empty => RemoteError
-	Redirect []string // non-empty => RedirectError (member draining)
+	Seq     uint64
+	Payload []byte
+	Err     string       // non-empty => RemoteError
+	Route   *route.Table // piggybacked route update (nil = none)
 }
 
 // Handler processes one request and returns the response payload. Returning

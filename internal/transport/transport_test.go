@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"elasticrmi/internal/route"
 )
 
 type echoArgs struct {
@@ -21,8 +23,6 @@ func startEcho(t *testing.T) *Server {
 			return req.Payload, nil
 		case "Fail":
 			return nil, errors.New("boom")
-		case "Redirect":
-			return nil, &RedirectError{Targets: []string{"a:1", "b:2"}}
 		case "Slow":
 			time.Sleep(200 * time.Millisecond)
 			return req.Payload, nil
@@ -80,16 +80,58 @@ func TestRemoteError(t *testing.T) {
 	}
 }
 
-func TestRedirectError(t *testing.T) {
+// TestRouteUpdatePiggyback drives the epoch protocol end to end: a client
+// behind the server's epoch receives the server's routing table on its very
+// next reply; once caught up, replies stop carrying the table.
+func TestRouteUpdatePiggyback(t *testing.T) {
 	srv := startEcho(t)
-	c := dial(t, srv.Addr())
-	_, err := c.Call("svc", "Redirect", nil, time.Second)
-	var redirect *RedirectError
-	if !errors.As(err, &redirect) {
-		t.Fatalf("err = %v, want RedirectError", err)
+	table := route.Table{Epoch: 7, Members: []route.Member{
+		{Addr: "a:1", UID: 1, Weight: 100, Load: 3},
+		{Addr: "b:2", UID: 2, Weight: 50, Load: 0, Draining: true},
+	}}
+	srv.SetRouteSource(func() route.Table { return table })
+
+	var mu sync.Mutex
+	var epoch uint64
+	var got []route.Table
+	c, err := DialOpts(srv.Addr(), DialOptions{
+		Epoch: func() uint64 { mu.Lock(); defer mu.Unlock(); return epoch },
+		OnRouteUpdate: func(tab route.Table) {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, tab)
+			if tab.Epoch > epoch {
+				epoch = tab.Epoch
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialOpts: %v", err)
 	}
-	if len(redirect.Targets) != 2 || redirect.Targets[0] != "a:1" {
-		t.Fatalf("targets = %v", redirect.Targets)
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Call("svc", "Echo", []byte("x"), time.Second); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	mu.Lock()
+	if len(got) != 1 || got[0].Epoch != 7 || len(got[0].Members) != 2 {
+		mu.Unlock()
+		t.Fatalf("route updates after stale call = %+v", got)
+	}
+	if got[0].Members[1] != table.Members[1] {
+		mu.Unlock()
+		t.Fatalf("member drifted: %+v != %+v", got[0].Members[1], table.Members[1])
+	}
+	mu.Unlock()
+
+	// Caught up: the next reply must not repeat the table.
+	if _, err := c.Call("svc", "Echo", []byte("y"), time.Second); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("current client still received %d updates", len(got))
 	}
 }
 

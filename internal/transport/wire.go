@@ -8,6 +8,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"elasticrmi/internal/route"
 )
 
 // MaxFrame bounds a single message (kind byte + body) to protect against
@@ -16,8 +18,10 @@ import (
 const MaxFrame = 64 << 20
 
 // Protocol preamble: magic "eRMI" plus a version byte, sent by the dialing
-// side before its first frame (see doc.go).
-const protoVersion = 1
+// side before its first frame (see doc.go). Version 2 added the epoch field
+// on requests and the piggybacked route update on responses (replacing the
+// redirect list of version 1).
+const protoVersion = 2
 
 var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
 
@@ -112,24 +116,24 @@ func putFrameHeader(bw *bufio.Writer, size int, kind frameKind) {
 }
 
 // requestFrameSize returns the frame size (kind byte + body) of a request.
-func requestFrameSize(seq uint64, service, method string, payload []byte) int {
-	return 1 + uvarintLen(seq) +
+func requestFrameSize(seq, epoch uint64, service, method string, payload []byte) int {
+	return 1 + uvarintLen(seq) + uvarintLen(epoch) +
 		uvarintLen(uint64(len(service))) + len(service) +
 		uvarintLen(uint64(len(method))) + len(method) +
 		uvarintLen(uint64(len(payload))) + len(payload)
 }
 
-func (w *connWriter) writeRequest(seq uint64, service, method string, payload []byte) error {
-	return w.writeRequestKind(frameRequest, seq, service, method, payload)
+func (w *connWriter) writeRequest(seq, epoch uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameRequest, seq, epoch, service, method, payload)
 }
 
 // writeOneWay emits a request the server will not answer.
-func (w *connWriter) writeOneWay(seq uint64, service, method string, payload []byte) error {
-	return w.writeRequestKind(frameOneWay, seq, service, method, payload)
+func (w *connWriter) writeOneWay(seq, epoch uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameOneWay, seq, epoch, service, method, payload)
 }
 
-func (w *connWriter) writeRequestKind(kind frameKind, seq uint64, service, method string, payload []byte) error {
-	size := requestFrameSize(seq, service, method, payload)
+func (w *connWriter) writeRequestKind(kind frameKind, seq, epoch uint64, service, method string, payload []byte) error {
+	size := requestFrameSize(seq, epoch, service, method, payload)
 	if size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
 	}
@@ -140,6 +144,7 @@ func (w *connWriter) writeRequestKind(kind frameKind, seq uint64, service, metho
 	bw := w.bw
 	putFrameHeader(bw, size, kind)
 	putUvarint(bw, seq)
+	putUvarint(bw, epoch)
 	putUvarint(bw, uint64(len(service)))
 	bw.WriteString(service)
 	putUvarint(bw, uint64(len(method)))
@@ -154,6 +159,7 @@ func (w *connWriter) writeRequestKind(kind frameKind, seq uint64, service, metho
 type batchEntry struct {
 	oneway  bool
 	seq     uint64
+	epoch   uint64
 	service string
 	method  string
 	payload []byte
@@ -163,7 +169,7 @@ type batchEntry struct {
 // batchEntrySize returns the encoded size of one batch entry (flag byte +
 // request fields).
 func batchEntrySize(e *batchEntry) int {
-	return 1 + requestFrameSize(e.seq, e.service, e.method, e.payload) - 1
+	return 1 + requestFrameSize(e.seq, e.epoch, e.service, e.method, e.payload) - 1
 }
 
 // batchFrameSize returns the frame size (kind byte + body) of a batch.
@@ -205,6 +211,7 @@ func (w *connWriter) writeBatch(entries []batchEntry) error {
 		}
 		bw.WriteByte(flags)
 		putUvarint(bw, e.seq)
+		putUvarint(bw, e.epoch)
 		putUvarint(bw, uint64(len(e.service)))
 		bw.WriteString(e.service)
 		putUvarint(bw, uint64(len(e.method)))
@@ -215,31 +222,111 @@ func (w *connWriter) writeBatch(entries []batchEntry) error {
 	return w.finish(err)
 }
 
-// responseFrameSize returns the frame size (kind byte + body) of a response.
-func responseFrameSize(seq uint64, payload []byte, errMsg string, redirect []string) int {
-	size := 1 + uvarintLen(seq) +
-		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
-		uvarintLen(uint64(len(redirect))) +
-		uvarintLen(uint64(len(payload))) + len(payload)
-	for _, t := range redirect {
-		size += uvarintLen(uint64(len(t))) + len(t)
+// drainingFlag marks a draining member inside a route-update entry.
+const drainingFlag = 0x1
+
+// maxRouteMembers bounds the member count one route update may carry;
+// writers refuse larger tables and readers treat larger counts as
+// malformed. Far above any real pool size, far below an allocation bomb.
+const maxRouteMembers = 4096
+
+// Writer-side clamps. The parser rejects out-of-range fields as protocol
+// violations (killing the connection), so the writer must never emit them:
+// a RouteSource handing over an unconventional weight scale or a negative
+// UID must degrade to a clamped value here, not poison every stale client.
+
+// clampUID encodes a UID, flooring negatives at 0.
+func clampUID(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// clampWeight bounds a weight to [0, route.DefaultWeight].
+func clampWeight(v int32) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v > route.DefaultWeight {
+		return route.DefaultWeight
+	}
+	return uint64(v)
+}
+
+// clampLoad floors a load at 0 (int32 range is within the parser's bound).
+func clampLoad(v int32) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// routeUpdateSize returns the encoded size of the response's route-update
+// section. A nil table encodes as the single byte 0 (epoch 0 = no update;
+// real epochs start at 1).
+func routeUpdateSize(rt *route.Table) int {
+	if rt == nil {
+		return uvarintLen(0)
+	}
+	size := uvarintLen(rt.Epoch) + uvarintLen(uint64(len(rt.Members)))
+	for i := range rt.Members {
+		m := &rt.Members[i]
+		size += uvarintLen(uint64(len(m.Addr))) + len(m.Addr) +
+			uvarintLen(clampUID(m.UID)) +
+			uvarintLen(clampWeight(m.Weight)) +
+			uvarintLen(clampLoad(m.Load)) + 1
 	}
 	return size
 }
 
-// writeResponse emits one response frame. hold skips the flush even when no
-// other writer is queued — the server passes it while more responses for
-// this connection are imminent (outstanding requests), so a wave of
-// completions reaches the kernel in one syscall; the caller guarantees a
-// later flush (last writer, or its straggler timer).
-func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, redirect []string, hold bool) error {
-	if responseFrameSize(seq, payload, errMsg, redirect) > MaxFrame {
+func putRouteUpdate(bw *bufio.Writer, rt *route.Table) {
+	if rt == nil {
+		putUvarint(bw, 0)
+		return
+	}
+	putUvarint(bw, rt.Epoch)
+	putUvarint(bw, uint64(len(rt.Members)))
+	for i := range rt.Members {
+		m := &rt.Members[i]
+		putUvarint(bw, uint64(len(m.Addr)))
+		bw.WriteString(m.Addr)
+		putUvarint(bw, clampUID(m.UID))
+		putUvarint(bw, clampWeight(m.Weight))
+		putUvarint(bw, clampLoad(m.Load))
+		var flags byte
+		if m.Draining {
+			flags |= drainingFlag
+		}
+		bw.WriteByte(flags)
+	}
+}
+
+// responseFrameSize returns the frame size (kind byte + body) of a response.
+func responseFrameSize(seq uint64, payload []byte, errMsg string, rt *route.Table) int {
+	return 1 + uvarintLen(seq) +
+		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
+		routeUpdateSize(rt) +
+		uvarintLen(uint64(len(payload))) + len(payload)
+}
+
+// writeResponse emits one response frame, piggybacking rt when non-nil (the
+// member's routing table, newer than the requester's epoch). hold skips the
+// flush even when no other writer is queued — the server passes it while
+// more responses for this connection are imminent (outstanding requests),
+// so a wave of completions reaches the kernel in one syscall; the caller
+// guarantees a later flush (last writer, or its straggler timer).
+func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, rt *route.Table, hold bool) error {
+	if rt != nil && (len(rt.Members) == 0 || len(rt.Members) > maxRouteMembers || rt.Epoch == 0) {
+		rt = nil // unencodable table: drop the piggyback, never the response
+	}
+	if responseFrameSize(seq, payload, errMsg, rt) > MaxFrame {
 		// Surface the overflow to the caller as a RemoteError instead of
 		// poisoning the connection with an unreadable frame.
-		payload, redirect = nil, nil
+		payload, rt = nil, nil
 		errMsg = fmt.Sprintf("%v: response frame exceeds %d bytes", ErrFrameTooLarge, MaxFrame)
 	}
-	size := responseFrameSize(seq, payload, errMsg, redirect)
+	size := responseFrameSize(seq, payload, errMsg, rt)
 	if err := w.lock(); err != nil {
 		w.mu.Unlock()
 		return err
@@ -249,11 +336,7 @@ func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, re
 	putUvarint(bw, seq)
 	putUvarint(bw, uint64(len(errMsg)))
 	bw.WriteString(errMsg)
-	putUvarint(bw, uint64(len(redirect)))
-	for _, t := range redirect {
-		putUvarint(bw, uint64(len(t)))
-		bw.WriteString(t)
-	}
+	putRouteUpdate(bw, rt)
 	putUvarint(bw, uint64(len(payload)))
 	_, err := bw.Write(payload)
 	if hold && err == nil {
@@ -327,6 +410,10 @@ func parseRequest(body []byte) (*Request, error) {
 	if !ok {
 		return nil, errMalformed
 	}
+	epoch, rest, ok := takeUvarint(rest)
+	if !ok {
+		return nil, errMalformed
+	}
 	service, rest, ok := takeBytes(rest)
 	if !ok {
 		return nil, errMalformed
@@ -341,6 +428,7 @@ func parseRequest(body []byte) (*Request, error) {
 	}
 	return &Request{
 		Seq:     seq,
+		Epoch:   epoch,
 		Service: string(service),
 		Method:  string(method),
 		Payload: payload,
@@ -372,8 +460,12 @@ func parseBatch(body []byte) ([]batchItem, error) {
 		if flags&^oneWayFlag != 0 {
 			return nil, errMalformed
 		}
-		var seq uint64
+		var seq, epoch uint64
 		seq, rest, ok = takeUvarint(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		epoch, rest, ok = takeUvarint(rest)
 		if !ok {
 			return nil, errMalformed
 		}
@@ -394,6 +486,7 @@ func parseBatch(body []byte) ([]batchItem, error) {
 			oneway: flags&oneWayFlag != 0,
 			req: &Request{
 				Seq:     seq,
+				Epoch:   epoch,
 				Service: string(service),
 				Method:  string(method),
 				Payload: payload,
@@ -407,7 +500,8 @@ func parseBatch(body []byte) ([]batchItem, error) {
 	return items, nil
 }
 
-// parseResponse decodes a response body into res. res.payload aliases body.
+// parseResponse decodes a response body into res. res.payload aliases body;
+// a piggybacked route update is copied out (it outlives the frame).
 func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
 	seq, rest, ok := takeUvarint(body)
 	if !ok {
@@ -420,26 +514,50 @@ func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
 	if len(errMsg) > 0 {
 		res.errMsg = string(errMsg)
 	}
-	nredir, rest, ok := takeUvarint(rest)
-	if !ok || nredir > uint64(len(rest)) {
+	repoch, rest, ok := takeUvarint(rest)
+	if !ok {
 		return 0, errMalformed
 	}
-	if nredir > 0 {
-		// Grow by append rather than trusting the declared count: a corrupt
-		// count must not amplify a small frame into a huge allocation.
-		initial := nredir
-		if initial > 64 {
-			initial = 64
+	if repoch > 0 {
+		count, rest2, ok := takeUvarint(rest)
+		if !ok || count == 0 || count > maxRouteMembers || count > uint64(len(rest2)) {
+			return 0, errMalformed
 		}
-		res.redirect = make([]string, 0, initial)
-		for i := uint64(0); i < nredir; i++ {
-			var t []byte
-			t, rest, ok = takeBytes(rest)
+		rest = rest2
+		rt := &route.Table{Epoch: repoch, Members: make([]route.Member, 0, count)}
+		for i := uint64(0); i < count; i++ {
+			var addr []byte
+			addr, rest, ok = takeBytes(rest)
 			if !ok {
 				return 0, errMalformed
 			}
-			res.redirect = append(res.redirect, string(t))
+			var uid, weight, load uint64
+			if uid, rest, ok = takeUvarint(rest); !ok {
+				return 0, errMalformed
+			}
+			if weight, rest, ok = takeUvarint(rest); !ok {
+				return 0, errMalformed
+			}
+			if load, rest, ok = takeUvarint(rest); !ok {
+				return 0, errMalformed
+			}
+			if len(rest) == 0 {
+				return 0, errMalformed
+			}
+			flags := rest[0]
+			rest = rest[1:]
+			if flags&^drainingFlag != 0 || uid > 1<<63-1 || weight > uint64(route.DefaultWeight) || load > 1<<31-1 {
+				return 0, errMalformed
+			}
+			rt.Members = append(rt.Members, route.Member{
+				Addr:     string(addr),
+				UID:      int64(uid),
+				Weight:   int32(weight),
+				Load:     int32(load),
+				Draining: flags&drainingFlag != 0,
+			})
 		}
+		res.route = rt
 	}
 	payload, rest, ok := takeBytes(rest)
 	if !ok || len(rest) != 0 {

@@ -7,7 +7,10 @@
 # commit b60f3ab, measured with the same bench_test.go), so every PR can see
 # the perf trajectory at a glance. Also rewrites BENCH_async.json comparing
 # sequential-sync, pipelined-async, batched-async and one-way echo
-# throughput (the PR-2 asynchronous invocation pipeline figure).
+# throughput (the PR-2 asynchronous invocation pipeline figure), and
+# BENCH_routing.json comparing routing strategies (p2c vs round-robin tail
+# latency under a skewed pool; hot-key affinity vs spray throughput — the
+# PR-3 epoch-routing figure, from internal/core/routing_bench_test.go).
 #
 # Usage: scripts/bench.sh            (or: make bench)
 #        BENCHTIME=5s scripts/bench.sh
@@ -88,3 +91,43 @@ printf '%s\n' "$OUT" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 ' > BENCH_async.json
 echo "wrote BENCH_async.json"
 cat BENCH_async.json
+
+# BENCH_routing.json: the epoch-routing strategy figure. A fixed iteration
+# count (not a duration) keeps the percentile sample size stable across
+# machines; the workloads sleep rather than spin, so wall-clock per run is
+# a few seconds even single-core.
+ROUT=$(go test -run '^$' -bench 'BenchmarkRouting' -benchtime "${ROUTING_BENCHTIME:-600x}" ./internal/core/)
+printf '%s\n' "$ROUT"
+
+printf '%s\n' "$ROUT" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")  ns[name]  = $(i-1)
+      if ($i == "p50-ns") p50[name] = $(i-1)
+      if ($i == "p99-ns") p99[name] = $(i-1)
+      if ($i == "hit-%")  hit[name] = $(i-1)
+    }
+  }
+  END {
+    rr = "BenchmarkRoutingSkewedRR"; pc = "BenchmarkRoutingSkewedP2C"
+    sp = "BenchmarkRoutingHotKeySpray"; af = "BenchmarkRoutingHotKeyAffinity"
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", gen
+    printf "  \"skewed_pool\": {\n"
+    printf "    \"workload\": \"4 single-threaded members, one with 10x service time, 8 concurrent callers (internal/core/routing_bench_test.go)\",\n"
+    printf "    \"round_robin\": {\"ns_per_op\": %s, \"p50_ns\": %s, \"p99_ns\": %s},\n", ns[rr], p50[rr], p99[rr]
+    printf "    \"p2c\": {\"ns_per_op\": %s, \"p50_ns\": %s, \"p99_ns\": %s},\n", ns[pc], p50[pc], p99[pc]
+    printf "    \"p99_speedup_x\": %.2f\n", p99[rr] / p99[pc]
+    printf "  },\n"
+    printf "  \"hot_key\": {\n"
+    printf "    \"workload\": \"32-key working set over 4 members with 16-entry member-local caches, miss costs 10x a hit\",\n"
+    printf "    \"spray\": {\"ns_per_op\": %s, \"cache_hit_pct\": %s},\n", ns[sp], hit[sp]
+    printf "    \"affinity\": {\"ns_per_op\": %s, \"cache_hit_pct\": %s},\n", ns[af], hit[af]
+    printf "    \"throughput_x\": %.2f\n", ns[sp] / ns[af]
+    printf "  }\n"
+    printf "}\n"
+  }
+' > BENCH_routing.json
+echo "wrote BENCH_routing.json"
+cat BENCH_routing.json
