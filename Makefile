@@ -6,9 +6,11 @@ all: vet test
 
 # ci is the full gate (run by .github/workflows/ci.yml): formatting, build,
 # vet, the whole test suite under the race detector, then a short fuzz
-# smoke over the wire codec.
+# smoke over the wire codec. The explicit -timeout makes a deadlocked test
+# (e.g. an overload/quiesce scenario wedging on a blocked handler) fail the
+# job in minutes instead of hanging the workflow until its global limit.
 ci: fmt-check build vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 300s ./...
 	$(MAKE) fuzz-smoke
 
 # fmt-check fails if any file is not gofmt-clean (gofmt -l lists offenders).
@@ -38,9 +40,9 @@ test:
 	$(GO) test ./...
 
 # race gates the transport hot path (pooled call objects, write coalescing,
-# connection caches) under the race detector.
+# connection caches, the admission worker pool) under the race detector.
 race:
-	$(GO) test -race ./internal/transport/...
+	$(GO) test -race -timeout 300s ./internal/transport/...
 
 # bench runs vet + the transport race gate, then the transport
 # microbenchmarks, and records the numbers to BENCH_transport.json so the

@@ -326,6 +326,18 @@ func (d *deploymentSim) avgRAM(rate float64) float64 {
 	return 0.8 * d.avgCPU(rate)
 }
 
+// shedCount models the members' admission controllers: offered invocations
+// beyond the pool's capacity (size × PerNode) are shed during the step. It
+// is the same overload signal the live runtime folds into PoolMetrics, so
+// the simulated and the production policies decide on identical inputs.
+func (d *deploymentSim) shedCount(rate float64) int64 {
+	over := rate - float64(d.size)*d.cfg.App.PerNode
+	if over <= 0 {
+		return 0
+	}
+	return int64(over * d.cfg.Step.Seconds())
+}
+
 // fineDeltas mirrors the applications' ChangePoolSize implementations: each
 // member estimates the required pool size from its own backlog (queue
 // depth, lock contention, pending proposals). The estimate is based on the
@@ -458,6 +470,9 @@ func (d *deploymentSim) step(t time.Duration, rate float64, req int) (int, []agi
 			MinPool:     2,
 			MaxPool:     cfg.MaxPool,
 			DesiredSize: -1,
+			// ElasticRMI members report shed work; CloudWatch below has no
+			// such signal — VM rules see only utilization averages.
+			Shed: d.shedCount(rate),
 		}
 		delta := core.CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40}.Decide(pm)
 		var events []agility.ProvisioningEvent

@@ -112,6 +112,16 @@ type Config struct {
 	// DisableBroadcast turns off the periodic pool-state broadcast (used by
 	// tests that exercise the pool without group traffic).
 	DisableBroadcast bool
+	// MaxConcurrentInvocations bounds how many invocations one member
+	// executes concurrently (its skeleton's admission gate); 0 selects the
+	// transport default. Set it to the slice's real service parallelism so
+	// overload is shed early instead of queued into collapse.
+	MaxConcurrentInvocations int
+	// MaxQueuedInvocations bounds how many admitted invocations may wait
+	// for a free execution slot per member; excess arrivals are shed with an
+	// overload reply (stubs retry on a less-loaded member, and shed counts
+	// feed the scaling policies). 0 selects the transport default.
+	MaxQueuedInvocations int
 }
 
 func (c *Config) validate() error {

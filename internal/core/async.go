@@ -84,11 +84,14 @@ func (s *Stub) InvokeAsync(method string, payload []byte) *AsyncCall {
 
 // invokePipelined makes the first attempt over the pipelined (and, when
 // enabled, batched) transport path, then hands anything retryable to the
-// synchronous failover loop.
+// synchronous failover loop. First attempt and failover share one
+// per-invocation deadline budget: an async invocation is never granted more
+// total time than a synchronous one.
 func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrPoolClosed
 	}
+	deadline := s.invocationDeadline()
 	addr, ok := s.pickFor("")
 	if !ok {
 		return nil, ErrUnavailable
@@ -96,7 +99,7 @@ func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
 	c, err := s.conn(addr)
 	if err == nil {
 		release := s.routes.Acquire(addr)
-		out, cerr := c.Go(s.name, method, payload).Wait(s.timeout)
+		out, cerr := c.GoBudget(s.name, method, payload, s.timeout).Wait(s.timeout)
 		release()
 		switch {
 		case cerr == nil:
@@ -106,6 +109,15 @@ func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
 			// The method executed and failed, or the request cannot be
 			// framed anywhere: retrying elsewhere would be wrong.
 			return nil, cerr
+		case errors.Is(cerr, transport.ErrTimeout):
+			// Slow, not dead: keep the shared connection and the member (see
+			// invokeDeadline); the exhausted budget stops the failover loop.
+			return s.invokeDeadline(method, "", payload, deadline)
+		case errors.Is(cerr, transport.ErrOverloaded), errors.Is(cerr, transport.ErrExpired):
+			// Saturated, not gone: bias the balancer away and retry on a
+			// less-loaded member under what remains of the budget.
+			s.routes.MarkLoaded(addr)
+			return s.invokeDeadline(method, "", payload, deadline)
 		}
 		// Transport failure: exclude and hand off to the failover loop.
 		s.routes.Exclude(addr)
@@ -115,7 +127,7 @@ func (s *Stub) invokePipelined(method string, payload []byte) ([]byte, error) {
 	} else {
 		s.routes.Exclude(addr)
 	}
-	return s.Invoke(method, payload)
+	return s.invokeDeadline(method, "", payload, deadline)
 }
 
 // InvokeOneWay submits a fire-and-forget invocation: the member executes

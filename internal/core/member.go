@@ -38,7 +38,12 @@ type StatsReply struct {
 	Draining bool
 	CPU      float64
 	RAM      float64
-	Methods  []metrics.MethodStat
+	// Shed / Expired are the skeleton's cumulative admission-control
+	// counters: invocations refused with an overload reply, and invocations
+	// dropped because their deadline budget expired in queue.
+	Shed    uint64
+	Expired uint64
+	Methods []metrics.MethodStat
 }
 
 // Group topics used inside a pool.
@@ -98,7 +103,11 @@ type member struct {
 	roster    []MemberInfo // last known pool membership, sentinel first
 	lastStats map[string]metrics.MethodStat
 	lastUsage metrics.Usage
-	closed    bool
+	// lastSrv is the skeleton's cumulative admission counters at the last
+	// window roll; rollWindow feeds the delta into the meter so Shed/Expired
+	// in Usage are per-window like everything else.
+	lastSrv transport.ServerStats
+	closed  bool
 
 	msgStop chan struct{}
 	msgDone chan struct{}
@@ -145,6 +154,7 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 			methods = append(methods, st)
 		}
 		sort.Slice(methods, func(i, j int) bool { return methods[i].Method < methods[j].Method })
+		srvStats := m.srv.Stats()
 		return transport.Encode(StatsReply{
 			Pool:     m.pool.cfg.Name,
 			UID:      m.uid,
@@ -152,6 +162,8 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 			Draining: m.draining.Load(),
 			CPU:      usage.CPU,
 			RAM:      usage.RAM,
+			Shed:     srvStats.Shed,
+			Expired:  srvStats.Expired,
 			Methods:  methods,
 		})
 	}
@@ -202,8 +214,17 @@ func (m *member) messageLoop() {
 
 // rollWindow finishes the member's current metrics window, caching the
 // snapshot that MemberContext exposes to the application during the next
-// burst interval.
+// burst interval. The skeleton's admission counters (shed / expired work)
+// are folded into the window first, so policies see overload and
+// utilization in one observation.
 func (m *member) rollWindow() ([]metrics.MethodStat, metrics.Usage) {
+	srv := m.srv.Stats()
+	m.mu.Lock()
+	last := m.lastSrv
+	m.lastSrv = srv
+	m.mu.Unlock()
+	m.meter.AddShed(int64(srv.Shed - last.Shed))
+	m.meter.AddExpired(int64(srv.Expired - last.Expired))
 	stats, usage := m.meter.Window()
 	m.mu.Lock()
 	m.lastStats = metrics.StatsMap(stats)

@@ -22,6 +22,32 @@ type PoolMetrics struct {
 	// DesiredSize is the Decider's answer (application-level decisions);
 	// negative means "no decider".
 	DesiredSize int
+	// Shed and Expired count invocations the members' admission controllers
+	// refused over the burst interval: shed with an overload reply, or
+	// dropped because their deadline budget expired in queue. A material
+	// refusal rate proves demand exceeded capacity — the overload signal
+	// that lets utilization policies scale out before congestion collapse,
+	// and the same signal the benchsim deployment simulator feeds its
+	// policies. Calls is the number of invocations the members executed
+	// over the same interval, the volume the refusals are judged against.
+	Shed    int64
+	Expired int64
+	Calls   int64
+}
+
+// overloaded reports whether the interval saw a material rate of
+// admission-control refusals. It deliberately demands more than one stray
+// refusal: a single client with a too-small call budget trickles a few
+// expiries per interval, and treating those as saturation would ratchet
+// the pool to MaxPool and veto every scale-down while that client runs.
+// The bar is at least one refusal per member AND at least 1% of the
+// executed invocation volume (trivially met when no volume was observed).
+func (m PoolMetrics) overloaded() bool {
+	refused := m.Shed + m.Expired
+	if refused == 0 || refused < int64(m.PoolSize) {
+		return false
+	}
+	return refused*100 >= m.Calls
 }
 
 // Policy decides how many members to add (positive) or remove (negative)
@@ -46,7 +72,10 @@ func clampDelta(delta, size, min, max int) int {
 }
 
 // ImplicitPolicy is the paper's default (§3.2): add one object when average
-// CPU utilization exceeds 90%, remove one when it falls below 60%.
+// CPU utilization exceeds 90%, remove one when it falls below 60%. Shed or
+// expired work is an overriding scale-out trigger: members refusing
+// invocations means demand already exceeds capacity, whatever the averaged
+// utilization window says (sleep-heavy handlers can shed at low CPU).
 type ImplicitPolicy struct{}
 
 var _ Policy = ImplicitPolicy{}
@@ -57,6 +86,8 @@ func (ImplicitPolicy) Name() string { return "implicit" }
 // Decide implements Policy.
 func (ImplicitPolicy) Decide(m PoolMetrics) int {
 	switch {
+	case m.overloaded():
+		return clampDelta(1, m.PoolSize, m.MinPool, m.MaxPool)
 	case m.AvgCPU > 90:
 		return clampDelta(1, m.PoolSize, m.MinPool, m.MaxPool)
 	case m.AvgCPU < 60:
@@ -81,7 +112,8 @@ func (CoarsePolicy) Name() string { return "coarse" }
 
 // Decide implements Policy.
 func (p CoarsePolicy) Decide(m PoolMetrics) int {
-	incr := (p.CPUIncr > 0 && m.AvgCPU > p.CPUIncr) ||
+	incr := m.overloaded() ||
+		(p.CPUIncr > 0 && m.AvgCPU > p.CPUIncr) ||
 		(p.RAMIncr > 0 && m.AvgRAM > p.RAMIncr)
 	decr := (p.CPUDecr > 0 && m.AvgCPU < p.CPUDecr) &&
 		(p.RAMDecr == 0 || m.AvgRAM < p.RAMDecr)

@@ -29,6 +29,46 @@ func TestImplicitPolicy(t *testing.T) {
 	}
 }
 
+// TestOverloadSignalScalesOut: a material shed/expired rate overrides the
+// utilization thresholds and scales out, while a stray refusal (one client
+// with a too-small budget) neither grows the pool nor vetoes a shrink.
+func TestOverloadSignalScalesOut(t *testing.T) {
+	p := ImplicitPolicy{}
+	tests := []struct {
+		name string
+		m    PoolMetrics
+		want int
+	}{
+		{"mass shedding at idle CPU adds one",
+			PoolMetrics{AvgCPU: 6, Shed: 900, Calls: 1200, PoolSize: 4, MinPool: 2, MaxPool: 10}, 1},
+		{"expired-only overload adds one",
+			PoolMetrics{AvgCPU: 70, Expired: 50, Calls: 100, PoolSize: 4, MinPool: 2, MaxPool: 10}, 1},
+		{"overload at max clamps",
+			PoolMetrics{AvgCPU: 50, Shed: 1000, Calls: 100, PoolSize: 10, MinPool: 2, MaxPool: 10}, 0},
+		{"stray refusal below per-member floor still shrinks",
+			PoolMetrics{AvgCPU: 20, Expired: 3, Calls: 50000, PoolSize: 4, MinPool: 2, MaxPool: 10}, -1},
+		{"sub-1%-of-volume refusals still shrink",
+			PoolMetrics{AvgCPU: 20, Shed: 40, Calls: 50000, PoolSize: 4, MinPool: 2, MaxPool: 10}, -1},
+		{"no volume observed: refusals alone scale out",
+			PoolMetrics{AvgCPU: 20, Shed: 10, PoolSize: 4, MinPool: 2, MaxPool: 10}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Decide(tc.m); got != tc.want {
+				t.Errorf("Decide(%+v) = %d, want %d", tc.m, got, tc.want)
+			}
+		})
+	}
+	// CoarsePolicy shares the same overload override.
+	cp := CoarsePolicy{CPUIncr: 85, CPUDecr: 50}
+	if got := cp.Decide(PoolMetrics{AvgCPU: 10, Shed: 500, Calls: 500, PoolSize: 4, MinPool: 2, MaxPool: 10}); got != 1 {
+		t.Errorf("coarse overload Decide = %d, want 1", got)
+	}
+	if got := cp.Decide(PoolMetrics{AvgCPU: 10, Shed: 2, Calls: 50000, PoolSize: 4, MinPool: 2, MaxPool: 10}); got != -1 {
+		t.Errorf("coarse stray-refusal Decide = %d, want -1", got)
+	}
+}
+
 func TestCoarsePolicyLogicalOR(t *testing.T) {
 	// Fig. 4b: CPU 85/50, RAM 70/40, combined with OR for growth.
 	p := CoarsePolicy{CPUIncr: 85, CPUDecr: 50, RAMIncr: 70, RAMDecr: 40}

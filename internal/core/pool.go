@@ -183,7 +183,10 @@ func (p *Pool) launchMember(s *cluster.Slice) (*member, error) {
 	if g, ok := obj.(RAMGauge); ok {
 		m.meter.SetRAMGauge(g.RAMUsage)
 	}
-	srv, err := transport.Serve("127.0.0.1:0", m.handle)
+	srv, err := transport.ServeOpts("127.0.0.1:0", m.handle, transport.ServerOptions{
+		MaxConcurrent: p.cfg.MaxConcurrentInvocations,
+		MaxQueue:      p.cfg.MaxQueuedInvocations,
+	})
 	if err != nil {
 		if c, ok := obj.(Closer); ok {
 			_ = c.Close()
@@ -371,11 +374,17 @@ func (p *Pool) runScalingStep() {
 	}
 
 	var sumCPU, sumRAM float64
+	var sumShed, sumExpired, sumCalls int64
 	var fineDeltas []int
 	for _, m := range members {
-		_, usage := m.rollWindow()
+		stats, usage := m.rollWindow()
 		sumCPU += usage.CPU
 		sumRAM += usage.RAM
+		sumShed += usage.Shed
+		sumExpired += usage.Expired
+		for i := range stats {
+			sumCalls += stats[i].Calls
+		}
 		if p.fine {
 			if sizer, ok := m.obj.(PoolSizer); ok {
 				fineDeltas = append(fineDeltas, sizer.ChangePoolSize())
@@ -390,6 +399,9 @@ func (p *Pool) runScalingStep() {
 		MaxPool:     p.cfg.MaxPoolSize,
 		FineDeltas:  fineDeltas,
 		DesiredSize: -1,
+		Shed:        sumShed,
+		Expired:     sumExpired,
+		Calls:       sumCalls,
 	}
 	if p.cfg.Decider != nil {
 		pm.DesiredSize = p.cfg.Decider.DesiredPoolSize(p.cfg.Name, size)

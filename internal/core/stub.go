@@ -69,7 +69,11 @@ func WithPowerOfTwoBalancing() StubOption {
 	return func(s *Stub) { s.strategy = route.PowerOfTwo }
 }
 
-// WithCallTimeout bounds each remote invocation attempt.
+// WithCallTimeout sets the per-invocation deadline budget: the total time
+// one Invoke may spend across every failover attempt, not a fresh allowance
+// per attempt. Each attempt is stamped with the remaining budget on the
+// wire, so members drop the work unexecuted once the caller is gone.
+// Default 10s; d <= 0 disables the deadline.
 func WithCallTimeout(d time.Duration) StubOption {
 	return func(s *Stub) { s.timeout = d }
 }
@@ -194,7 +198,24 @@ func (s *Stub) InvokeKeyed(method, key string, payload []byte) ([]byte, error) {
 	return s.invoke(method, key, payload)
 }
 
+// invocationDeadline anchors the stub's per-invocation budget at the wall
+// clock (zero time = no deadline).
+func (s *Stub) invocationDeadline() time.Time {
+	if s.timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.timeout)
+}
+
 func (s *Stub) invoke(method, key string, payload []byte) ([]byte, error) {
+	return s.invokeDeadline(method, key, payload, s.invocationDeadline())
+}
+
+// invokeDeadline runs the failover loop under one shared deadline: every
+// attempt is granted only what remains of the invocation's budget (and
+// stamps that remainder on the wire), so the worst case is bounded by the
+// budget itself, never by attempts × timeout.
+func (s *Stub) invokeDeadline(method, key string, payload []byte, deadline time.Time) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrPoolClosed
 	}
@@ -207,6 +228,15 @@ func (s *Stub) invoke(method, key string, payload []byte) ([]byte, error) {
 	for i := 0; i < attempts; i++ {
 		if s.closed.Load() {
 			return nil, ErrPoolClosed
+		}
+		remaining := time.Duration(0) // 0 = unbounded
+		if !deadline.IsZero() {
+			if remaining = time.Until(deadline); remaining <= 0 {
+				if lastErr == nil {
+					lastErr = transport.ErrTimeout
+				}
+				break
+			}
 		}
 		addr, ok := s.pickFor(key)
 		if !ok {
@@ -228,7 +258,7 @@ func (s *Stub) invoke(method, key string, payload []byte) ([]byte, error) {
 			continue
 		}
 		release := s.routes.Acquire(addr)
-		out, err := c.Call(s.name, method, payload, s.timeout)
+		out, err := c.Call(s.name, method, payload, remaining)
 		release()
 		if err == nil {
 			s.routes.Readmit(addr)
@@ -244,6 +274,19 @@ func (s *Stub) invoke(method, key string, payload []byte) ([]byte, error) {
 			// member and the connection is still healthy. Fail just this
 			// call instead of dropping members.
 			return nil, err
+		case errors.Is(err, transport.ErrTimeout):
+			// Slow is not dead: the connection is healthy and multiplexes
+			// other callers' in-flight invocations, so dropping it would fail
+			// them all, and the member itself may answer everyone else
+			// promptly. Keep both; the shared budget (charged above) is what
+			// bounds how long this invocation keeps trying.
+			lastErr = err
+		case errors.Is(err, transport.ErrOverloaded), errors.Is(err, transport.ErrExpired):
+			// The member's admission controller refused the work: it is
+			// saturated, not gone. Feed the balancer's load signal instead of
+			// tombstoning the member, and try a less-loaded one.
+			s.routes.MarkLoaded(addr)
+			lastErr = err
 		default:
 			// Transport failure: exclude the member and fail over.
 			lastErr = err

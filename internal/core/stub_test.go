@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -157,6 +158,110 @@ func TestStubOversizePayloadNotRetried(t *testing.T) {
 	}
 	if rep.Total != 5 {
 		t.Fatalf("total = %d", rep.Total)
+	}
+}
+
+// napFactory builds a pool object with a fast Echo and sleep-for-the-given-
+// duration Nap method, for timeout-behaviour tests.
+func napFactory() Factory {
+	return func(ctx *MemberContext) (Object, error) {
+		mux := NewMux()
+		Handle(mux, "Echo", func(n int64) (int64, error) { return n, nil })
+		Handle(mux, "Nap", func(d time.Duration) (struct{}, error) {
+			time.Sleep(d)
+			return struct{}{}, nil
+		})
+		return mux, nil
+	}
+}
+
+// TestTimeoutKeepsConnectionAndMember is the regression test for the
+// timeout-kills-connection bug: a timed-out call used to fall into the
+// generic transport-failure branch, Drop the shared cached connection —
+// failing every unrelated call multiplexed on it — and Exclude a member
+// that was merely slow. Two concurrent keyed calls share one cached
+// connection to the same member; the slow one times out, the fast one must
+// still succeed and the member must stay routable.
+func TestTimeoutKeepsConnectionAndMember(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool, err := NewPool(Config{
+		Name: "slowpoke", MinPoolSize: 2, MaxPoolSize: 2,
+		BurstInterval: time.Hour, DisableBroadcast: true, DrainTimeout: time.Second,
+	}, napFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	stub, err := NewStub("slowpoke", pool.Endpoints(), WithCallTimeout(800*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+	// Prime the routing table (and learn the member set) with one call.
+	if _, err := Call[int64, int64](stub, "Echo", 1); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	members := len(stub.Members())
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var slowErr, fastErr error
+	go func() {
+		defer wg.Done()
+		// Same key => same member => same cached connection as the fast call.
+		_, slowErr = CallKeyed[time.Duration, struct{}](stub, "Nap", "k", 1500*time.Millisecond)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(400 * time.Millisecond) // in flight when the slow call times out at ~800ms
+		_, fastErr = CallKeyed[time.Duration, struct{}](stub, "Nap", "k", 600*time.Millisecond)
+	}()
+	wg.Wait()
+	if slowErr == nil || !errors.Is(slowErr, ErrUnavailable) {
+		t.Fatalf("slow call err = %v, want timeout-driven ErrUnavailable", slowErr)
+	}
+	if fastErr != nil {
+		t.Fatalf("fast call on the shared connection failed: %v (timeout must not kill the multiplexed conn)", fastErr)
+	}
+	if got := len(stub.Members()); got != members {
+		t.Fatalf("members after timeout = %d, want %d (slow member must not be excluded)", got, members)
+	}
+}
+
+// TestInvokeWallTimeBoundedByBudget is the regression test for the
+// unbounded-retry bug: the failover loop used to grant every attempt a
+// fresh full timeout, so one Invoke could block for (2n+2) x timeout. The
+// budget is now shared across attempts: total wall time stays around one
+// timeout even when every member is slow.
+func TestInvokeWallTimeBoundedByBudget(t *testing.T) {
+	env := newTestEnv(t, 8)
+	pool, err := NewPool(Config{
+		Name: "molasses", MinPoolSize: 3, MaxPoolSize: 3,
+		BurstInterval: time.Hour, DisableBroadcast: true, DrainTimeout: time.Second,
+	}, napFactory(), env.deps())
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	stub, err := NewStub("molasses", pool.Endpoints(), WithCallTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewStub: %v", err)
+	}
+	defer stub.Close()
+
+	start := time.Now()
+	_, err = Call[time.Duration, struct{}](stub, "Nap", 2500*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("invoke against an all-slow pool succeeded")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// One 500ms budget shared across every attempt, plus scheduling slack —
+	// nowhere near the (2n+2) x 500ms = 4s the per-attempt bug allowed.
+	if elapsed > 2*time.Second {
+		t.Fatalf("invoke blocked %v, want ~500ms (budget must span all failover attempts)", elapsed)
 	}
 }
 

@@ -31,10 +31,21 @@ type MethodStat struct {
 	AvgLatency time.Duration
 }
 
-// Usage is a point-in-time resource utilization estimate in percent [0,100].
+// Usage is a point-in-time resource utilization estimate in percent [0,100],
+// plus the window's overload counters: invocations the member's admission
+// controller refused. Utilization says how busy the member is; Shed and
+// Expired say work was turned away — the earlier, sharper scale-out signal
+// (a member can shed at 91% CPU and at 100% alike, but only shedding proves
+// demand exceeded capacity).
 type Usage struct {
 	CPU float64
 	RAM float64
+	// Shed counts invocations refused with an overload reply (admission gate
+	// and queue both full) during the window.
+	Shed int64
+	// Expired counts invocations dropped because their deadline budget ran
+	// out waiting in the admission queue during the window.
+	Expired int64
 }
 
 // Meter collects per-method statistics and busy time. The zero value is not
@@ -50,6 +61,8 @@ type Meter struct {
 	windowStart time.Time
 	busy        time.Duration
 	inFlight    int
+	shed        int64
+	expired     int64
 	perMethod   map[string]*methodAgg
 	ramGauge    func() float64
 }
@@ -122,6 +135,28 @@ func (m *Meter) Observe(method string, serviceTime time.Duration) {
 	agg.totalBusy += serviceTime
 }
 
+// AddShed records n invocations the member's admission controller refused
+// with an overload reply during the current window.
+func (m *Meter) AddShed(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.shed += n
+	m.mu.Unlock()
+}
+
+// AddExpired records n invocations whose deadline budget expired in the
+// admission queue during the current window (handlers never ran).
+func (m *Meter) AddExpired(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.expired += n
+	m.mu.Unlock()
+}
+
 // InFlight returns the number of invocations currently executing.
 func (m *Meter) InFlight() int {
 	m.mu.Lock()
@@ -163,7 +198,9 @@ func (m *Meter) Window() ([]MethodStat, Usage) {
 		cpu = 0
 	}
 	gauge := m.ramGauge
+	shed, expired := m.shed, m.expired
 	m.busy = 0
+	m.shed, m.expired = 0, 0
 	m.perMethod = make(map[string]*methodAgg)
 	m.windowStart = now
 	m.mu.Unlock()
@@ -178,7 +215,7 @@ func (m *Meter) Window() ([]MethodStat, Usage) {
 			ram = 100
 		}
 	}
-	return stats, Usage{CPU: cpu, RAM: ram}
+	return stats, Usage{CPU: cpu, RAM: ram, Shed: shed, Expired: expired}
 }
 
 // Peek returns the usage of the current, unfinished window without resetting
@@ -195,12 +232,13 @@ func (m *Meter) Peek() Usage {
 		cpu = 100
 	}
 	gauge := m.ramGauge
+	shed, expired := m.shed, m.expired
 	m.mu.Unlock()
 	var ram float64
 	if gauge != nil {
 		ram = gauge()
 	}
-	return Usage{CPU: cpu, RAM: ram}
+	return Usage{CPU: cpu, RAM: ram, Shed: shed, Expired: expired}
 }
 
 // StatsMap converts a slice of MethodStat into the map keyed by method name

@@ -34,6 +34,7 @@ type State struct {
 	table    Table
 	ring     *Ring
 	excluded map[string]struct{}
+	loaded   map[string]int64         // local overload penalties (MarkLoaded)
 	inflight map[string]*atomic.Int64 // persists across table installs
 	rng      *rand.Rand               // per-instance: no global lock, seedable tests
 	rrCur    []int64                  // smooth-WRR current weights, parallel to table.Members
@@ -45,6 +46,7 @@ type State struct {
 func NewState(t Table) *State {
 	s := &State{
 		excluded: make(map[string]struct{}),
+		loaded:   make(map[string]int64),
 		inflight: make(map[string]*atomic.Int64),
 		rng:      rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
 	}
@@ -75,6 +77,9 @@ func (s *State) install(t Table) {
 	s.table = t.Clone()
 	s.ring = BuildRing(s.table)
 	s.excluded = make(map[string]struct{})
+	// Overload penalties die with the old epoch: the new table carries fresh
+	// load reports, and a stale penalty would shun a member that recovered.
+	s.loaded = make(map[string]int64)
 	// Round-robin rotation carries over for members surviving the install:
 	// load-refresh tables arrive continuously, and restarting the rotation
 	// on each would permanently bias traffic toward the first member.
@@ -147,13 +152,31 @@ func (s *State) Exclude(addr string) {
 	s.mu.Unlock()
 }
 
-// Readmit drops addr's local exclusion. Callers invoke it on a successful
-// reply from the member: the reply itself proves the member reachable,
-// and waiting for a newer table instead would leave the member dark for
-// as long as the pool's epoch stands still.
+// Readmit drops addr's local exclusion and overload penalty. Callers invoke
+// it on a successful reply from the member: the reply itself proves the
+// member reachable (and no longer shedding), and waiting for a newer table
+// instead would leave the member dark for as long as the pool's epoch
+// stands still.
 func (s *State) Readmit(addr string) {
 	s.mu.Lock()
 	delete(s.excluded, addr)
+	delete(s.loaded, addr)
+	s.mu.Unlock()
+}
+
+// markLoadedPenalty is the effective-load surcharge one overload reply adds:
+// heavier than a single in-flight invocation (an explicit shed is stronger
+// evidence of saturation than a queued call), light enough that the member
+// re-enters rotation as soon as its neighbours climb.
+const markLoadedPenalty = 4
+
+// MarkLoaded records that addr answered with an overload shed: the member is
+// alive — excluding it would be wrong — but saturated, so its effective load
+// is bumped and the power-of-two picker steers new work at less-loaded
+// members until a success (Readmit) or a fresh table clears the penalty.
+func (s *State) MarkLoaded(addr string) {
+	s.mu.Lock()
+	s.loaded[addr] += markLoadedPenalty
 	s.mu.Unlock()
 }
 
@@ -198,13 +221,15 @@ func (s *State) Acquire(addr string) (release func()) {
 }
 
 // loadLocked is member i's effective load: the piggybacked report plus
-// local in-flight work the report cannot see yet.
+// local in-flight work the report cannot see yet, plus the overload
+// penalties of shed replies observed since the table arrived.
 func (s *State) loadLocked(i int) int64 {
 	m := &s.table.Members[i]
 	load := int64(m.Load)
 	if ctr, ok := s.inflight[m.Addr]; ok {
 		load += ctr.Load()
 	}
+	load += s.loaded[m.Addr]
 	return load
 }
 

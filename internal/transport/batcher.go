@@ -298,9 +298,9 @@ func (b *batcher) write(entries []batchEntry) {
 	if len(entries) == 1 {
 		e := &entries[0]
 		if e.oneway {
-			err = b.c.w.writeOneWay(e.seq, e.epoch, e.service, e.method, e.payload)
+			err = b.c.w.writeOneWay(e.seq, e.epoch, e.budget, e.service, e.method, e.payload)
 		} else {
-			err = b.c.w.writeRequest(e.seq, e.epoch, e.service, e.method, e.payload)
+			err = b.c.w.writeRequest(e.seq, e.epoch, e.budget, e.service, e.method, e.payload)
 		}
 	} else {
 		err = b.c.w.writeBatch(entries)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -152,7 +153,9 @@ func BenchmarkCallBatched256(b *testing.B) {
 
 // BenchmarkOneWay measures fire-and-forget submission throughput; a sync
 // barrier call at the end keeps the server honest about having consumed
-// the stream.
+// the stream. The open-loop flood legitimately fills the admission queue,
+// so the barrier retries while it is being shed (one-way drops under
+// saturation are the admission contract, not a failure).
 func BenchmarkOneWay(b *testing.B) {
 	srv := startBenchServer(b)
 	c, err := Dial(srv.Addr())
@@ -172,7 +175,13 @@ func BenchmarkOneWay(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if _, err := c.Call("svc", "Echo", payload, 30*time.Second); err != nil {
-		b.Fatal(err)
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		_, err := c.Call("svc", "Echo", payload, 30*time.Second)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrOverloaded) || time.Now().After(deadline) {
+			b.Fatal(err)
+		}
 	}
 }

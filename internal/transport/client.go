@@ -37,6 +37,7 @@ type Client struct {
 // failAll when the connection dies).
 type callResult struct {
 	payload []byte
+	status  byte         // statusOK, or an admission-control refusal
 	errMsg  string       // non-empty => RemoteError
 	route   *route.Table // piggybacked route update, handed to onRoute
 	err     error        // transport-level failure
@@ -104,6 +105,10 @@ func (ca *Call) err() error {
 	switch {
 	case ca.res.err != nil:
 		return ca.res.err
+	case ca.res.status == statusOverload:
+		return fmt.Errorf("%s.%s: %w", ca.service, ca.method, ErrOverloaded)
+	case ca.res.status == statusExpired:
+		return fmt.Errorf("%s.%s: %w", ca.service, ca.method, ErrExpired)
 	case ca.res.errMsg != "":
 		return &RemoteError{Service: ca.service, Method: ca.method, Msg: ca.res.errMsg}
 	}
@@ -392,6 +397,14 @@ func (c *Client) failCall(seq uint64, ca *Call, err error) {
 // briefly before writing. Consume the result with Wait, or with
 // Done/Err/Decode followed by Release.
 func (c *Client) Go(service, method string, payload []byte) *Call {
+	return c.GoBudget(service, method, payload, 0)
+}
+
+// GoBudget is Go with a deadline budget stamped on the wire: the server
+// charges queue wait against it and drops the work unexecuted (answering
+// statusExpired) once it runs out, so an expired request never occupies a
+// handler nobody is waiting for. budget <= 0 sends no deadline.
+func (c *Client) GoBudget(service, method string, payload []byte, budget time.Duration) *Call {
 	seq := c.seq.Add(1)
 	ca := newCall(c, service, method, seq)
 
@@ -411,11 +424,12 @@ func (c *Client) Go(service, method string, payload []byte) *Call {
 	c.mu.Unlock()
 
 	epoch := c.epoch()
+	bmicros := budgetMicros(budget)
 	if c.batch != nil {
-		c.batch.enqueue(batchEntry{seq: seq, epoch: epoch, service: service, method: method, payload: payload, ca: ca})
+		c.batch.enqueue(batchEntry{seq: seq, epoch: epoch, budget: bmicros, service: service, method: method, payload: payload, ca: ca})
 		return ca
 	}
-	if err := c.w.writeRequest(seq, epoch, service, method, payload); err != nil {
+	if err := c.w.writeRequest(seq, epoch, bmicros, service, method, payload); err != nil {
 		c.failCall(seq, ca, fmt.Errorf("transport: write: %w", err))
 	}
 	return ca
@@ -449,23 +463,26 @@ func (c *Client) OneWay(service, method string, payload []byte) error {
 	// failure would be a permanent silent drop of a deterministic caller
 	// bug.
 	epoch := c.epoch()
-	if size := requestFrameSize(0, epoch, service, method, payload); size > MaxFrame {
+	if size := requestFrameSize(0, epoch, 0, service, method, payload); size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
 	}
 	if c.batch != nil {
 		c.batch.enqueue(batchEntry{oneway: true, epoch: epoch, service: service, method: method, payload: payload})
 		return nil
 	}
-	if err := c.w.writeOneWay(0, epoch, service, method, payload); err != nil {
+	if err := c.w.writeOneWay(0, epoch, 0, service, method, payload); err != nil {
 		return fmt.Errorf("transport: write: %w", err)
 	}
 	return nil
 }
 
 // Call invokes service.method with the given payload and waits up to timeout
-// for the response payload. timeout <= 0 means wait indefinitely.
+// for the response payload. timeout <= 0 means wait indefinitely. A positive
+// timeout doubles as the call's deadline budget on the wire: the server
+// drops the work unexecuted if the budget expires before a worker picks it
+// up, so a timed-out caller never leaves zombie work running remotely.
 func (c *Client) Call(service, method string, payload []byte, timeout time.Duration) ([]byte, error) {
-	return c.Go(service, method, payload).Wait(timeout)
+	return c.GoBudget(service, method, payload, timeout).Wait(timeout)
 }
 
 // CallDecode is the typed convenience around Call: it gob-encodes arg,

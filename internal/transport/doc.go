@@ -5,7 +5,7 @@
 // client connection multiplexes concurrent calls; responses are matched to
 // requests by sequence number.
 //
-// # Wire format (version 2)
+// # Wire format (version 3)
 //
 // Framing is a hand-rolled binary codec: no reflection runs on the hot path.
 // Only application payloads — the opaque []byte a Request or Response
@@ -18,12 +18,13 @@
 //	| 'e' | 'R' | 'M' | 'I' | version |
 //	+-----+-----+-----+-----+---------+
 //
-// The current protocol version is 2 (version 1 lacked the request epoch and
-// piggybacked route updates, and carried a redirect list on responses
-// instead). A server that reads a bad magic or an unknown version closes
-// the connection before parsing any frame; mismatched peers fail fast at
-// connection start rather than mid-stream. The preamble is buffered with the
-// first request frame, costing no extra syscall.
+// The current protocol version is 3 (version 1 lacked the request epoch and
+// piggybacked route updates and carried a redirect list on responses;
+// version 2 lacked the request budget and the response status). A server
+// that reads a bad magic or an unknown version closes the connection before
+// parsing any frame; mismatched peers fail fast at connection start rather
+// than mid-stream. The preamble is buffered with the first request frame,
+// costing no extra syscall.
 //
 // After the preamble the stream is a sequence of frames:
 //
@@ -43,16 +44,36 @@
 //
 //	seq      uvarint   // caller-chosen, echoed by the response
 //	epoch    uvarint   // caller's routing epoch (0 = none); see below
+//	budget   uvarint   // remaining deadline budget in µs (0 = none)
 //	service  uvarint n, then n bytes
 //	method   uvarint n, then n bytes
 //	payload  uvarint n, then n bytes
 //
+// budget is the caller's remaining deadline when the request was written —
+// for a stub, what is left of the single per-invocation budget shared
+// across failover attempts. The server anchors it at arrival time and
+// charges queue wait against it: a request whose budget expires before a
+// worker dequeues it is dropped without ever invoking the handler and
+// answered with status 2 (expired). Handlers see the anchored deadline on
+// Request.Deadline.
+//
 // Response body (kind 2):
 //
 //	seq      uvarint   // matches the request
+//	status   uvarint   // 0 = ok; 1 = overload; 2 = expired (see below)
 //	errmsg   uvarint n, then n bytes   // n>0 => RemoteError at the caller
 //	route    route update (see below); first uvarint 0 = absent
 //	payload  uvarint n, then n bytes
+//
+// status 0 carries the handler's result (or its application error in
+// errmsg). status 1 (overload) means the server's admission controller shed
+// the request unexecuted — gate and wait queue both full; the caller maps
+// it to ErrOverloaded and should treat the member as loaded, not dead.
+// status 2 (expired) means the request's budget ran out in the queue; the
+// caller maps it to ErrExpired. Both refusal statuses carry neither payload
+// nor errmsg, and both guarantee the handler never ran, so retrying
+// elsewhere can never double-execute. Values above 2 are a protocol
+// violation, reserving them for future use.
 //
 // Route update: the epoch-versioned membership view of the elastic pool
 // (internal/route.Table), piggybacked by a server whose table is newer than
@@ -71,14 +92,17 @@
 // A stale client is thereby corrected on its very next reply round-trip:
 // the client hands the table to its routing state (DialOptions.
 // OnRouteUpdate), which installs it if the epoch is newer. Servers attach
-// the update to every response kind — success and error alike — so even a
-// failing call re-synchronizes its caller. Requests carrying a current
-// epoch cost one byte (the absent marker) on the response.
+// the update to every response status — success, error and refusal alike —
+// so even a shed call re-synchronizes its caller. Requests carrying a
+// current epoch cost one byte (the absent marker) on the response.
 //
 // One-way body (kind 3): identical to a request body. The server executes
 // the invocation and sends no response frame of any kind; handler results
 // and errors are dropped, and there is no reply to piggyback corrections
 // on. The seq is carried for symmetry and debugging but is never echoed.
+// One-way work passes through the same admission gate as requests; when the
+// gate and queue are full it is dropped silently (the client awaits no
+// reply), never parked on an unbounded goroutine.
 //
 // Batch body (kind 4): several coalesced requests in one frame, written by
 // the client-side adaptive batcher (see BatchOptions):
@@ -88,11 +112,12 @@
 //	  flags    1 byte  // bit 0: one-way (no response for this entry)
 //	  seq      uvarint
 //	  epoch    uvarint
+//	  budget   uvarint // remaining deadline budget in µs (0 = none)
 //	  service  uvarint n, then n bytes
 //	  method   uvarint n, then n bytes
 //	  payload  uvarint n, then n bytes
 //
-// The server fans batch entries out to the handler exactly as if each had
+// The server passes batch entries through admission exactly as if each had
 // arrived in its own frame; responses for the two-way entries travel as
 // ordinary response frames (kind 2), in completion order, coalesced by the
 // writer's flush elision. There is no batch-response frame kind.
@@ -101,7 +126,21 @@
 // protocol violation and closes the connection. Unknown flag bits in a
 // batch entry or route-update member are a protocol violation, reserving
 // them for future use; so are route updates with epoch 0 in disguise
-// (member counts above 4096) and out-of-range weights or loads.
+// (member counts above 4096), out-of-range weights or loads, and response
+// statuses above 2.
+//
+// # Admission control
+//
+// The server executes requests behind a bounded admission controller
+// (ServerOptions): a concurrency gate of MaxConcurrent execution slots —
+// an elastic worker pool, not a goroutine per request — fronted by a
+// bounded wait queue of MaxQueue entries. Work beyond both bounds is shed
+// immediately: two-way requests with a status-1 response, one-way requests
+// silently. Queued work is re-checked at dequeue: an expired budget means
+// the handler never runs (status 2). Server.Stats exposes the cumulative
+// shed/expired counters; the elasticity layer feeds them into PoolMetrics,
+// where they act as the scale-out signal that fires before utilization
+// averages cross their thresholds.
 //
 // # Graceful shutdown
 //

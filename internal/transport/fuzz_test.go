@@ -40,11 +40,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // hostile declared length
 	f.Add([]byte{0, 0, 0, 2, byte(frameRequest)})  // truncated body
 	var t testing.T
-	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, 3, "svc", "m", []byte("hi")) }))
-	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, 0, "svc", "m", nil) }))
-	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeResponse(9, []byte("out"), "", nil, false) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, 3, 1500, "svc", "m", []byte("hi")) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, 0, 0, "svc", "m", nil) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeResponse(9, statusOK, []byte("out"), "", nil, false) }))
+	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeResponse(11, statusOverload, nil, "", nil, false) }))
 	f.Add(frameBytes(&t, func(w *connWriter) error {
-		return w.writeResponse(4, []byte("out"), "", &route.Table{
+		return w.writeResponse(4, statusOK, []byte("out"), "", &route.Table{
 			Epoch: 8, Members: []route.Member{{Addr: "a:1", UID: 1, Weight: 100, Load: 2}},
 		}, false)
 	}))
@@ -98,13 +99,14 @@ func FuzzParseRequest(f *testing.F) {
 		// Round-trip stability: what the parser accepted re-encodes to a
 		// body it parses back field-identically.
 		out := frameBytes(t, func(w *connWriter) error {
-			return w.writeRequest(req.Seq, req.Epoch, req.Service, req.Method, req.Payload)
+			return w.writeRequest(req.Seq, req.Epoch, budgetMicros(req.Budget), req.Service, req.Method, req.Payload)
 		})
 		again, err := parseRequest(out[5:])
 		if err != nil {
 			t.Fatalf("re-encoded request rejected: %v", err)
 		}
-		if again.Seq != req.Seq || again.Epoch != req.Epoch || again.Service != req.Service ||
+		if again.Seq != req.Seq || again.Epoch != req.Epoch || again.Budget != req.Budget ||
+			again.Service != req.Service ||
 			again.Method != req.Method || !bytes.Equal(again.Payload, req.Payload) {
 			t.Fatalf("round trip drifted: %+v != %+v", again, req)
 		}
@@ -115,6 +117,7 @@ func FuzzParseResponse(f *testing.F) {
 	f.Add([]byte{})
 	// A hostile route-member count: declared 67M entries backed by 64 bytes.
 	hostile := binary.AppendUvarint(nil, 9)
+	hostile = binary.AppendUvarint(hostile, 0) // status
 	hostile = binary.AppendUvarint(hostile, 0)
 	hostile = binary.AppendUvarint(hostile, 12) // route epoch
 	hostile = binary.AppendUvarint(hostile, 67_000_000)
@@ -122,6 +125,7 @@ func FuzzParseResponse(f *testing.F) {
 	f.Add(hostile)
 	// A well-formed error + route-update body.
 	ok := binary.AppendUvarint(nil, 4)
+	ok = binary.AppendUvarint(ok, 0) // status
 	ok = binary.AppendUvarint(ok, 4)
 	ok = append(ok, "boom"...)
 	ok = binary.AppendUvarint(ok, 2) // route epoch
@@ -153,14 +157,14 @@ func FuzzParseResponse(f *testing.F) {
 			t.Fatalf("accepted invalid route update: %+v", res.route)
 		}
 		out := frameBytes(t, func(w *connWriter) error {
-			return w.writeResponse(seq, res.payload, res.errMsg, res.route, false)
+			return w.writeResponse(seq, res.status, res.payload, res.errMsg, res.route, false)
 		})
 		var again callResult
 		seq2, err := parseResponse(out[5:], &again)
 		if err != nil {
 			t.Fatalf("re-encoded response rejected: %v", err)
 		}
-		if seq2 != seq || again.errMsg != res.errMsg || !bytes.Equal(again.payload, res.payload) {
+		if seq2 != seq || again.status != res.status || again.errMsg != res.errMsg || !bytes.Equal(again.payload, res.payload) {
 			t.Fatalf("round trip drifted: %+v != %+v", again, res)
 		}
 		if (again.route == nil) != (res.route == nil) {
@@ -211,6 +215,7 @@ func FuzzParseBatch(f *testing.F) {
 				oneway:  it.oneway,
 				seq:     it.req.Seq,
 				epoch:   it.req.Epoch,
+				budget:  budgetMicros(it.req.Budget),
 				service: it.req.Service,
 				method:  it.req.Method,
 				payload: it.req.Payload,
@@ -227,7 +232,7 @@ func FuzzParseBatch(f *testing.F) {
 		for i := range items {
 			a, b := again[i], items[i]
 			if a.oneway != b.oneway || a.req.Seq != b.req.Seq || a.req.Epoch != b.req.Epoch ||
-				a.req.Service != b.req.Service ||
+				a.req.Budget != b.req.Budget || a.req.Service != b.req.Service ||
 				a.req.Method != b.req.Method || !bytes.Equal(a.req.Payload, b.req.Payload) {
 				t.Fatalf("entry %d drifted: %+v != %+v", i, a.req, b.req)
 			}

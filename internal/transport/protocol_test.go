@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 func solvePayloadLen(t *testing.T, seq uint64, service, method string, target int) int {
 	t.Helper()
 	// base is the frame size excluding the payload-length field and payload.
-	base := requestFrameSize(seq, 0, service, method, nil) - uvarintLen(0)
+	base := requestFrameSize(seq, 0, 0, service, method, nil) - uvarintLen(0)
 	n := target - base - 1
 	for i := 0; i < 6; i++ { // converges: uvarintLen(n) moves by at most 1 per step
 		if base+uvarintLen(uint64(n))+n == target {
@@ -42,7 +43,7 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 
 	var buf bytes.Buffer
 	w := newConnWriter(&buf)
-	if err := w.writeRequest(seq, 0, "s", "m", payload); err != nil {
+	if err := w.writeRequest(seq, 0, 0, "s", "m", payload); err != nil {
 		t.Fatalf("writeRequest at limit: %v", err)
 	}
 	if got := buf.Len(); got != MaxFrame+4 {
@@ -69,7 +70,7 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 	// One byte over: refused cleanly, nothing written.
 	var buf2 bytes.Buffer
 	w2 := newConnWriter(&buf2)
-	err = w2.writeRequest(seq, 0, "s", "m", make([]byte, plen+1))
+	err = w2.writeRequest(seq, 0, 0, "s", "m", make([]byte, plen+1))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("over-limit err = %v, want ErrFrameTooLarge", err)
 	}
@@ -209,6 +210,7 @@ func TestErrorAndRouteRoundTripsThroughCodec(t *testing.T) {
 func TestParseResponseRejectsHostileRouteCount(t *testing.T) {
 	var body []byte
 	body = binary.AppendUvarint(body, 9)          // seq
+	body = binary.AppendUvarint(body, 0)          // status OK
 	body = binary.AppendUvarint(body, 0)          // no error string
 	body = binary.AppendUvarint(body, 3)          // route epoch
 	body = binary.AppendUvarint(body, 67_000_000) // hostile member count...
@@ -234,6 +236,7 @@ func TestConcurrentCloseDuringInFlightCalls(t *testing.T) {
 	}
 	const callers = 16
 	var wg sync.WaitGroup
+	var started atomic.Int32 // callers that completed at least one call
 	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func() {
@@ -246,10 +249,21 @@ func TestConcurrentCloseDuringInFlightCalls(t *testing.T) {
 				if _, err := c.Call("svc", method, []byte{byte(j)}, 2*time.Second); err != nil {
 					return // connection torn down underneath us — expected
 				}
+				if j == 0 {
+					started.Add(1)
+				}
 			}
 		}()
 	}
-	time.Sleep(25 * time.Millisecond)
+	// Close only after every caller has a first call behind it (so calls are
+	// genuinely mid-flight), instead of hoping a fixed sleep lines up with
+	// scheduler timing on a loaded CI machine.
+	for deadline := time.Now().Add(10 * time.Second); started.Load() < callers; {
+		if time.Now().After(deadline) {
+			t.Fatal("callers never got a first call through")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	c.Close()
 	waitDone := make(chan struct{})
 	go func() { wg.Wait(); close(waitDone) }()

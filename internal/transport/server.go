@@ -20,11 +20,76 @@ import (
 // cheap and non-blocking (an atomic snapshot).
 type RouteSource func() route.Table
 
-// Server accepts connections and dispatches requests to a Handler.
+// ServerOptions configures the server's admission controller. The zero
+// value selects the defaults.
+type ServerOptions struct {
+	// MaxConcurrent bounds how many requests execute concurrently (the
+	// concurrency gate): at most this many handler invocations run at any
+	// moment, served by an elastic worker pool instead of a goroutine per
+	// request. <= 0 selects DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds how many accepted requests may wait for a free worker.
+	// When the queue is full, two-way requests are shed with a
+	// statusOverload reply (the handler never runs; the caller retries on a
+	// less-loaded member) and one-way requests are dropped silently (the
+	// caller awaits no reply). <= 0 selects DefaultMaxQueue.
+	MaxQueue int
+}
+
+// Default admission bounds: generous enough that well-provisioned workloads
+// never notice them, finite so a saturated server degrades by shedding
+// instead of by unbounded goroutine growth and congestion collapse.
+const (
+	DefaultMaxConcurrent = 1024
+	DefaultMaxQueue      = 4096
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = DefaultMaxQueue
+	}
+	return o
+}
+
+// ServerStats are the admission controller's cumulative counters — the
+// overload signal the elasticity layer scales on.
+type ServerStats struct {
+	// Shed counts requests refused because gate and queue were both full
+	// (two-way: answered statusOverload; one-way: dropped).
+	Shed uint64
+	// Expired counts requests whose budget ran out waiting in the queue;
+	// their handlers never ran.
+	Expired uint64
+}
+
+// workItem is one admitted invocation waiting for a worker. st is nil for
+// one-way work (no response is ever written).
+type workItem struct {
+	st     *connState
+	req    *Request
+	oneway bool
+}
+
+// Server accepts connections and dispatches requests to a Handler behind a
+// bounded admission controller: a concurrency gate (elastic worker pool) in
+// front of a bounded wait queue. Excess load is shed with statusOverload
+// instead of accepted into unbounded goroutines, and queued work whose
+// deadline budget expires is dropped without ever invoking the handler.
 type Server struct {
 	lis     net.Listener
 	handler Handler
+	opts    ServerOptions
 	routes  atomic.Pointer[RouteSource]
+
+	// Admission state: the bounded wait queue, the live-worker count the
+	// elastic pool is capped by, and the shed/expired counters.
+	work    chan workItem
+	workers atomic.Int32
+	shed    atomic.Uint64
+	expired atomic.Uint64
 
 	// draining makes the server drop newly arriving requests without
 	// executing them (see Quiesce): the unanswered request fails with the
@@ -64,14 +129,24 @@ func (s *Server) routeUpdateFor(reqEpoch uint64) *route.Table {
 	return &t
 }
 
+// Stats returns the admission controller's cumulative counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Shed: s.shed.Load(), Expired: s.expired.Load()}
+}
+
 // Serve starts a server listening on addr ("host:port"; ":0" picks a free
-// port). The handler is invoked on its own goroutine per request.
+// port) with default admission bounds.
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeOpts(addr, handler, ServerOptions{})
+}
+
+// ServeOpts is Serve with explicit admission bounds.
+func ServeOpts(addr string, handler Handler, opts ServerOptions) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
-	return ServeListener(lis, handler)
+	return ServeListenerOpts(lis, handler, opts)
 }
 
 // ServeListener serves on an already-created listener. It lets tests wrap
@@ -79,13 +154,21 @@ func Serve(addr string, handler Handler) (*Server, error) {
 // callers bring their own socket configuration. The server owns lis and
 // closes it on Close.
 func ServeListener(lis net.Listener, handler Handler) (*Server, error) {
+	return ServeListenerOpts(lis, handler, ServerOptions{})
+}
+
+// ServeListenerOpts is ServeListener with explicit admission bounds.
+func ServeListenerOpts(lis net.Listener, handler Handler, opts ServerOptions) (*Server, error) {
 	if handler == nil {
 		lis.Close()
 		return nil, errors.New("transport: nil handler")
 	}
+	opts = opts.withDefaults()
 	s := &Server{
 		lis:     lis,
 		handler: handler,
+		opts:    opts,
+		work:    make(chan workItem, opts.MaxQueue),
 		conns:   make(map[net.Conn]struct{}),
 		states:  make(map[*connState]struct{}),
 	}
@@ -120,6 +203,163 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// admit hands one parsed invocation to the worker pool. It never blocks:
+// a full queue reports false and the caller sheds. On true, a worker slot
+// is guaranteed to pick the item up (a retiring worker re-checks the queue
+// after decrementing itself, so the enqueue/retire race always leaves
+// someone responsible).
+func (s *Server) admit(it workItem) bool {
+	select {
+	case s.work <- it:
+	default:
+		return false
+	}
+	if s.tryReserveWorker() {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return true
+}
+
+// tryReserveWorker claims a worker slot under the concurrency gate,
+// reporting false when the pool is at MaxConcurrent (the live workers own
+// the queue then).
+func (s *Server) tryReserveWorker() bool {
+	for {
+		n := s.workers.Load()
+		if int(n) >= s.opts.MaxConcurrent {
+			return false
+		}
+		if s.workers.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// worker drains the admission queue. Workers are elastic: one is spawned
+// per admit while the pool is below MaxConcurrent, and a worker retires as
+// soon as it finds the queue empty — under light load this degenerates to
+// roughly a goroutine per request, under saturation to MaxConcurrent
+// long-lived workers chewing a full queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case it := <-s.work:
+			s.process(it)
+			continue
+		default:
+		}
+		// Queue looks empty: retire. Decrement before the final re-check so
+		// an admit that raced its enqueue past our first look either sees a
+		// free slot (and spawns a replacement) or is caught by the re-check.
+		s.workers.Add(-1)
+		if len(s.work) == 0 {
+			return
+		}
+		if !s.tryReserveWorker() {
+			return // a full complement of other workers owns the queue
+		}
+	}
+}
+
+// process runs one admitted invocation: the budget check at dequeue, then
+// the handler, then (for two-way work) the response.
+func (s *Server) process(it workItem) {
+	req := it.req
+	if !req.Deadline.IsZero() && time.Now().After(req.Deadline) {
+		// The budget expired while the item sat in the queue: the caller is
+		// gone, executing the method would be pure waste. Never invoke the
+		// handler; tell a two-way caller so it can account the loss.
+		s.expired.Add(1)
+		if !it.oneway {
+			s.reply(it.st, req, statusExpired, nil, "")
+		}
+		return
+	}
+	if it.oneway {
+		// The result, including any error, is dropped — the client asked
+		// for no response frame.
+		_, _ = s.handler(req)
+		return
+	}
+	payload, err := s.handler(req)
+	var errMsg string
+	if err != nil {
+		errMsg = err.Error()
+	}
+	s.reply(it.st, req, statusOK, payload, errMsg)
+}
+
+// reply writes one response frame with the connection's flush-coalescing
+// discipline and keeps the Quiesce accounting (outstanding/written) true.
+func (s *Server) reply(st *connState, req *Request, status byte, payload []byte, errMsg string) {
+	// The route update is computed after the handler ran: a view change
+	// during a long invocation still reaches the caller on this reply.
+	rt := s.routeUpdateFor(req.Epoch)
+	hold := st.outstanding.Add(-1) > 0
+	werr := st.w.writeResponse(req.Seq, status, payload, errMsg, rt, hold)
+	st.written.Add(1)
+	if werr != nil {
+		st.conn.Close()
+		return
+	}
+	// Arm the straggler timer only after the bytes are buffered: a timer
+	// armed earlier could fire and flush before this response lands, leaving
+	// it stuck behind an arbitrarily long-running handler. The callback
+	// disarms before flushing, so any response buffered after the disarm
+	// observes timerArmed == false and arms a fresh round.
+	if hold && st.timerArmed.CompareAndSwap(false, true) {
+		time.AfterFunc(responseFlushBound, func() {
+			st.timerArmed.Store(false)
+			if st.w.flushNow() != nil {
+				st.conn.Close()
+			}
+		})
+	}
+}
+
+// ingestRequest runs the per-request admission pipeline on the read path:
+// draining drop, then the gate+queue, shedding with statusOverload when
+// both are full.
+func (s *Server) ingestRequest(st *connState, req *Request, arrival time.Time) {
+	// Count before the draining check: Quiesce observes a non-zero
+	// outstanding count for any request that slipped past the flag,
+	// so it can never declare the connection quiet under our feet.
+	st.outstanding.Add(1)
+	st.accepted.Add(1)
+	if s.draining.Load() {
+		st.outstanding.Add(-1)
+		st.written.Add(1)
+		return // dropped unexecuted; fails with the connection
+	}
+	if req.Budget > 0 {
+		req.Deadline = arrival.Add(req.Budget)
+	}
+	if !s.admit(workItem{st: st, req: req}) {
+		// Gate and queue full: shed. The distinct status (not a RemoteError)
+		// tells the stub the member is loaded, not broken.
+		s.shed.Add(1)
+		s.reply(st, req, statusOverload, nil, "")
+	}
+}
+
+// ingestOneWay routes a one-way invocation through the same admission gate.
+// There is no caller to answer, so saturation and draining both drop the
+// work silently — never an unbounded goroutine.
+func (s *Server) ingestOneWay(req *Request, arrival time.Time) {
+	if s.draining.Load() {
+		return // at-most-once: dropped with the closing member
+	}
+	req.OneWay = true
+	if req.Budget > 0 {
+		req.Deadline = arrival.Add(req.Budget)
+	}
+	if !s.admit(workItem{req: req, oneway: true}) {
+		s.shed.Add(1)
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -142,72 +382,39 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.states, st)
 		s.mu.Unlock()
 	}()
-	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
 	for {
 		kind, body, err := readFrame(br)
 		if err != nil {
 			return
 		}
+		arrival := time.Now()
 		switch kind {
 		case frameRequest:
 			req, err := parseRequest(body)
 			if err != nil {
 				return
 			}
-			// Count before the draining check: Quiesce observes a non-zero
-			// outstanding count for any request that slipped past the flag,
-			// so it can never declare the connection quiet under our feet.
-			st.outstanding.Add(1)
-			st.accepted.Add(1)
-			if s.draining.Load() {
-				st.outstanding.Add(-1)
-				st.written.Add(1)
-				continue // dropped unexecuted; fails with the connection
-			}
-			reqWG.Add(1)
-			go s.respond(st, req, &reqWG)
+			s.ingestRequest(st, req, arrival)
 		case frameOneWay:
 			req, err := parseRequest(body)
 			if err != nil {
 				return
 			}
-			if s.draining.Load() {
-				continue // at-most-once: dropped with the closing member
-			}
-			req.OneWay = true
-			reqWG.Add(1)
-			go s.discard(req, &reqWG)
+			s.ingestOneWay(req, arrival)
 		case frameBatch:
 			items, err := parseBatch(body)
 			if err != nil {
 				return
 			}
-			// Fan-out: every entry of the batch runs on its own goroutine,
-			// exactly as if it had arrived in its own frame. Responses are
-			// ordinary response frames, coalesced on the return path by the
-			// outstanding-count flush elision below.
+			// Fan-out: every entry of the batch passes through the admission
+			// gate exactly as if it had arrived in its own frame. Responses
+			// are ordinary response frames, coalesced on the return path by
+			// the outstanding-count flush elision.
 			for _, it := range items {
-				if !it.oneway {
-					st.outstanding.Add(1)
-					st.accepted.Add(1)
-				}
-			}
-			if s.draining.Load() {
-				for _, it := range items {
-					if !it.oneway {
-						st.outstanding.Add(-1)
-						st.written.Add(1)
-					}
-				}
-				continue
-			}
-			for _, it := range items {
-				reqWG.Add(1)
 				if it.oneway {
-					go s.discard(it.req, &reqWG)
+					s.ingestOneWay(it.req, arrival)
 				} else {
-					go s.respond(st, it.req, &reqWG)
+					s.ingestRequest(st, it.req, arrival)
 				}
 			}
 		default:
@@ -282,49 +489,8 @@ type connState struct {
 // behind still-running handlers on the same connection.
 const responseFlushBound = 100 * time.Microsecond
 
-// respond executes one two-way request and writes its response frame,
-// flushing according to the outstanding count.
-func (s *Server) respond(st *connState, req *Request, wg *sync.WaitGroup) {
-	defer wg.Done()
-	payload, err := s.handler(req)
-	var errMsg string
-	if err != nil {
-		errMsg = err.Error()
-	}
-	// The route update is computed after the handler ran: a view change
-	// during a long invocation still reaches the caller on this reply.
-	rt := s.routeUpdateFor(req.Epoch)
-	hold := st.outstanding.Add(-1) > 0
-	werr := st.w.writeResponse(req.Seq, payload, errMsg, rt, hold)
-	st.written.Add(1)
-	if werr != nil {
-		st.conn.Close()
-		return
-	}
-	// Arm the straggler timer only after the bytes are buffered: a timer
-	// armed earlier could fire and flush before this response lands, leaving
-	// it stuck behind an arbitrarily long-running handler. The callback
-	// disarms before flushing, so any response buffered after the disarm
-	// observes timerArmed == false and arms a fresh round.
-	if hold && st.timerArmed.CompareAndSwap(false, true) {
-		time.AfterFunc(responseFlushBound, func() {
-			st.timerArmed.Store(false)
-			if st.w.flushNow() != nil {
-				st.conn.Close()
-			}
-		})
-	}
-}
-
-// discard executes one one-way request; the result, including any error, is
-// dropped — the client asked for no response frame.
-func (s *Server) discard(req *Request, wg *sync.WaitGroup) {
-	defer wg.Done()
-	_, _ = s.handler(req)
-}
-
 // Close stops accepting, closes all connections and waits for in-flight
-// handlers to finish.
+// handlers (and the worker pool behind the admission queue) to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"time"
 
 	"elasticrmi/internal/route"
 )
@@ -18,6 +19,17 @@ var (
 	// ErrFrameTooLarge is returned when a message would exceed MaxFrame. The
 	// connection stays usable; only the offending call fails.
 	ErrFrameTooLarge = errors.New("transport: frame too large")
+	// ErrOverloaded is returned when the server's admission controller shed
+	// the call unexecuted (statusOverload): its concurrency gate and wait
+	// queue were both full. The member is alive but saturated — callers
+	// should treat it as loaded, not dead, and may retry elsewhere (the
+	// method provably never ran).
+	ErrOverloaded = errors.New("transport: server overloaded")
+	// ErrExpired is returned when the call's remaining budget ran out while
+	// it waited in the server's admission queue (statusExpired): the handler
+	// was never invoked. Like a timeout, the budget is gone; unlike a
+	// timeout, the server proved the method did not run.
+	ErrExpired = errors.New("transport: budget expired before execution")
 )
 
 // RemoteError carries an application-level error string returned by the
@@ -48,6 +60,15 @@ type Request struct {
 	Service string
 	Method  string
 	Payload []byte
+	// Budget is the caller's remaining deadline budget when it sent the
+	// request (0 = no deadline), carried on the wire in microseconds. The
+	// server charges queue wait against it: work whose budget expires before
+	// dequeue is dropped without invoking the handler.
+	Budget time.Duration
+	// Deadline is Budget anchored at the server's arrival clock (zero when
+	// the request carries no budget). Handlers may consult it to abandon
+	// work nobody is waiting for (e.g. skip a cache fill mid-call).
+	Deadline time.Time
 	// OneWay is set by the server for invocations that will never be
 	// answered (one-way frames and one-way batch entries). There is no
 	// response to piggyback corrections on, so handlers execute them with
@@ -60,6 +81,7 @@ type Request struct {
 // without materializing this struct.
 type Response struct {
 	Seq     uint64
+	Status  byte // statusOK, or an admission-control refusal
 	Payload []byte
 	Err     string       // non-empty => RemoteError
 	Route   *route.Table // piggybacked route update (nil = none)

@@ -178,15 +178,26 @@ func TestConcurrentCallsMultiplexed(t *testing.T) {
 }
 
 func TestServerCloseFailsInFlight(t *testing.T) {
-	srv := startEcho(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		close(started) // handler provably in flight before the close below
+		<-release
+		return req.Payload, nil
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer close(release) // let the parked handler finish so Close can return
+	t.Cleanup(func() { srv.Close() })
 	c := dial(t, srv.Addr())
 	done := make(chan error, 1)
 	go func() {
 		_, err := c.Call("svc", "Slow", nil, 5*time.Second)
 		done <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
-	srv.Close()
+	<-started
+	go srv.Close() // Close waits for the handler; run it alongside the check
 	if err := <-done; err == nil {
 		t.Fatal("call survived server close")
 	}

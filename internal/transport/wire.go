@@ -8,6 +8,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elasticrmi/internal/route"
 )
@@ -20,8 +21,10 @@ const MaxFrame = 64 << 20
 // Protocol preamble: magic "eRMI" plus a version byte, sent by the dialing
 // side before its first frame (see doc.go). Version 2 added the epoch field
 // on requests and the piggybacked route update on responses (replacing the
-// redirect list of version 1).
-const protoVersion = 2
+// redirect list of version 1). Version 3 added the remaining-budget field on
+// requests, one-way frames and batch entries, and the status field on
+// responses (statusOverload / statusExpired for admission-control refusals).
+const protoVersion = 3
 
 var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
 
@@ -42,6 +45,25 @@ const (
 
 // oneWayFlag marks a batch entry whose response the client does not want.
 const oneWayFlag = 0x1
+
+// Response status codes (the status field of a response body). statusOK
+// responses carry the handler's result (or its application error in errmsg);
+// the other statuses are emitted by the server's admission controller and
+// carry neither payload nor errmsg — the request's handler never ran.
+const (
+	statusOK byte = 0
+	// statusOverload: the admission queue was full when the request arrived;
+	// the server shed it unexecuted. The member is alive but saturated —
+	// callers should back off or prefer a less-loaded member, not declare
+	// the member dead.
+	statusOverload byte = 1
+	// statusExpired: the request's remaining budget ran out while it waited
+	// in the admission queue; the server dropped it without invoking the
+	// handler (the caller's own deadline has passed, so the work is waste).
+	statusExpired byte = 2
+
+	statusMax = statusExpired // parser bound; larger values are malformed
+)
 
 // maxBatchEntries bounds the entries one batch frame may carry; writers
 // split above it and readers treat larger counts as malformed.
@@ -115,25 +137,34 @@ func putFrameHeader(bw *bufio.Writer, size int, kind frameKind) {
 	bw.Write(hdr[:])
 }
 
+// budgetMicros converts a caller deadline budget to the wire's µs field,
+// clamping negatives to zero (0 = no deadline).
+func budgetMicros(budget time.Duration) uint64 {
+	if budget <= 0 {
+		return 0
+	}
+	return uint64(budget / time.Microsecond)
+}
+
 // requestFrameSize returns the frame size (kind byte + body) of a request.
-func requestFrameSize(seq, epoch uint64, service, method string, payload []byte) int {
-	return 1 + uvarintLen(seq) + uvarintLen(epoch) +
+func requestFrameSize(seq, epoch, budget uint64, service, method string, payload []byte) int {
+	return 1 + uvarintLen(seq) + uvarintLen(epoch) + uvarintLen(budget) +
 		uvarintLen(uint64(len(service))) + len(service) +
 		uvarintLen(uint64(len(method))) + len(method) +
 		uvarintLen(uint64(len(payload))) + len(payload)
 }
 
-func (w *connWriter) writeRequest(seq, epoch uint64, service, method string, payload []byte) error {
-	return w.writeRequestKind(frameRequest, seq, epoch, service, method, payload)
+func (w *connWriter) writeRequest(seq, epoch, budget uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameRequest, seq, epoch, budget, service, method, payload)
 }
 
 // writeOneWay emits a request the server will not answer.
-func (w *connWriter) writeOneWay(seq, epoch uint64, service, method string, payload []byte) error {
-	return w.writeRequestKind(frameOneWay, seq, epoch, service, method, payload)
+func (w *connWriter) writeOneWay(seq, epoch, budget uint64, service, method string, payload []byte) error {
+	return w.writeRequestKind(frameOneWay, seq, epoch, budget, service, method, payload)
 }
 
-func (w *connWriter) writeRequestKind(kind frameKind, seq, epoch uint64, service, method string, payload []byte) error {
-	size := requestFrameSize(seq, epoch, service, method, payload)
+func (w *connWriter) writeRequestKind(kind frameKind, seq, epoch, budget uint64, service, method string, payload []byte) error {
+	size := requestFrameSize(seq, epoch, budget, service, method, payload)
 	if size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
 	}
@@ -145,6 +176,7 @@ func (w *connWriter) writeRequestKind(kind frameKind, seq, epoch uint64, service
 	putFrameHeader(bw, size, kind)
 	putUvarint(bw, seq)
 	putUvarint(bw, epoch)
+	putUvarint(bw, budget)
 	putUvarint(bw, uint64(len(service)))
 	bw.WriteString(service)
 	putUvarint(bw, uint64(len(method)))
@@ -160,6 +192,7 @@ type batchEntry struct {
 	oneway  bool
 	seq     uint64
 	epoch   uint64
+	budget  uint64 // remaining deadline budget in µs (0 = none)
 	service string
 	method  string
 	payload []byte
@@ -169,7 +202,7 @@ type batchEntry struct {
 // batchEntrySize returns the encoded size of one batch entry (flag byte +
 // request fields).
 func batchEntrySize(e *batchEntry) int {
-	return 1 + requestFrameSize(e.seq, e.epoch, e.service, e.method, e.payload) - 1
+	return 1 + requestFrameSize(e.seq, e.epoch, e.budget, e.service, e.method, e.payload) - 1
 }
 
 // batchFrameSize returns the frame size (kind byte + body) of a batch.
@@ -212,6 +245,7 @@ func (w *connWriter) writeBatch(entries []batchEntry) error {
 		bw.WriteByte(flags)
 		putUvarint(bw, e.seq)
 		putUvarint(bw, e.epoch)
+		putUvarint(bw, e.budget)
 		putUvarint(bw, uint64(len(e.service)))
 		bw.WriteString(e.service)
 		putUvarint(bw, uint64(len(e.method)))
@@ -303,8 +337,8 @@ func putRouteUpdate(bw *bufio.Writer, rt *route.Table) {
 }
 
 // responseFrameSize returns the frame size (kind byte + body) of a response.
-func responseFrameSize(seq uint64, payload []byte, errMsg string, rt *route.Table) int {
-	return 1 + uvarintLen(seq) +
+func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table) int {
+	return 1 + uvarintLen(seq) + uvarintLen(uint64(status)) +
 		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
 		routeUpdateSize(rt) +
 		uvarintLen(uint64(len(payload))) + len(payload)
@@ -316,17 +350,17 @@ func responseFrameSize(seq uint64, payload []byte, errMsg string, rt *route.Tabl
 // more responses for this connection are imminent (outstanding requests),
 // so a wave of completions reaches the kernel in one syscall; the caller
 // guarantees a later flush (last writer, or its straggler timer).
-func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, rt *route.Table, hold bool) error {
+func (w *connWriter) writeResponse(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table, hold bool) error {
 	if rt != nil && (len(rt.Members) == 0 || len(rt.Members) > maxRouteMembers || rt.Epoch == 0) {
 		rt = nil // unencodable table: drop the piggyback, never the response
 	}
-	if responseFrameSize(seq, payload, errMsg, rt) > MaxFrame {
+	if responseFrameSize(seq, status, payload, errMsg, rt) > MaxFrame {
 		// Surface the overflow to the caller as a RemoteError instead of
 		// poisoning the connection with an unreadable frame.
 		payload, rt = nil, nil
 		errMsg = fmt.Sprintf("%v: response frame exceeds %d bytes", ErrFrameTooLarge, MaxFrame)
 	}
-	size := responseFrameSize(seq, payload, errMsg, rt)
+	size := responseFrameSize(seq, status, payload, errMsg, rt)
 	if err := w.lock(); err != nil {
 		w.mu.Unlock()
 		return err
@@ -334,6 +368,7 @@ func (w *connWriter) writeResponse(seq uint64, payload []byte, errMsg string, rt
 	bw := w.bw
 	putFrameHeader(bw, size, frameResponse)
 	putUvarint(bw, seq)
+	putUvarint(bw, uint64(status))
 	putUvarint(bw, uint64(len(errMsg)))
 	bw.WriteString(errMsg)
 	putRouteUpdate(bw, rt)
@@ -414,6 +449,10 @@ func parseRequest(body []byte) (*Request, error) {
 	if !ok {
 		return nil, errMalformed
 	}
+	budget, rest, ok := takeUvarint(rest)
+	if !ok {
+		return nil, errMalformed
+	}
 	service, rest, ok := takeBytes(rest)
 	if !ok {
 		return nil, errMalformed
@@ -429,10 +468,21 @@ func parseRequest(body []byte) (*Request, error) {
 	return &Request{
 		Seq:     seq,
 		Epoch:   epoch,
+		Budget:  clampBudget(budget),
 		Service: string(service),
 		Method:  string(method),
 		Payload: payload,
 	}, nil
+}
+
+// clampBudget converts the wire's µs budget field into a duration, capping
+// hostile values so arrival.Add(budget) cannot overflow time arithmetic.
+func clampBudget(micros uint64) time.Duration {
+	const maxBudget = uint64(24 * time.Hour / time.Microsecond)
+	if micros > maxBudget {
+		micros = maxBudget
+	}
+	return time.Duration(micros) * time.Microsecond
 }
 
 // batchItem is one decoded entry of a batch frame as handed to the server.
@@ -460,12 +510,16 @@ func parseBatch(body []byte) ([]batchItem, error) {
 		if flags&^oneWayFlag != 0 {
 			return nil, errMalformed
 		}
-		var seq, epoch uint64
+		var seq, epoch, budget uint64
 		seq, rest, ok = takeUvarint(rest)
 		if !ok {
 			return nil, errMalformed
 		}
 		epoch, rest, ok = takeUvarint(rest)
+		if !ok {
+			return nil, errMalformed
+		}
+		budget, rest, ok = takeUvarint(rest)
 		if !ok {
 			return nil, errMalformed
 		}
@@ -487,6 +541,7 @@ func parseBatch(body []byte) ([]batchItem, error) {
 			req: &Request{
 				Seq:     seq,
 				Epoch:   epoch,
+				Budget:  clampBudget(budget),
 				Service: string(service),
 				Method:  string(method),
 				Payload: payload,
@@ -507,6 +562,11 @@ func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
 	if !ok {
 		return 0, errMalformed
 	}
+	status, rest, ok := takeUvarint(rest)
+	if !ok || status > uint64(statusMax) {
+		return 0, errMalformed
+	}
+	res.status = byte(status)
 	errMsg, rest, ok := takeBytes(rest)
 	if !ok {
 		return 0, errMalformed

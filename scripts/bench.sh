@@ -10,7 +10,10 @@
 # throughput (the PR-2 asynchronous invocation pipeline figure), and
 # BENCH_routing.json comparing routing strategies (p2c vs round-robin tail
 # latency under a skewed pool; hot-key affinity vs spray throughput — the
-# PR-3 epoch-routing figure, from internal/core/routing_bench_test.go).
+# PR-3 epoch-routing figure, from internal/core/routing_bench_test.go), and
+# BENCH_overload.json comparing goodput at ~10x capacity with the admission
+# controller against the old unguarded goroutine-per-request server (the
+# PR-4 deadline/admission-control figure).
 #
 # Usage: scripts/bench.sh            (or: make bench)
 #        BENCHTIME=5s scripts/bench.sh
@@ -18,9 +21,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
-go test -race ./internal/transport/...
+go test -race -timeout 300s ./internal/transport/...
 
-OUT=$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-2s}" ./internal/transport/)
+# BenchmarkOverload* are fixed-duration saturation experiments, run
+# separately below with -benchtime 1x; keep them out of the timed sweep.
+OUT=$(go test -run '^$' -bench '^Benchmark(Call|OneWay|RoundTrip)' -benchmem -benchtime "${BENCHTIME:-2s}" ./internal/transport/)
 printf '%s\n' "$OUT"
 
 # The seed baseline is frozen: it is the reference every later run is
@@ -131,3 +136,38 @@ printf '%s\n' "$ROUT" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 ' > BENCH_routing.json
 echo "wrote BENCH_routing.json"
 cat BENCH_routing.json
+
+# BENCH_overload.json: the admission-control saturation figure. Each
+# benchmark is one fixed-duration experiment (hence -benchtime 1x): a
+# CPU-bound echo offered at ~30x per-core overcommit under a tight caller
+# budget. goodput counts replies inside the budget; shed counts admission
+# refusals (cheap, never executed); late counts replies the caller had
+# already abandoned — the congestion-collapse failure mode the unguarded
+# server exhibits.
+OVER=$(go test -run '^$' -bench '^BenchmarkOverload' -benchtime 1x ./internal/transport/)
+printf '%s\n' "$OVER"
+
+printf '%s\n' "$OVER" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+      if ($i == "goodput-ops/s") good[name] = $(i-1)
+      if ($i == "shed-ops/s")    shed[name] = $(i-1)
+      if ($i == "late-ops/s")    late[name] = $(i-1)
+    }
+  }
+  END {
+    g = "BenchmarkOverloadGuarded"; u = "BenchmarkOverloadUnguarded"
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", gen
+    printf "  \"workload\": \"1ms CPU-bound echo, ~30x per-core closed-loop overcommit, 8ms caller budget (internal/transport/overload_bench_test.go)\",\n"
+    printf "  \"note\": \"goodput = replies within budget; shed = admission refusals (handler never ran); late = replies after the caller gave up\",\n"
+    printf "  \"guarded\": {\"goodput_ops_s\": %s, \"shed_ops_s\": %s, \"late_ops_s\": %s},\n", good[g], shed[g], late[g]
+    printf "  \"unguarded\": {\"goodput_ops_s\": %s, \"shed_ops_s\": %s, \"late_ops_s\": %s},\n", good[u], shed[u], late[u]
+    if (good[u] + 0 > 0) printf "  \"goodput_ratio_guarded_over_unguarded\": %.2f\n", good[g] / good[u]
+    else                 printf "  \"goodput_ratio_guarded_over_unguarded\": \"inf (unguarded goodput collapsed to 0)\"\n"
+    printf "}\n"
+  }
+' > BENCH_overload.json
+echo "wrote BENCH_overload.json"
+cat BENCH_overload.json
