@@ -36,6 +36,31 @@ func (s *State) acquireOwner() string {
 	return s.owner + "#" + strconv.FormatInt(s.acqSeq.Add(1), 10)
 }
 
+// withRetry runs op, retrying with exponential backoff while the store
+// reports its shard unavailable — the window in which the cluster is
+// promoting a backup after a node loss. Field access and lock traffic of
+// elastic objects thereby survive a store-node failure instead of
+// surfacing a transient infrastructure error to application code. Other
+// errors (and exhaustion of the retry budget) pass through.
+func (s *State) withRetry(op func() error) error {
+	backoff := 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !isUnavailable(err) || attempt >= stateRetries {
+			return err
+		}
+		s.clock.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// stateRetries bounds withRetry: enough attempts to ride out a failover
+// (which completes in well under a second), few enough that a truly dead
+// store surfaces within seconds.
+const stateRetries = 6
+
 // NewState creates the accessor for an elastic class. owner identifies the
 // pool member for lock ownership (e.g. "cache/uid-7"); clock may be nil for
 // the wall clock.
@@ -59,7 +84,11 @@ func (s *State) Key(field string) string {
 
 // GetBytes reads a field's raw value; missing fields return nil.
 func (s *State) GetBytes(field string) ([]byte, error) {
-	v, err := s.store.Get(s.Key(field))
+	var v kvstore.Versioned
+	err := s.withRetry(func() (err error) {
+		v, err = s.store.Get(s.Key(field))
+		return err
+	})
 	if err != nil {
 		if isNotFound(err) {
 			return nil, nil
@@ -71,40 +100,59 @@ func (s *State) GetBytes(field string) ([]byte, error) {
 
 // PutBytes writes a field's raw value.
 func (s *State) PutBytes(field string, value []byte) error {
-	if _, err := s.store.Put(s.Key(field), value); err != nil {
+	err := s.withRetry(func() error {
+		_, err := s.store.Put(s.Key(field), value)
+		return err
+	})
+	if err != nil {
 		return fmt.Errorf("state put %s: %w", field, err)
 	}
 	return nil
 }
 
 // GetInt reads an integer field (0 when missing).
-func (s *State) GetInt(field string) (int64, error) {
-	return s.store.GetInt64(s.Key(field))
+func (s *State) GetInt(field string) (v int64, err error) {
+	err = s.withRetry(func() (err error) {
+		v, err = s.store.GetInt64(s.Key(field))
+		return err
+	})
+	return v, err
 }
 
 // PutInt writes an integer field.
 func (s *State) PutInt(field string, value int64) error {
-	return s.store.PutInt64(s.Key(field), value)
+	return s.withRetry(func() error { return s.store.PutInt64(s.Key(field), value) })
 }
 
 // AddInt atomically adds delta to an integer field and returns the result.
-func (s *State) AddInt(field string, delta int64) (int64, error) {
-	return s.store.AddInt64(s.Key(field), delta)
+// Note the failover caveat: a retried add whose first attempt was applied
+// but not acknowledged counts twice (the store's add is not idempotent);
+// counters that must be exact under failures should use CAS loops instead.
+func (s *State) AddInt(field string, delta int64) (v int64, err error) {
+	err = s.withRetry(func() (err error) {
+		v, err = s.store.AddInt64(s.Key(field), delta)
+		return err
+	})
+	return v, err
 }
 
 // GetString reads a string field ("" when missing).
-func (s *State) GetString(field string) (string, error) {
-	return s.store.GetString(s.Key(field))
+func (s *State) GetString(field string) (v string, err error) {
+	err = s.withRetry(func() (err error) {
+		v, err = s.store.GetString(s.Key(field))
+		return err
+	})
+	return v, err
 }
 
 // PutString writes a string field.
 func (s *State) PutString(field, value string) error {
-	return s.store.PutString(s.Key(field), value)
+	return s.withRetry(func() error { return s.store.PutString(s.Key(field), value) })
 }
 
 // GetFloat reads a float field (0 when missing).
 func (s *State) GetFloat(field string) (float64, error) {
-	raw, err := s.store.GetString(s.Key(field))
+	raw, err := s.GetString(field)
 	if err != nil || raw == "" {
 		return 0, err
 	}
@@ -117,17 +165,21 @@ func (s *State) GetFloat(field string) (float64, error) {
 
 // PutFloat writes a float field.
 func (s *State) PutFloat(field string, value float64) error {
-	return s.store.PutString(s.Key(field), strconv.FormatFloat(value, 'g', -1, 64))
+	return s.PutString(field, strconv.FormatFloat(value, 'g', -1, 64))
 }
 
 // Delete removes a field.
 func (s *State) Delete(field string) error {
-	return s.store.Delete(s.Key(field))
+	return s.withRetry(func() error { return s.store.Delete(s.Key(field)) })
 }
 
 // Fields lists the class's stored field names.
 func (s *State) Fields() ([]string, error) {
-	keys, err := s.store.Keys(s.class + "$")
+	var keys []string
+	err := s.withRetry(func() (err error) {
+		keys, err = s.store.Keys(s.class + "$")
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +198,15 @@ func (s *State) Synchronized(fn func() error) error {
 }
 
 // SynchronizedNamed is Synchronized with an explicit lock name, for
-// finer-grained application locks.
+// finer-grained application locks. Contention and shard failover are both
+// retried: ErrLockHeld spins with backoff indefinitely (another member is
+// in the critical section), while shard unavailability is retried on the
+// bounded withRetry budget (a failover in progress) and then surfaces.
 func (s *State) SynchronizedNamed(name string, fn func() error) error {
 	owner := s.acquireOwner()
 	backoff := time.Millisecond
 	for {
-		err := s.store.TryLock(name, owner, s.lease)
+		err := s.withRetry(func() error { return s.store.TryLock(name, owner, s.lease) })
 		if err == nil {
 			break
 		}
@@ -164,7 +219,7 @@ func (s *State) SynchronizedNamed(name string, fn func() error) error {
 		}
 	}
 	defer func() {
-		_ = s.store.Unlock(name, owner)
+		_ = s.withRetry(func() error { return s.store.Unlock(name, owner) })
 	}()
 	return fn()
 }
@@ -174,9 +229,21 @@ func (s *State) SynchronizedNamed(name string, fn func() error) error {
 // it returns a release function and true.
 func (s *State) TryLock(name string) (release func() error, ok bool, err error) {
 	owner := s.acquireOwner()
-	lerr := s.store.TryLock(name, owner, s.lease)
+	lerr := s.withRetry(func() error { return s.store.TryLock(name, owner, s.lease) })
 	if lerr == nil {
-		return func() error { return s.store.Unlock(name, owner) }, true, nil
+		return func() error {
+			err := s.withRetry(func() error { return s.store.Unlock(name, owner) })
+			if err != nil && errors.Is(err, kvstore.ErrNotLockOwner) {
+				// Release is idempotent under failover: if the first attempt
+				// applied but its ack was lost, the retry lands on a replica
+				// that already holds the release tombstone and reports
+				// not-owner — the lock is released either way. (The same
+				// answer for an expired-and-stolen lease is also correct:
+				// this owner no longer holds it.)
+				return nil
+			}
+			return err
+		}, true, nil
 	}
 	if isLockHeld(lerr) {
 		return nil, false, nil
@@ -188,5 +255,6 @@ func (s *State) TryLock(name string) (release func() error, ok bool, err error) 
 // that need direct keys (e.g. the DCS znode tree).
 func (s *State) Store() kvstore.Shared { return s.store }
 
-func isNotFound(err error) bool { return errors.Is(err, kvstore.ErrNotFound) }
-func isLockHeld(err error) bool { return errors.Is(err, kvstore.ErrLockHeld) }
+func isNotFound(err error) bool    { return errors.Is(err, kvstore.ErrNotFound) }
+func isLockHeld(err error) bool    { return errors.Is(err, kvstore.ErrLockHeld) }
+func isUnavailable(err error) bool { return errors.Is(err, kvstore.ErrUnavailable) }

@@ -171,3 +171,43 @@ func TestStateBytesRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStateSurvivesStoreNodeLoss: with a replicated store (R=2), elastic-
+// object field access and class locks ride out the crash of a store node —
+// the cluster promotes backups and State's bounded retry absorbs the blip.
+func TestStateSurvivesStoreNodeLoss(t *testing.T) {
+	store, err := kvstore.NewReplicated(2, 2, nil)
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	defer store.Close()
+	st := NewState("Acct", "member-1", store, nil)
+
+	if err := st.PutInt("balance", 7); err != nil {
+		t.Fatalf("PutInt: %v", err)
+	}
+	release, ok, err := st.TryLock("guard")
+	if err != nil || !ok {
+		t.Fatalf("TryLock = %v, %v", ok, err)
+	}
+
+	if err := store.CrashNode(store.Addrs()[0]); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+
+	if v, err := st.GetInt("balance"); err != nil || v != 7 {
+		t.Fatalf("GetInt after crash = %d, %v (acked field write lost)", v, err)
+	}
+	if err := st.PutInt("balance", 8); err != nil {
+		t.Fatalf("PutInt after crash: %v", err)
+	}
+	if _, ok, err := st.TryLock("guard"); err != nil || ok {
+		t.Fatalf("second TryLock after crash = %v, %v; want held (lease must survive failover)", ok, err)
+	}
+	if err := release(); err != nil {
+		t.Fatalf("release after crash: %v", err)
+	}
+	if err := st.Synchronized(func() error { return nil }); err != nil {
+		t.Fatalf("Synchronized after crash: %v", err)
+	}
+}

@@ -6,11 +6,26 @@ package ermitest
 
 import (
 	"testing"
+	"time"
 
 	"elasticrmi/internal/cluster"
 	"elasticrmi/internal/core"
 	"elasticrmi/internal/kvstore"
 )
+
+// WaitUntil polls cond until it holds or the deadline fails the test — the
+// shared readiness-poll idiom for state that has no completion channel.
+// Tests use it instead of hand-rolled sleep loops.
+func WaitUntil(t testing.TB, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // Env is one test deployment.
 type Env struct {

@@ -1,0 +1,262 @@
+package ermitest_test
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/kvstore"
+)
+
+// TestKVStoreChaosKillUnderLoad is the shared-state chaos scenario: an R=2
+// store cluster serving a mixed Get/Put/CAS/lock workload while one node
+// is killed mid-flight and membership keeps churning (AddNode, planned
+// RemoveNode). The fault-tolerance contract under test:
+//
+//   - zero lost acknowledged writes — every acked Put/CAS survives the
+//     crash and both migrations, at version >= the acked one;
+//   - mutual exclusion never breaks — at no instant do two workers hold
+//     the class lock, including across the crash and concurrent
+//     AddNode/RemoveNode;
+//   - bounded stall — operations issued during failover wait out the
+//     repair instead of failing, and no operation wedges.
+func TestKVStoreChaosKillUnderLoad(t *testing.T) {
+	cl, err := kvstore.NewReplicated(3, 2, nil)
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	defer cl.Close()
+
+	var (
+		stop       = make(chan struct{})
+		stopOnce   sync.Once
+		wg         sync.WaitGroup
+		inCS       atomic.Int32
+		doubleHold atomic.Int32
+		maxStallNs atomic.Int64
+	)
+	// halt stops the workload and drains the workers. Deferred so that an
+	// early Fatalf cannot leave workers calling t.Errorf after the test
+	// has completed.
+	halt := func() {
+		stopOnce.Do(func() { close(stop) })
+		wg.Wait()
+	}
+	defer halt()
+	timed := func(op func() error) error {
+		t0 := time.Now()
+		err := op()
+		d := time.Since(t0).Nanoseconds()
+		for {
+			cur := maxStallNs.Load()
+			if d <= cur || maxStallNs.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+		return err
+	}
+
+	// Writers: one key each, strictly increasing values; the last
+	// acknowledged value/version is the loss oracle checked at the end.
+	type writerState struct {
+		key       string
+		lastAcked int64
+		ackedVer  uint64
+	}
+	writers := make([]*writerState, 3)
+	for i := range writers {
+		ws := &writerState{key: fmt.Sprintf("chaos-w%d", i)}
+		writers[i] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := int64(1); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var ver uint64
+				err := timed(func() (err error) {
+					ver, err = cl.Put(ws.key, []byte(strconv.FormatInt(n, 10)))
+					return err
+				})
+				if err == nil {
+					ws.lastAcked, ws.ackedVer = n, ver
+				}
+			}
+		}()
+	}
+
+	// CAS workers: read-modify-write increment chains. An acked CAS is an
+	// applied increment; ambiguous failures (applied but unacked) may add
+	// extra increments, never subtract — so final >= acked.
+	type casState struct {
+		key   string
+		acked int64
+	}
+	casers := make([]*casState, 2)
+	for i := range casers {
+		cs := &casState{key: fmt.Sprintf("chaos-c%d", i)}
+		casers[i] = cs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var cur int64
+				var ver uint64
+				err := timed(func() error {
+					v, err := cl.Get(cs.key)
+					if errors.Is(err, kvstore.ErrNotFound) {
+						cur, ver = 0, 0
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					cur, _ = strconv.ParseInt(string(v.Value), 10, 64)
+					ver = v.Version
+					return nil
+				})
+				if err != nil {
+					continue
+				}
+				err = timed(func() error {
+					_, err := cl.CompareAndSwap(cs.key, []byte(strconv.FormatInt(cur+1, 10)), ver)
+					return err
+				})
+				if err == nil {
+					cs.acked++
+				}
+			}
+		}()
+	}
+
+	// Lock workers: contend on one class lock; the critical section checks
+	// it is alone via the shared counter. The lease is far longer than the
+	// critical section, so only a real mutual-exclusion break (a second
+	// admitted holder) can trip the counter.
+	for i := 0; i < 3; i++ {
+		worker := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owner := fmt.Sprintf("locker-%d#%d", worker, seq)
+				err := timed(func() error {
+					return cl.TryLock("chaos-class-lock", owner, 5*time.Second)
+				})
+				if err != nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if inCS.Add(1) != 1 {
+					doubleHold.Add(1)
+				}
+				time.Sleep(500 * time.Microsecond)
+				inCS.Add(-1)
+				err = timed(func() error {
+					return cl.Unlock("chaos-class-lock", owner)
+				})
+				if err != nil && !errors.Is(err, kvstore.ErrNotLockOwner) {
+					t.Errorf("Unlock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: writer keys must always resolve (or be not-yet-written) —
+	// a shard must never go dark with one crash at R=2.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("chaos-w%d", n%len(writers))
+				err := timed(func() error {
+					_, err := cl.Get(key)
+					return err
+				})
+				if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+					t.Errorf("Get(%s): %v", key, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the workload ramp, then kill a node and keep churning
+	// membership under the same load.
+	time.Sleep(300 * time.Millisecond)
+	if err := cl.CrashNode(cl.Addrs()[1]); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cl.AddNode(); err != nil {
+		t.Fatalf("AddNode under load: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := cl.RemoveNode(cl.Addrs()[0]); err != nil {
+		t.Fatalf("RemoveNode under load: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	halt()
+
+	if n := doubleHold.Load(); n != 0 {
+		t.Fatalf("mutual exclusion broke %d times (two holders of one lock)", n)
+	}
+	for _, ws := range writers {
+		if ws.lastAcked == 0 {
+			t.Fatalf("writer %s never got an ack; workload did not run", ws.key)
+		}
+		got, err := cl.Get(ws.key)
+		if err != nil {
+			t.Fatalf("Get(%s) after chaos: %v", ws.key, err)
+		}
+		val, _ := strconv.ParseInt(string(got.Value), 10, 64)
+		if val < ws.lastAcked || got.Version < ws.ackedVer {
+			t.Fatalf("%s: final %d@v%d < acked %d@v%d (acknowledged write lost)",
+				ws.key, val, got.Version, ws.lastAcked, ws.ackedVer)
+		}
+	}
+	for _, cs := range casers {
+		got, err := cl.Get(cs.key)
+		if errors.Is(err, kvstore.ErrNotFound) && cs.acked == 0 {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Get(%s) after chaos: %v", cs.key, err)
+		}
+		val, _ := strconv.ParseInt(string(got.Value), 10, 64)
+		if val < cs.acked {
+			t.Fatalf("%s: final %d < %d acked CAS increments (acknowledged CAS lost)", cs.key, val, cs.acked)
+		}
+	}
+	if stall := time.Duration(maxStallNs.Load()); stall > 15*time.Second {
+		t.Fatalf("max operation stall %v exceeds the failover bound", stall)
+	} else {
+		t.Logf("chaos summary: max stall %v, writers acked %d/%d/%d, cas acked %d/%d",
+			stall, writers[0].lastAcked, writers[1].lastAcked, writers[2].lastAcked,
+			casers[0].acked, casers[1].acked)
+	}
+}

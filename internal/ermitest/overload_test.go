@@ -111,7 +111,7 @@ func TestOverloadSustainedGoodputAndNoExpiredWork(t *testing.T) {
 	}
 	// Wait until all slots are provably occupied: further work gets queued,
 	// not executed.
-	waitUntil(t, 5*time.Second, func() bool {
+	ermitest.WaitUntil(t, "pool slots fully parked", 5*time.Second, func() bool {
 		n := 0
 		for _, m := range pool.Members() {
 			n += m.Pending
@@ -132,7 +132,7 @@ func TestOverloadSustainedGoodputAndNoExpiredWork(t *testing.T) {
 	close(gate)
 	hold.Wait()
 	// Give any (wrongly) surviving probe work a chance to surface.
-	waitUntil(t, 5*time.Second, func() bool {
+	ermitest.WaitUntil(t, "pending work to drain", 5*time.Second, func() bool {
 		n := 0
 		for _, m := range pool.Members() {
 			n += m.Pending
@@ -209,17 +209,5 @@ func TestOverloadSustainedGoodputAndNoExpiredWork(t *testing.T) {
 	pool.Step()
 	if got := pool.Size(); got != members+1 {
 		t.Fatalf("pool size after scaling step = %d, want %d (shed counts must drive scale-out)", got, members+1)
-	}
-}
-
-// waitUntil polls cond until it holds or the deadline passes.
-func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(d)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition never held")
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }

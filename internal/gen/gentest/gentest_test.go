@@ -104,20 +104,15 @@ func TestGeneratedAsyncVariants(t *testing.T) {
 			t.Fatalf("BumpOneWay %d: %v", i, err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	// One-way bumps carry no response; poll the shared counter for their
+	// arrival instead of sleeping.
+	ermitest.WaitUntil(t, "one-way bumps to land in shared state", 10*time.Second, func() bool {
 		rep, err := svc.Peek(PeekArgs{})
 		if err != nil {
 			t.Fatalf("Peek: %v", err)
 		}
-		if rep.Total == 2*n {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("total = %d, want %d", rep.Total, 2*n)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return rep.Total == 2*n
+	})
 }
 
 // TestGeneratedAffinityVariant drives the //ermi:affinity output against a

@@ -29,6 +29,20 @@ func startMembers(t *testing.T, n int, heartbeat time.Duration) []*Member {
 	return members
 }
 
+// waitUntil polls cond until it holds or the deadline fails the test —
+// the shared readiness-poll idiom (see ermitest's waitUntil), replacing
+// hand-rolled sleep loops.
+func waitUntil(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func collect(t *testing.T, m *Member, n int, timeout time.Duration) []Message {
 	t.Helper()
 	var out []Message
@@ -76,15 +90,10 @@ func TestViewPropagationFromCoordinator(t *testing.T) {
 		t.Fatalf("InstallView: %v", err)
 	}
 	// b learns the view from the coordinator push.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if b.View().ID == 5 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	got := b.View()
-	if got.ID != 5 || len(got.Members) != 2 {
+	waitUntil(t, "view 5 to propagate to b", 2*time.Second, func() bool {
+		return b.View().ID == 5
+	})
+	if got := b.View(); len(got.Members) != 2 {
 		t.Fatalf("b view = %+v, want pushed view 5", got)
 	}
 	// Stale views must not regress the installed one.

@@ -86,3 +86,113 @@ func BenchmarkLockAcquireRelease(b *testing.B) {
 		}
 	}
 }
+
+// Replication benchmarks: the same 3-node cluster at R=1 (single copy, the
+// pre-replication deployment) vs R=2 (every write synchronously forwarded
+// to one backup before the ack). The spread is the price of surviving a
+// node loss; BENCH_kvstore.json records it next to the failover blip.
+
+func newBenchCluster(b *testing.B, rf int) *Cluster {
+	b.Helper()
+	cl, err := NewReplicated(3, rf, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	return cl
+}
+
+func benchClusterPut(b *testing.B, rf int) {
+	cl := newBenchCluster(b, rf)
+	val := []byte("value-payload-0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k-%d", i%1024), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterR1Put(b *testing.B) { benchClusterPut(b, 1) }
+func BenchmarkClusterR2Put(b *testing.B) { benchClusterPut(b, 2) }
+
+func benchClusterGet(b *testing.B, rf int) {
+	cl := newBenchCluster(b, rf)
+	for i := 0; i < 1024; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k-%d", i), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Get(fmt.Sprintf("k-%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterR1Get(b *testing.B) { benchClusterGet(b, 1) }
+func BenchmarkClusterR2Get(b *testing.B) { benchClusterGet(b, 2) }
+
+func benchClusterLock(b *testing.B, rf int) {
+	cl := newBenchCluster(b, rf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("L-%d", i%64)
+		if err := cl.TryLock(name, "owner", time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Unlock(name, "owner"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterR1Lock(b *testing.B) { benchClusterLock(b, 1) }
+func BenchmarkClusterR2Lock(b *testing.B) { benchClusterLock(b, 2) }
+
+// BenchmarkClusterFailoverBlip is one fixed-duration experiment (run with
+// -benchtime 1x): a single writer streams puts against an R=2 cluster, one
+// node is killed mid-stream, and the metrics report the availability blip —
+// the longest gap between two consecutive acknowledged writes — plus how
+// many operations failed outright (target: none; the router retries
+// through the failover).
+func BenchmarkClusterFailoverBlip(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		cl, err := NewReplicated(3, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := []byte("value-payload-0123456789")
+		var (
+			failed  int
+			acked   int
+			maxGap  time.Duration
+			lastAck = time.Now()
+		)
+		start := time.Now()
+		crashed := false
+		for i := 0; time.Since(start) < 1200*time.Millisecond; i++ {
+			if !crashed && time.Since(start) > 200*time.Millisecond {
+				if err := cl.CrashNode(cl.Addrs()[0]); err != nil {
+					b.Fatal(err)
+				}
+				crashed = true
+			}
+			if _, err := cl.Put(fmt.Sprintf("k-%d", i%1024), val); err != nil {
+				failed++
+				continue
+			}
+			acked++
+			now := time.Now()
+			if gap := now.Sub(lastAck); gap > maxGap {
+				maxGap = gap
+			}
+			lastAck = now
+		}
+		cl.Close()
+		b.ReportMetric(float64(maxGap.Microseconds())/1000.0, "blip-ms")
+		b.ReportMetric(float64(failed), "failed-ops")
+		b.ReportMetric(float64(acked), "acked-ops")
+	}
+}

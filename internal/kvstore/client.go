@@ -173,6 +173,37 @@ func (c *Client) Import(entries map[string]Versioned) error {
 	return c.call("Import", importReq{Entries: entries}, &rep)
 }
 
+// ExportLocks snapshots unexpired lock leases with the prefix (owner,
+// absolute expiry and sequence intact) — the lock-table counterpart of
+// Export, used by shard migration.
+func (c *Client) ExportLocks(prefix string) (map[string]LockInfo, error) {
+	var rep exportLocksReply
+	if err := c.call("ExportLocks", exportLocksReq{Prefix: prefix}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Locks, nil
+}
+
+// ImportLocks installs lock leases (used by shard migration).
+func (c *Client) ImportLocks(locks map[string]LockInfo) error {
+	var rep importLocksReply
+	return c.call("ImportLocks", importLocksReq{Locks: locks}, &rep)
+}
+
+// replicate forwards one write's resulting state to a backup. It uses a
+// timeout much shorter than ordinary calls so a hung backup costs the
+// primary one bounded stall, not one per acknowledged write.
+func (c *Client) replicate(r replReq) error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	var rep replReply
+	if err := conn.CallDecode(ServiceName, "Replicate", r, &rep, replicateTimeout); err != nil {
+		return unwireError(err)
+	}
+	return nil
+}
+
 // Convenience typed accessors used by core.State (the preprocessor-
 // generated Store.get/Store.put calls of Fig. 6 in the paper).
 

@@ -3,52 +3,99 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"elasticrmi/internal/route"
 	"elasticrmi/internal/simclock"
+	"elasticrmi/internal/transport"
 )
 
-// Cluster is a sharded deployment of store nodes with a client-side router.
-// Keys (and lock names) are partitioned across the current node set by the
-// same consistent-hash ring the routing layer uses (internal/route), so
-// adding a node moves only the ~1/n of the keyspace the new node takes
-// over — ownership between existing nodes never changes. Nodes can be
-// added online ("ElasticRMI may add additional nodes to HyperDex as
-// necessary", §4.2): AddNode migrates the keys whose ownership moves to
-// the new node before making it visible to routing, so per-key strong
-// consistency is preserved (single owner per key at all times from the
-// router's point of view).
+// ErrUnavailable is returned when every replica of a key's shard is
+// unreachable (or the cluster has no nodes left to promote). Callers that
+// can wait — core.State field access, lock acquisition — retry on it.
+var ErrUnavailable = errors.New("kvstore: shard unavailable")
+
+// Cluster is a sharded, replicated deployment of store nodes with a
+// client-side router. Keys (and lock names) are partitioned across the
+// node set by the same consistent-hash ring the routing layer uses
+// (internal/route); with replication factor R every key lives on the R
+// successor nodes of its hash (route.Ring.Owners) — the first is the
+// primary all operations are routed to, the rest are backups the primary
+// synchronously forwards to before acknowledging.
+//
+// Membership is elastic in both directions. AddNode brings a node up and
+// migrates the shards (data and unexpired lock leases) whose ownership
+// moves; RemoveNode is the planned departure — the victim's shards are
+// handed off before it leaves, so nothing is lost even at R=1. A crashed
+// node is detected by the router on the first failed operation: with R>1
+// the dead node is dropped from the ring, the next replica of each
+// affected key is promoted, surviving state is re-replicated to restore R,
+// and the failed operation retries transparently. Node identity (UID) is a
+// monotonic per-cluster counter, never a slice index, so ring identity
+// cannot alias across membership changes.
+//
+// Membership changes hold the cluster's write gate: in-flight operations
+// finish first, operations issued during a change wait it out (the bounded
+// failover stall), and every operation otherwise observes exactly one
+// owner per key.
 type Cluster struct {
 	clock simclock.Clock
+	rf    int // desired replication factor (effective: min(rf, nodes))
 
-	mu      sync.Mutex
-	servers []*Server
-	clients []*Client
-	ring    *route.Ring // over servers/clients by index, rebuilt on AddNode
+	mu      sync.RWMutex // ops hold R; membership changes hold W
+	nodes   []*clusterNode
+	nextUID int64
+	epoch   uint64
+	table   route.Table
+	ring    *route.Ring
 	closed  bool
+
+	repairMu  sync.Mutex
+	repairing map[string]bool // replication repairs in flight, by accused addr
 }
 
-// NewCluster starts n store nodes on loopback.
+type clusterNode struct {
+	srv  *Server
+	cli  *Client
+	addr string
+	uid  int64
+}
+
+// NewCluster starts n single-copy (R=1) store nodes on loopback.
 func NewCluster(n int, clock simclock.Clock) (*Cluster, error) {
+	return NewReplicated(n, 1, clock)
+}
+
+// NewReplicated starts n store nodes with replication factor rf: every
+// key (and lock) is kept on min(rf, nodes) replicas, and the cluster
+// survives the loss of up to rf-1 of a shard's replicas without losing
+// acknowledged writes or held locks.
+func NewReplicated(n, rf int, clock simclock.Clock) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("kvstore cluster: need at least 1 node, got %d", n)
+	}
+	if rf < 1 {
+		rf = 1
 	}
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	c := &Cluster{clock: clock}
+	c := &Cluster{clock: clock, rf: rf}
 	for i := 0; i < n; i++ {
-		if err := c.addNodeLocked(); err != nil {
+		if err := c.startNodeLocked(); err != nil {
 			c.Close()
 			return nil, err
 		}
 	}
+	c.rebuildViewLocked()
 	return c, nil
 }
 
-func (c *Cluster) addNodeLocked() error {
+// startNodeLocked boots one node with a fresh stable UID. The caller must
+// rebuild the view afterwards.
+func (c *Cluster) startNodeLocked() error {
 	srv, err := NewServer("127.0.0.1:0", c.clock)
 	if err != nil {
 		return err
@@ -58,149 +105,636 @@ func (c *Cluster) addNodeLocked() error {
 		srv.Close()
 		return err
 	}
-	c.servers = append(c.servers, srv)
-	c.clients = append(c.clients, cli)
-	c.ring = c.buildRingLocked()
+	uid := c.nextUID
+	c.nextUID++
+	srv.OnReplFailure(c.handleReplFailure)
+	c.nodes = append(c.nodes, &clusterNode{srv: srv, cli: cli, addr: srv.Addr(), uid: uid})
 	return nil
 }
 
-// buildRingLocked derives the ownership ring from the current node set.
-// Node identity is the server address, so the ring is stable across
-// rebuilds and every client deriving it agrees on placement.
-func (c *Cluster) buildRingLocked() *route.Ring {
-	t := route.Table{Members: make([]route.Member, len(c.servers))}
-	for i, s := range c.servers {
-		t.Members[i] = route.Member{Addr: s.Addr(), UID: int64(i), Weight: route.DefaultWeight}
+// handleReplFailure closes the replication loop when a primary fails a
+// forward to a backup: without it, the suspect backup silently serves no
+// replica (writes keep being acknowledged at reduced redundancy) until the
+// next membership change. The accused node is probed — if unreachable it
+// is failed over like any observed death; if it answers (a transient
+// timeout), the view is reinstalled (clearing suspicions) and a rebalance
+// re-syncs every write the backup missed, restoring R. One repair runs per
+// accused address at a time.
+func (c *Cluster) handleReplFailure(addr string) {
+	c.repairMu.Lock()
+	if c.repairing == nil {
+		c.repairing = make(map[string]bool)
 	}
-	return route.BuildRing(t)
+	if c.repairing[addr] {
+		c.repairMu.Unlock()
+		return
+	}
+	c.repairing[addr] = true
+	c.repairMu.Unlock()
+	defer func() {
+		c.repairMu.Lock()
+		delete(c.repairing, addr)
+		c.repairMu.Unlock()
+	}()
+
+	c.mu.RLock()
+	var accused *clusterNode
+	for _, n := range c.nodes {
+		if n.addr == addr {
+			accused = n
+			break
+		}
+	}
+	closed := c.closed
+	c.mu.RUnlock()
+	if accused == nil || closed {
+		return
+	}
+	if c.probeDead(accused) {
+		c.failNode(accused.uid)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.rebuildViewLocked()
+	_ = c.rebalanceLocked(nil, nil)
+}
+
+// effRF is the effective replication factor for the current node count.
+func (c *Cluster) effRF() int {
+	if len(c.nodes) < c.rf {
+		return len(c.nodes)
+	}
+	return c.rf
+}
+
+// rebuildViewLocked derives a new epoch-stamped table and ring from the
+// current node set and installs it on every node (so primaries know their
+// backups).
+func (c *Cluster) rebuildViewLocked() {
+	c.epoch++
+	t := route.Table{Epoch: c.epoch, Members: make([]route.Member, len(c.nodes))}
+	for i, n := range c.nodes {
+		t.Members[i] = route.Member{Addr: n.addr, UID: n.uid, Weight: route.DefaultWeight}
+	}
+	c.table = t
+	c.ring = route.BuildRing(t)
+	eff := c.effRF()
+	for _, n := range c.nodes {
+		n.srv.SetView(t, eff)
+	}
 }
 
 // Nodes returns the number of nodes.
 func (c *Cluster) Nodes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.clients)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
 }
+
+// ReplicationFactor returns the configured replication factor.
+func (c *Cluster) ReplicationFactor() int { return c.rf }
 
 // Addrs returns the node addresses.
 func (c *Cluster) Addrs() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, len(c.servers))
-	for i, s := range c.servers {
-		out[i] = s.Addr()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.addr
 	}
 	return out
 }
 
-func (c *Cluster) route(key string) *Client {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.clients[c.ring.Owner(key)]
+// Table returns the current epoch-stamped routing view.
+func (c *Cluster) Table() route.Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table.Clone()
 }
 
-// Get fetches key from its owning node.
-func (c *Cluster) Get(key string) (Versioned, error) { return c.route(key).Get(key) }
+// isUnavailable classifies an operation error: true for transport-level
+// failures (dead connection, timeout, dial refusal) that failover can
+// cure, false for application results (sentinel errors, remote errors) and
+// for admission refusals (the node is alive, just busy).
+func isUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, sentinel := range []error{ErrNotFound, ErrCASMismatch, ErrLockHeld, ErrNotLockOwner} {
+		if errors.Is(err, sentinel) {
+			return false
+		}
+	}
+	if errors.Is(err, transport.ErrOverloaded) || errors.Is(err, transport.ErrExpired) {
+		return false
+	}
+	var remote *transport.RemoteError
+	return !errors.As(err, &remote)
+}
 
-// Put stores value at key on its owning node.
-func (c *Cluster) Put(key string, value []byte) (uint64, error) { return c.route(key).Put(key, value) }
+// run routes one operation to the primary of key's shard, holding the read
+// gate across the call so membership changes serialize against in-flight
+// operations. On a transport-level failure with R>1 it reports the node
+// dead (dropping it from the ring and promoting backups) and retries on
+// the new primary; the per-operation attempt budget is rf+1, after which
+// ErrUnavailable surfaces to the caller.
+func (c *Cluster) run(key string, op func(cli *Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.rf; attempt++ {
+		c.mu.RLock()
+		if c.closed {
+			c.mu.RUnlock()
+			return errors.New("kvstore cluster: closed")
+		}
+		idx := c.ring.Owner(key)
+		if idx < 0 {
+			c.mu.RUnlock()
+			return fmt.Errorf("kvstore cluster: no owner for %q: %w", key, ErrUnavailable)
+		}
+		n := c.nodes[idx]
+		err := op(n.cli)
+		c.mu.RUnlock()
+		if err == nil || !isUnavailable(err) {
+			return err
+		}
+		lastErr = err
+		if c.rf <= 1 {
+			// Single-copy deployment: there is no replica to promote, so
+			// surface the failure instead of silently re-routing to a node
+			// that cannot have the data.
+			return err
+		}
+		// Double-check before executing the node: one slow reply (a pause,
+		// a queue hiccup) must not destroy a healthy replica. A node that
+		// answers the probe keeps its place and the operation just retries.
+		if c.probeDead(n) {
+			c.failNode(n.uid)
+		}
+	}
+	return fmt.Errorf("kvstore cluster: all replicas failed (last: %v): %w", lastErr, ErrUnavailable)
+}
+
+// probeDead reports whether an accused node is provably unreachable, via a
+// cheap read (a live node answers ErrNotFound). Used before every
+// destructive failover decision so timeouts against healthy-but-slow nodes
+// stay transient.
+func (c *Cluster) probeDead(n *clusterNode) bool {
+	_, err := n.cli.Get("\x00liveness-probe")
+	return isUnavailable(err)
+}
+
+// Get fetches key from its shard's primary.
+func (c *Cluster) Get(key string) (v Versioned, err error) {
+	err = c.run(key, func(cli *Client) error { v, err = cli.Get(key); return err })
+	return v, err
+}
+
+// Put stores value at key.
+func (c *Cluster) Put(key string, value []byte) (ver uint64, err error) {
+	err = c.run(key, func(cli *Client) error { ver, err = cli.Put(key, value); return err })
+	return ver, err
+}
 
 // Delete removes key.
-func (c *Cluster) Delete(key string) error { return c.route(key).Delete(key) }
+func (c *Cluster) Delete(key string) error {
+	return c.run(key, func(cli *Client) error { return cli.Delete(key) })
+}
 
 // CompareAndSwap conditionally replaces key.
-func (c *Cluster) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, error) {
-	return c.route(key).CompareAndSwap(key, value, expectVersion)
+func (c *Cluster) CompareAndSwap(key string, value []byte, expectVersion uint64) (ver uint64, err error) {
+	err = c.run(key, func(cli *Client) error {
+		ver, err = cli.CompareAndSwap(key, value, expectVersion)
+		return err
+	})
+	return ver, err
 }
 
 // AddInt64 atomically adds delta to the integer at key.
-func (c *Cluster) AddInt64(key string, delta int64) (int64, error) {
-	return c.route(key).AddInt64(key, delta)
+func (c *Cluster) AddInt64(key string, delta int64) (v int64, err error) {
+	err = c.run(key, func(cli *Client) error { v, err = cli.AddInt64(key, delta); return err })
+	return v, err
 }
 
 // GetString fetches key as a string ("" when missing).
-func (c *Cluster) GetString(key string) (string, error) { return c.route(key).GetString(key) }
+func (c *Cluster) GetString(key string) (s string, err error) {
+	err = c.run(key, func(cli *Client) error { s, err = cli.GetString(key); return err })
+	return s, err
+}
 
 // PutString stores a string.
-func (c *Cluster) PutString(key, value string) error { return c.route(key).PutString(key, value) }
+func (c *Cluster) PutString(key, value string) error {
+	return c.run(key, func(cli *Client) error { return cli.PutString(key, value) })
+}
 
 // GetInt64 fetches key as an int64 (0 when missing).
-func (c *Cluster) GetInt64(key string) (int64, error) { return c.route(key).GetInt64(key) }
+func (c *Cluster) GetInt64(key string) (v int64, err error) {
+	err = c.run(key, func(cli *Client) error { v, err = cli.GetInt64(key); return err })
+	return v, err
+}
 
 // PutInt64 stores an int64.
-func (c *Cluster) PutInt64(key string, value int64) error { return c.route(key).PutInt64(key, value) }
+func (c *Cluster) PutInt64(key string, value int64) error {
+	return c.run(key, func(cli *Client) error { return cli.PutInt64(key, value) })
+}
 
 // TryLock acquires the named lock on the shard owning the name.
 func (c *Cluster) TryLock(name, owner string, lease time.Duration) error {
-	return c.route("lock/"+name).TryLock(name, owner, lease)
+	return c.run(lockRouteKey(name), func(cli *Client) error {
+		return cli.TryLock(name, owner, lease)
+	})
 }
 
 // Unlock releases the named lock.
 func (c *Cluster) Unlock(name, owner string) error {
-	return c.route("lock/"+name).Unlock(name, owner)
+	return c.run(lockRouteKey(name), func(cli *Client) error {
+		return cli.Unlock(name, owner)
+	})
 }
 
-// Keys lists all keys with the prefix across all shards.
+// Keys lists all keys with the prefix across all shards. Replicas make a
+// key visible on several nodes, so the union is deduplicated. Like keyed
+// operations, the scan fails over: a dead node is dropped and the scan
+// retried against the promoted replicas.
 func (c *Cluster) Keys(prefix string) ([]string, error) {
-	c.mu.Lock()
-	clients := make([]*Client, len(c.clients))
-	copy(clients, c.clients)
-	c.mu.Unlock()
-	var out []string
-	for _, cl := range clients {
-		ks, err := cl.Keys(prefix)
-		if err != nil {
+	var lastErr error
+	for attempt := 0; attempt <= c.rf; attempt++ {
+		keys, badUID, err := c.keysOnce(prefix)
+		if err == nil {
+			return keys, nil
+		}
+		if c.rf <= 1 || !isUnavailable(err) {
 			return nil, err
 		}
-		out = append(out, ks...)
+		lastErr = err
+		c.mu.RLock()
+		var bad *clusterNode
+		for _, n := range c.nodes {
+			if n.uid == badUID {
+				bad = n
+				break
+			}
+		}
+		c.mu.RUnlock()
+		if bad != nil && c.probeDead(bad) {
+			c.failNode(badUID)
+		}
 	}
-	return out, nil
+	return nil, fmt.Errorf("kvstore cluster: keys scan failed (last: %v): %w", lastErr, ErrUnavailable)
 }
 
-// AddNode brings up one more store node and migrates to it every key whose
-// hash ownership moves under the enlarged node set. Routing switches to the
-// new layout only after migration completes.
+// keysOnce scans every node under the read gate; on failure it reports the
+// failing node's UID for failover.
+func (c *Cluster) keysOnce(prefix string) ([]string, int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, 0, errors.New("kvstore cluster: closed")
+	}
+	seen := make(map[string]struct{})
+	for _, n := range c.nodes {
+		ks, err := n.cli.Keys(prefix)
+		if err != nil {
+			return nil, n.uid, err
+		}
+		for _, k := range ks {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, 0, nil
+}
+
+// AddNode brings up one more store node, installs the enlarged view, and
+// migrates to every node the shards (data and unexpired lock leases) its
+// new replica sets assign it. Routing switches to the new layout before
+// the migration runs, but the whole change holds the write gate, so no
+// operation ever observes a half-migrated layout.
 func (c *Cluster) AddNode() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return errors.New("kvstore cluster: closed")
 	}
-	oldN := len(c.clients)
-	if err := c.addNodeLocked(); err != nil {
+	if err := c.startNodeLocked(); err != nil {
 		return err
 	}
-	ring := c.ring
-	// Consistent hashing moves ownership only onto the new node (existing
-	// nodes' ring points are unchanged), so each old node exports exactly
-	// the keys whose arcs the newcomer took over — ~1/n of the keyspace in
-	// total, not a full reshuffle.
-	for i := 0; i < oldN; i++ {
-		entries, err := c.clients[i].Export("")
-		if err != nil {
-			return fmt.Errorf("migrate from node %d: %w", i, err)
+	c.rebuildViewLocked()
+	return c.rebalanceLocked(nil, nil)
+}
+
+// RemoveNode is the planned departure of the node at addr: its shards —
+// data with versions and unexpired lock leases with owners and absolute
+// expiries — are handed off to the shrunken ring's owners before the node
+// is shut down, so planned scale-in loses nothing even at R=1.
+func (c *Cluster) RemoveNode(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("kvstore cluster: closed")
+	}
+	if len(c.nodes) == 1 {
+		return errors.New("kvstore cluster: cannot remove the last node")
+	}
+	idx := -1
+	for i, n := range c.nodes {
+		if n.addr == addr {
+			idx = i
+			break
 		}
-		perTarget := make(map[int]map[string]Versioned)
-		for k, v := range entries {
-			owner := ring.Owner(k)
-			if owner == i {
+	}
+	if idx < 0 {
+		return fmt.Errorf("kvstore cluster: no node %s", addr)
+	}
+	victim := c.nodes[idx]
+	// Snapshot the victim while it is still serving. If it is already dead
+	// this degrades to the crash path: replicas (R>1) cover its shards.
+	extraData, derr := victim.cli.Export("")
+	extraLocks, lerr := victim.cli.ExportLocks("")
+	if derr != nil || lerr != nil {
+		extraData, extraLocks = nil, nil
+	}
+	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	c.rebuildViewLocked()
+	err := c.rebalanceLocked(extraData, extraLocks)
+	victim.cli.Close()
+	victim.srv.Close()
+	return err
+}
+
+// CrashNode abruptly kills the node at addr — listener and connections
+// closed, no handoff, membership left untouched — to simulate an
+// unplanned failure. The router discovers the loss on the next operation
+// that touches one of the victim's shards and fails over.
+func (c *Cluster) CrashNode(addr string) error {
+	c.mu.RLock()
+	var victim *clusterNode
+	for _, n := range c.nodes {
+		if n.addr == addr {
+			victim = n
+			break
+		}
+	}
+	c.mu.RUnlock()
+	if victim == nil {
+		return fmt.Errorf("kvstore cluster: no node %s", addr)
+	}
+	return victim.srv.Close()
+}
+
+// failNode handles an observed node death: drop it from the membership,
+// promote the next replica of each of its shards (rebuild + reinstall the
+// view), and re-replicate surviving state to restore R. Idempotent per
+// UID — concurrent observers of the same death collapse to one removal.
+func (c *Cluster) failNode(uid int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	idx := -1
+	for i, n := range c.nodes {
+		if n.uid == uid {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(c.nodes) == 1 {
+		return // already handled, or nothing left to promote
+	}
+	victim := c.nodes[idx]
+	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	victim.cli.Close()
+	victim.srv.Close()
+	c.rebuildViewLocked()
+	// Repair is best-effort here: the promoted replicas already hold every
+	// acknowledged write, and a failed repair just means a later membership
+	// change redoes it.
+	_ = c.rebalanceLocked(nil, nil)
+}
+
+// rebalanceLocked moves the cluster to the placement the current ring
+// prescribes: every key and lock lives on exactly its min(rf, nodes)
+// owners, at the newest version/sequence any node (or the extra snapshot
+// of a departing node) holds. Runs under the write gate, so it never races
+// an operation; bulk transfers go through Import/ImportLocks/Replicate,
+// which apply directly and never re-forward.
+//
+// Snapshots are full per-node exports (as the pre-replication migration's
+// were) while actual transfers are only the moved/missing/outdated
+// entries, so network cost tracks the churn, not the keyspace. The export
+// and the merge are O(total data) on the router, though — an incremental
+// per-arc transfer (export only the hash ranges whose owner sets changed)
+// is the known next step if membership changes under large keyspaces
+// become frequent.
+func (c *Cluster) rebalanceLocked(extraData map[string]Versioned, extraLocks map[string]LockInfo) error {
+	// Snapshot every source. A node that fails its export is probed: if
+	// provably dead (a lingering crash nobody has routed to yet) it is
+	// pruned from the membership and the snapshot restarts — exactly what
+	// failover would do, without wedging a planned membership change behind
+	// it. A node that is merely slow makes the whole change fail fast
+	// (exportFailed) rather than silently dropping its keys from the
+	// authoritative merge.
+	var (
+		perData      []map[string]Versioned
+		perLocks     []map[string]LockInfo
+		reached      []bool
+		exportFailed bool
+	)
+snapshot:
+	for {
+		perData = make([]map[string]Versioned, len(c.nodes))
+		perLocks = make([]map[string]LockInfo, len(c.nodes))
+		reached = make([]bool, len(c.nodes))
+		exportFailed = false
+		for i, nd := range c.nodes {
+			d, derr := nd.cli.Export("")
+			l, lerr := nd.cli.ExportLocks("")
+			if derr == nil && lerr == nil {
+				perData[i], perLocks[i], reached[i] = d, l, true
 				continue
 			}
-			if perTarget[owner] == nil {
-				perTarget[owner] = make(map[string]Versioned)
+			if len(c.nodes) > 1 && c.probeDead(nd) {
+				c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+				nd.cli.Close()
+				nd.srv.Close()
+				c.rebuildViewLocked()
+				continue snapshot
 			}
-			perTarget[owner][k] = v
+			exportFailed = true
 		}
-		for owner, moving := range perTarget {
-			if err := c.clients[owner].Import(moving); err != nil {
-				return fmt.Errorf("import to node %d: %w", owner, err)
-			}
-			for k := range moving {
-				if err := c.clients[i].Delete(k); err != nil {
-					return fmt.Errorf("cleanup node %d: %w", i, err)
-				}
+		break
+	}
+	eff := c.effRF()
+	n := len(c.nodes)
+
+	// Authoritative merged state: newest version / sequence wins.
+	data := make(map[string]Versioned)
+	for k, v := range extraData {
+		data[k] = v
+	}
+	for i := range c.nodes {
+		for k, v := range perData[i] {
+			if cur, ok := data[k]; !ok || v.Version > cur.Version {
+				data[k] = v
 			}
 		}
+	}
+	locks := make(map[string]LockInfo)
+	for name, info := range extraLocks {
+		locks[name] = info
+	}
+	for i := range c.nodes {
+		for name, info := range perLocks[i] {
+			if cur, ok := locks[name]; !ok || info.Seq > cur.Seq {
+				locks[name] = info
+			}
+		}
+	}
+
+	type plan struct {
+		imports     map[string]Versioned
+		lockImports map[string]LockInfo
+		dels        []string
+		lockDrops   []string
+	}
+	plans := make([]plan, n)
+	for k, v := range data {
+		owners := c.ring.Owners(k, eff)
+		ownerSet := make(map[int]bool, len(owners))
+		for _, o := range owners {
+			ownerSet[o] = true
+			cur, held := perData[o][k]
+			if reached[o] && held && cur.Version >= v.Version {
+				continue
+			}
+			if plans[o].imports == nil {
+				plans[o].imports = make(map[string]Versioned)
+			}
+			plans[o].imports[k] = v
+		}
+		for i := range c.nodes {
+			if _, held := perData[i][k]; held && !ownerSet[i] {
+				plans[i].dels = append(plans[i].dels, k)
+			}
+		}
+	}
+	for name, info := range locks {
+		owners := c.ring.Owners(lockRouteKey(name), eff)
+		ownerSet := make(map[int]bool, len(owners))
+		for _, o := range owners {
+			ownerSet[o] = true
+			cur, held := perLocks[o][name]
+			if reached[o] && held && cur.Seq >= info.Seq {
+				continue
+			}
+			if plans[o].lockImports == nil {
+				plans[o].lockImports = make(map[string]LockInfo)
+			}
+			plans[o].lockImports[name] = info
+		}
+		for i := range c.nodes {
+			if _, held := perLocks[i][name]; held && !ownerSet[i] {
+				plans[i].lockDrops = append(plans[i].lockDrops, name)
+			}
+		}
+	}
+
+	// Apply imports first. A target that fails (e.g. a crashed node whose
+	// death no operation has observed yet) is skipped, not fatal: its
+	// shards stay covered by the other owners, and the next membership
+	// change repairs it — or the router's failover drops it for good.
+	importFailed := make([]bool, n)
+	for i, p := range plans {
+		cli := c.nodes[i].cli
+		if len(p.imports) > 0 {
+			if err := cli.Import(p.imports); err != nil {
+				importFailed[i] = true
+				continue
+			}
+		}
+		if len(p.lockImports) > 0 {
+			if err := cli.ImportLocks(p.lockImports); err != nil {
+				importFailed[i] = true
+			}
+		}
+	}
+	anyFailed := false
+	for _, f := range importFailed {
+		anyFailed = anyFailed || f
+	}
+	if !anyFailed {
+		// Cleanup of off-owner copies runs only after every planned import
+		// landed: deleting a source copy while a destination copy failed to
+		// materialize could orphan a key. Cleanup failures are benign —
+		// extra copies never win over newer owner state (version/sequence
+		// gates) and the next rebalance re-cleans.
+		for i, p := range plans {
+			if len(p.dels) > 0 || len(p.lockDrops) > 0 {
+				_ = c.nodes[i].cli.replicate(replReq{Dels: p.dels, LockDrops: p.lockDrops})
+			}
+		}
+		return c.rebalanceResult(exportFailed)
+	}
+	// Redundancy audit: the change is an error only if some key or lock
+	// ended up with zero live replicas among its owners.
+	placedData := func(k string, v Versioned) bool {
+		for _, o := range c.ring.Owners(k, eff) {
+			if importFailed[o] {
+				continue
+			}
+			if _, planned := plans[o].imports[k]; planned {
+				return true
+			}
+			if cur, held := perData[o][k]; reached[o] && held && cur.Version >= v.Version {
+				return true
+			}
+		}
+		return false
+	}
+	placedLock := func(name string, info LockInfo) bool {
+		for _, o := range c.ring.Owners(lockRouteKey(name), eff) {
+			if importFailed[o] {
+				continue
+			}
+			if _, planned := plans[o].lockImports[name]; planned {
+				return true
+			}
+			if cur, held := perLocks[o][name]; reached[o] && held && cur.Seq >= info.Seq {
+				return true
+			}
+		}
+		return false
+	}
+	for k, v := range data {
+		if !placedData(k, v) {
+			return fmt.Errorf("rebalance: key %q has no live replica: %w", k, ErrUnavailable)
+		}
+	}
+	for name, info := range locks {
+		if !placedLock(name, info) {
+			return fmt.Errorf("rebalance: lock %q has no live replica: %w", name, ErrUnavailable)
+		}
+	}
+	return c.rebalanceResult(exportFailed)
+}
+
+// rebalanceResult surfaces a partial snapshot: a slow-but-alive node whose
+// export failed kept its keys out of the merge, so the membership change
+// must report failure (planned AddNode/RemoveNode fail fast, as the
+// pre-replication migration did) instead of leaving the gap silent. No
+// destructive step has touched the unmerged keys — cleanup only ever
+// removes copies of keys present in the merge.
+func (c *Cluster) rebalanceResult(exportFailed bool) error {
+	if exportFailed {
+		return fmt.Errorf("kvstore cluster: rebalance incomplete, a node failed its export: %w", ErrUnavailable)
 	}
 	return nil
 }
@@ -213,11 +747,11 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	for _, cl := range c.clients {
-		cl.Close()
+	for _, n := range c.nodes {
+		n.cli.Close()
 	}
-	for _, s := range c.servers {
-		s.Close()
+	for _, n := range c.nodes {
+		n.srv.Close()
 	}
 }
 

@@ -3,8 +3,12 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"elasticrmi/internal/route"
 	"elasticrmi/internal/simclock"
 	"elasticrmi/internal/transport"
 )
@@ -55,7 +59,28 @@ type (
 	exportReply struct{ Entries map[string]Versioned }
 	importReq   struct{ Entries map[string]Versioned }
 	importReply struct{}
+	// exportLocksReq/importLocksReq migrate the lock table alongside the
+	// data; replReq carries primary→backup write deltas and rebalance
+	// cleanup directives.
+	exportLocksReq   struct{ Prefix string }
+	exportLocksReply struct{ Locks map[string]LockInfo }
+	importLocksReq   struct{ Locks map[string]LockInfo }
+	importLocksReply struct{}
+	replReq          struct {
+		Entries map[string]Versioned // write deltas: live values and deletion tombstones
+		Locks   map[string]LockInfo
+		// Dels/LockDrops hard-remove state (history included) from a node
+		// leaving a shard's replica set — rebalance cleanup only, never a
+		// client-visible delete (those travel as tombstoned Entries).
+		Dels      []string
+		LockDrops []string
+	}
+	replReply struct{}
 )
+
+// lockRouteKey is the routing key of a named lock: locks shard (and
+// replicate) over the same ring as data, under a reserved prefix.
+func lockRouteKey(name string) string { return "lock/" + name }
 
 // Error codes used on the wire.
 const (
@@ -99,10 +124,54 @@ func unwireError(err error) error {
 	}
 }
 
-// Server exposes a Store over the transport protocol.
+// replStripes is the number of per-key ordering stripes. A stripe mutex is
+// held across local-apply + backup-forward of each write, so replication
+// deltas for one key reach a backup in apply order (two stripes never
+// conflict semantically — a collision just serializes two unrelated keys).
+const replStripes = 64
+
+// replicateTimeout bounds one primary→backup forward. It is deliberately
+// much shorter than the client call timeout: a hung backup costs writers
+// one bounded stall before it is marked suspect, not a stall per write.
+const replicateTimeout = 2 * time.Second
+
+// Server exposes a Store over the transport protocol. When a cluster view
+// is installed (SetView) the server is replication-aware: it is the
+// primary for the keys whose replica set it heads and synchronously
+// forwards every local write's resulting state to the key's backups
+// before acknowledging.
 type Server struct {
 	store *Store
 	srv   *transport.Server
+
+	viewMu   sync.Mutex
+	rf       int
+	ring     *route.Ring
+	members  []route.Member
+	links    map[string]*Client // replication clients by member addr
+	suspects map[string]bool    // backups that failed a forward; skipped until the next view
+
+	forwards    atomic.Uint64 // successful backup forwards
+	forwardErrs atomic.Uint64 // forwards lost to suspect/failed backups
+
+	// onReplFailure, when set, is invoked (asynchronously, once per
+	// suspicion transition) with the address of a backup that failed a
+	// forward. The cluster router uses it to close the replication loop:
+	// probe the accused node, then either fail it over (dead) or reinstall
+	// the view and re-sync the writes it missed (transient) — without it a
+	// suspect backup would silently degrade R until the next membership
+	// change.
+	onReplFailure func(addr string)
+
+	stripes [replStripes]sync.Mutex
+}
+
+// OnReplFailure installs the replication-failure callback. Call before the
+// server participates in a replicated view.
+func (s *Server) OnReplFailure(fn func(addr string)) {
+	s.viewMu.Lock()
+	s.onReplFailure = fn
+	s.viewMu.Unlock()
 }
 
 // NewServer starts a store server on addr (":0" for any free port).
@@ -122,8 +191,130 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 // Store exposes the underlying engine (used in tests and by migration).
 func (s *Server) Store() *Store { return s.store }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down and releases its replication links.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.viewMu.Lock()
+	links := s.links
+	s.links = nil
+	s.ring = nil
+	s.viewMu.Unlock()
+	for _, cli := range links {
+		cli.Close()
+	}
+	return err
+}
+
+// SetView installs the cluster's routing view on this node: the member
+// table, the replication factor, and dialed links to the peers this node
+// may need to forward to. The cluster router calls it on every membership
+// change; installing a view clears backup suspicions (a repaired view is
+// the signal a formerly failed peer is gone or healthy again). A server
+// without a view (or with rf <= 1) replicates nothing.
+func (s *Server) SetView(t route.Table, rf int) {
+	var ring *route.Ring
+	if rf > 1 {
+		ring = route.BuildRing(t)
+	}
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	if s.links == nil {
+		s.links = make(map[string]*Client)
+	}
+	s.rf = rf
+	s.ring = ring
+	s.members = t.Members
+	s.suspects = make(map[string]bool)
+	// Drop links to departed members, dial links to new ones.
+	current := make(map[string]bool, len(t.Members))
+	for _, m := range t.Members {
+		current[m.Addr] = true
+	}
+	for addr, cli := range s.links {
+		if !current[addr] {
+			cli.Close()
+			delete(s.links, addr)
+		}
+	}
+	if rf <= 1 {
+		return
+	}
+	self := s.Addr()
+	for _, m := range t.Members {
+		if m.Addr == self || s.links[m.Addr] != nil {
+			continue
+		}
+		cli, err := NewClient(m.Addr)
+		if err != nil {
+			s.suspects[m.Addr] = true
+			continue
+		}
+		s.links[m.Addr] = cli
+	}
+}
+
+// ReplStats reports cumulative backup forwards and forward failures.
+func (s *Server) ReplStats() (forwards, failures uint64) {
+	return s.forwards.Load(), s.forwardErrs.Load()
+}
+
+// stripeFor locks the ordering stripe of routeKey and returns its unlock.
+func (s *Server) stripeFor(routeKey string) func() {
+	h := fnv.New32a()
+	h.Write([]byte(routeKey))
+	m := &s.stripes[h.Sum32()%replStripes]
+	m.Lock()
+	return m.Unlock
+}
+
+// forward synchronously replicates one write's resulting state to the
+// backups of routeKey. It is called with routeKey's stripe held, so a
+// backup observes this key's deltas in apply order. A backup that fails a
+// forward is marked suspect and skipped until the next view install — the
+// write is still acknowledged (availability over strict R; the router's
+// next repair restores the replica).
+func (s *Server) forward(routeKey string, entries map[string]Versioned, locks map[string]LockInfo) {
+	s.viewMu.Lock()
+	ring, rf := s.ring, s.rf
+	if ring == nil || rf <= 1 {
+		s.viewMu.Unlock()
+		return
+	}
+	self := s.Addr()
+	var targets []*Client
+	var addrs []string
+	for _, idx := range ring.Owners(routeKey, rf) {
+		addr := s.members[idx].Addr
+		if addr == self || s.suspects[addr] {
+			continue
+		}
+		if cli := s.links[addr]; cli != nil {
+			targets = append(targets, cli)
+			addrs = append(addrs, addr)
+		}
+	}
+	s.viewMu.Unlock()
+	for i, cli := range targets {
+		err := cli.replicate(replReq{Entries: entries, Locks: locks})
+		if err != nil {
+			s.forwardErrs.Add(1)
+			s.viewMu.Lock()
+			newlySuspect := s.suspects != nil && !s.suspects[addrs[i]]
+			if s.suspects != nil {
+				s.suspects[addrs[i]] = true
+			}
+			hook := s.onReplFailure
+			s.viewMu.Unlock()
+			if newlySuspect && hook != nil {
+				// Asynchronous: the stripe is held and the repair needs the
+				// cluster's membership gate.
+				go hook(addrs[i])
+			}
+			continue
+		}
+		s.forwards.Add(1)
+	}
+}
 
 func (s *Server) handle(req *transport.Request) ([]byte, error) {
 	if req.Service != ServiceName {
@@ -145,21 +336,33 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
+		unlock := s.stripeFor(r.Key)
 		ver := s.store.Put(r.Key, r.Val)
+		s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
+		unlock()
 		return transport.Encode(putReply{Version: ver})
 	case "Delete":
 		var r delReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
-		s.store.Delete(r.Key)
+		unlock := s.stripeFor(r.Key)
+		if tomb, ok := s.store.DeleteV(r.Key); ok {
+			s.forward(r.Key, map[string]Versioned{r.Key: tomb}, nil)
+		}
+		unlock()
 		return transport.Encode(delReply{})
 	case "CAS":
 		var r casReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
+		unlock := s.stripeFor(r.Key)
 		ver, _, err := s.store.CompareAndSwap(r.Key, r.Val, r.ExpectVersion)
+		if err == nil {
+			s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
+		}
+		unlock()
 		if err != nil {
 			return nil, wireError(err)
 		}
@@ -169,7 +372,14 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
+		unlock := s.stripeFor(r.Key)
 		v, err := s.store.AddInt64(r.Key, r.Delta)
+		if err == nil {
+			if cur, gerr := s.store.Get(r.Key); gerr == nil {
+				s.forward(r.Key, map[string]Versioned{r.Key: cur}, nil)
+			}
+		}
+		unlock()
 		if err != nil {
 			return nil, wireError(err)
 		}
@@ -185,7 +395,15 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
-		if err := s.store.TryLock(r.Name, r.Owner, r.Lease); err != nil {
+		unlock := s.stripeFor(lockRouteKey(r.Name))
+		err := s.store.TryLock(r.Name, r.Owner, r.Lease)
+		if err == nil {
+			if snap, ok := s.store.LockSnapshot(r.Name); ok {
+				s.forward(lockRouteKey(r.Name), nil, map[string]LockInfo{r.Name: snap})
+			}
+		}
+		unlock()
+		if err != nil {
 			return nil, wireError(err)
 		}
 		return transport.Encode(lockReply{})
@@ -194,7 +412,15 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
-		if err := s.store.Unlock(r.Name, r.Owner); err != nil {
+		unlock := s.stripeFor(lockRouteKey(r.Name))
+		err := s.store.Unlock(r.Name, r.Owner)
+		if err == nil {
+			if snap, ok := s.store.LockSnapshot(r.Name); ok {
+				s.forward(lockRouteKey(r.Name), nil, map[string]LockInfo{r.Name: snap})
+			}
+		}
+		unlock()
+		if err != nil {
 			return nil, wireError(err)
 		}
 		return transport.Encode(unlockReply{})
@@ -208,12 +434,42 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		})
 		return transport.Encode(exportReply{Entries: entries})
 	case "Import":
+		// Bulk install during migration/repair. Applied directly, never
+		// re-forwarded: membership changes run under the cluster's write
+		// gate and the router writes every replica itself.
 		var r importReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
 		s.store.Import(r.Entries)
 		return transport.Encode(importReply{})
+	case "ExportLocks":
+		var r exportLocksReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		locks := s.store.ExportLocks(func(name string) bool {
+			return r.Prefix == "" || len(name) >= len(r.Prefix) && name[:len(r.Prefix)] == r.Prefix
+		})
+		return transport.Encode(exportLocksReply{Locks: locks})
+	case "ImportLocks":
+		var r importLocksReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.store.ImportLocks(r.Locks)
+		return transport.Encode(importLocksReply{})
+	case "Replicate":
+		// Primary→backup delta. Applied directly, never re-forwarded.
+		var r replReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.store.Import(r.Entries)
+		s.store.Drop(r.Dels)
+		s.store.ImportLocks(r.Locks)
+		s.store.DropLocks(r.LockDrops)
+		return transport.Encode(replReply{})
 	default:
 		return nil, fmt.Errorf("unknown method %q", req.Method)
 	}

@@ -3,15 +3,35 @@
 // (the role HyperDex plays in the paper, §2.2/§4.1).
 //
 // The package provides the storage engine (Store), a network server exposing
-// it over the transport protocol (Server), a client (Client), and a sharded
-// multi-node deployment with online node addition (Cluster) — the paper's
-// runtime "may add additional nodes to HyperDex as necessary" (§4.2).
+// it over the transport protocol (Server), a client (Client), and a sharded,
+// replicated multi-node deployment with online node addition and removal
+// (Cluster) — the paper's runtime "may add additional nodes to HyperDex as
+// necessary" (§4.2), and HyperDex itself replicates for fault tolerance.
 //
-// Consistency model: each key is owned by exactly one node (hash sharding),
-// and each node serializes operations on its keys, so reads observe the
-// latest completed write — the same strong per-key consistency HyperDex
-// provides. Named locks with leases implement the per-class mutual exclusion
-// that the preprocessor emits for synchronized methods (Fig. 6).
+// Consistency model: every key (and every lock name) has a replica set of R
+// nodes — the first R distinct successors of its hash on the routing ring
+// (internal/route.Ring.Owners), where R is the cluster's replication
+// factor. The first replica is the key's primary: all client operations are
+// routed to it, it serializes operations per key, and it synchronously
+// forwards the resulting state (value+version, or lock lease) to the
+// backups before acknowledging, so reads observe the latest completed write
+// and every acknowledged write exists on every reachable replica. Named
+// locks with leases implement the per-class mutual exclusion that the
+// preprocessor emits for synchronized methods (Fig. 6); lock state is
+// replicated and migrated exactly like data, so a lease held across a
+// failover, an AddNode or a RemoveNode is still held by the same owner
+// afterwards — a second acquirer keeps getting ErrLockHeld until the lease
+// expires or the owner unlocks.
+//
+// Departures come in two flavors. Planned (Cluster.RemoveNode): the
+// departing node's shards are handed off — exported with versions and
+// unexpired lock leases intact — before the node leaves the ring, so
+// nothing is lost even at R=1. Unplanned (crash): the router classifies the
+// failed operation, drops the dead node from the ring, promotes the next
+// replica of each affected key to primary, and re-replicates survivors'
+// state to restore R; with R>=2 no acknowledged write and no held lock is
+// lost, and operations retry transparently (bounded, surfacing
+// ErrUnavailable only when every replica of a key is gone).
 package kvstore
 
 import (
@@ -38,29 +58,51 @@ var (
 	ErrNotLockOwner = errors.New("kvstore: not lock owner")
 )
 
-// Versioned is a value with its monotonically increasing version.
+// Versioned is a value with its monotonically increasing version. Deleted
+// marks a deletion tombstone: readers see the key as missing, but the
+// tombstone's version keeps replicated and migrated states ordered — a
+// stale live copy on a node that missed the delete can never outrank the
+// deletion in a rebalance merge and resurrect the key. Versions are
+// monotonic across a key's whole history, deletions included (a re-created
+// key continues above its tombstone).
 type Versioned struct {
 	Value   []byte
 	Version uint64
+	Deleted bool
+}
+
+// LockInfo is the exportable state of one named lock: the holder, the
+// absolute lease expiry, and a store-local monotonic mutation sequence.
+// The sequence orders replicated lock updates (a backup installs an update
+// only if it is newer than what it already holds), so a delayed
+// re-delivery can never resurrect a released or superseded lease. An empty
+// Owner is a release tombstone.
+type LockInfo struct {
+	Owner   string
+	Expires time.Time
+	Seq     uint64
 }
 
 type entry struct {
 	value   []byte
 	version uint64
+	deleted bool
 }
 
 type lockState struct {
-	owner   string
+	owner   string // "" = released tombstone (kept for its seq)
 	expires time.Time
+	seq     uint64
 }
 
 // Store is the single-node storage engine. Safe for concurrent use.
 type Store struct {
 	clock simclock.Clock
 
-	mu    sync.Mutex
-	data  map[string]entry
-	locks map[string]lockState
+	mu      sync.Mutex
+	data    map[string]entry
+	locks   map[string]lockState
+	lockSeq uint64 // monotonic across all lock mutations on this store
 }
 
 // NewStore creates an empty store; clock may be nil for the wall clock.
@@ -80,7 +122,7 @@ func (s *Store) Get(key string) (Versioned, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.data[key]
-	if !ok {
+	if !ok || e.deleted {
 		return Versioned{}, fmt.Errorf("get %q: %w", key, ErrNotFound)
 	}
 	val := make([]byte, len(e.value))
@@ -94,17 +136,45 @@ func (s *Store) Put(key string, value []byte) uint64 {
 	defer s.mu.Unlock()
 	e := s.data[key]
 	e.version++
+	e.deleted = false
 	e.value = make([]byte, len(value))
 	copy(e.value, value)
 	s.data[key] = e
 	return e.version
 }
 
-// Delete removes key. Deleting a missing key is a no-op.
+// Delete removes key, leaving a version-stamped tombstone so replicas and
+// rebalance merges order the deletion against stale live copies (see
+// Versioned.Deleted). Deleting a missing key is a no-op.
 func (s *Store) Delete(key string) {
+	s.DeleteV(key)
+}
+
+// DeleteV is Delete returning the resulting tombstone (for replication);
+// ok is false when the key did not exist.
+func (s *Store) DeleteV(key string) (Versioned, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.data, key)
+	e, ok := s.data[key]
+	if !ok || e.deleted {
+		return Versioned{}, false
+	}
+	e.version++
+	e.deleted = true
+	e.value = nil
+	s.data[key] = e
+	return Versioned{Version: e.version, Deleted: true}, true
+}
+
+// Drop hard-removes keys — values, tombstones and version history. Used by
+// rebalance cleanup on nodes leaving a key's replica set, so no stale copy
+// survives to resurface in a later membership change.
+func (s *Store) Drop(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.data, k)
+	}
 }
 
 // CompareAndSwap stores value at key iff the current version equals
@@ -115,7 +185,7 @@ func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (
 	defer s.mu.Unlock()
 	e, exists := s.data[key]
 	cur := uint64(0)
-	if exists {
+	if exists && !e.deleted {
 		cur = e.version
 	}
 	if cur != expectVersion {
@@ -123,7 +193,11 @@ func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (
 		copy(val, e.value)
 		return 0, Versioned{Value: val, Version: cur}, ErrCASMismatch
 	}
+	// A re-creation continues above the tombstone's version (e.version is
+	// the tombstone when the key was deleted), keeping per-key history
+	// monotonic for replication ordering.
 	e.version++
+	e.deleted = false
 	e.value = make([]byte, len(value))
 	copy(e.value, value)
 	s.data[key] = e
@@ -138,7 +212,7 @@ func (s *Store) AddInt64(key string, delta int64) (int64, error) {
 	defer s.mu.Unlock()
 	e := s.data[key]
 	var cur int64
-	if len(e.value) > 0 {
+	if !e.deleted && len(e.value) > 0 {
 		v, err := strconv.ParseInt(string(e.value), 10, 64)
 		if err != nil {
 			return 0, fmt.Errorf("add %q: %w", key, err)
@@ -147,6 +221,7 @@ func (s *Store) AddInt64(key string, delta int64) (int64, error) {
 	}
 	cur += delta
 	e.version++
+	e.deleted = false
 	e.value = []byte(strconv.FormatInt(cur, 10))
 	s.data[key] = e
 	return cur, nil
@@ -157,8 +232,8 @@ func (s *Store) Keys(prefix string) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []string
-	for k := range s.data {
-		if strings.HasPrefix(k, prefix) {
+	for k, e := range s.data {
+		if !e.deleted && strings.HasPrefix(k, prefix) {
 			out = append(out, k)
 		}
 	}
@@ -166,11 +241,17 @@ func (s *Store) Keys(prefix string) []string {
 	return out
 }
 
-// Len returns the number of stored keys.
+// Len returns the number of stored (live) keys.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.data)
+	n := 0
+	for _, e := range s.data {
+		if !e.deleted {
+			n++
+		}
+	}
+	return n
 }
 
 // TryLock attempts to acquire the named lock for owner with the given lease.
@@ -184,14 +265,17 @@ func (s *Store) TryLock(name, owner string, lease time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, held := s.locks[name]
-	if held && st.owner != owner && st.expires.After(now) {
+	if held && st.owner != "" && st.owner != owner && st.expires.After(now) {
 		return fmt.Errorf("lock %q owned by %s: %w", name, st.owner, ErrLockHeld)
 	}
-	s.locks[name] = lockState{owner: owner, expires: now.Add(lease)}
+	s.lockSeq++
+	s.locks[name] = lockState{owner: owner, expires: now.Add(lease), seq: s.lockSeq}
 	return nil
 }
 
-// Unlock releases the named lock held by owner.
+// Unlock releases the named lock held by owner. The release leaves a
+// sequence-stamped tombstone so replicas can order it against in-flight
+// lease updates.
 func (s *Store) Unlock(name, owner string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -199,7 +283,8 @@ func (s *Store) Unlock(name, owner string) error {
 	if !held || st.owner != owner {
 		return fmt.Errorf("unlock %q by %s: %w", name, owner, ErrNotLockOwner)
 	}
-	delete(s.locks, name)
+	s.lockSeq++
+	s.locks[name] = lockState{owner: "", expires: time.Time{}, seq: s.lockSeq}
 	return nil
 }
 
@@ -208,14 +293,28 @@ func (s *Store) LockOwner(name string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, held := s.locks[name]
-	if !held || !st.expires.After(s.clock.Now()) {
+	if !held || st.owner == "" || !st.expires.After(s.clock.Now()) {
 		return "", false
 	}
 	return st.owner, true
 }
 
-// Export returns a snapshot of all entries whose key satisfies keep. Used by
-// shard migration when nodes are added to the cluster.
+// LockSnapshot returns the replication image of one lock (including release
+// tombstones) for forwarding to backups. ok is false when the lock was
+// never touched on this store.
+func (s *Store) LockSnapshot(name string) (LockInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, held := s.locks[name]
+	if !held {
+		return LockInfo{}, false
+	}
+	return LockInfo{Owner: st.owner, Expires: st.expires, Seq: st.seq}, true
+}
+
+// Export returns a snapshot of all entries whose key satisfies keep —
+// live values and deletion tombstones alike, so migration and repair
+// preserve deletion ordering. Used when the cluster membership changes.
 func (s *Store) Export(keep func(key string) bool) map[string]Versioned {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -224,20 +323,74 @@ func (s *Store) Export(keep func(key string) bool) map[string]Versioned {
 		if keep == nil || keep(k) {
 			val := make([]byte, len(e.value))
 			copy(val, e.value)
-			out[k] = Versioned{Value: val, Version: e.version}
+			out[k] = Versioned{Value: val, Version: e.version, Deleted: e.deleted}
 		}
 	}
 	return out
 }
 
-// Import installs entries (preserving versions) and is used by shard
-// migration.
+// Import installs entries preserving versions; newer-or-equal versions win,
+// so re-delivered or overlapping imports (migration retries, replica
+// repair) are idempotent and can never roll a key back — nor resurrect a
+// deletion, since tombstones outrank the values they superseded.
 func (s *Store) Import(entries map[string]Versioned) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, v := range entries {
+		if cur, ok := s.data[k]; ok && cur.version > v.Version {
+			continue
+		}
 		val := make([]byte, len(v.Value))
 		copy(val, v.Value)
-		s.data[k] = entry{value: val, version: v.Version}
+		s.data[k] = entry{value: val, version: v.Version, deleted: v.Deleted}
+	}
+}
+
+// ExportLocks snapshots the lock states whose name satisfies keep: the
+// unexpired held leases with owners, absolute expiries and mutation
+// sequences intact, plus release tombstones and expired leases (invisible
+// to readers, but their sequences keep replicated updates ordered). It is
+// the lock-table counterpart of Export: AddNode/RemoveNode migration must
+// carry it alongside the data, or a held lock whose routed owner changes
+// would appear free on the node that takes the name over.
+func (s *Store) ExportLocks(keep func(name string) bool) map[string]LockInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]LockInfo)
+	for name, st := range s.locks {
+		if keep == nil || keep(name) {
+			out[name] = LockInfo{Owner: st.owner, Expires: st.expires, Seq: st.seq}
+		}
+	}
+	return out
+}
+
+// DropLocks removes the named locks' state entirely (leases, tombstones
+// and their sequence history). Used by rebalance cleanup on nodes leaving
+// a lock's replica set, so no stale copy survives to resurface in a later
+// membership change.
+func (s *Store) DropLocks(names []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		delete(s.locks, name)
+	}
+}
+
+// ImportLocks installs lock leases (held states and release tombstones).
+// Per name, a newer sequence wins; the store's own sequence counter is
+// advanced past every installed value so local mutations made after a
+// promotion keep winning over anything replicated before it.
+func (s *Store) ImportLocks(locks map[string]LockInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, info := range locks {
+		if cur, ok := s.locks[name]; ok && cur.seq >= info.Seq {
+			continue
+		}
+		s.locks[name] = lockState{owner: info.Owner, expires: info.Expires, seq: info.Seq}
+		if info.Seq > s.lockSeq {
+			s.lockSeq = info.Seq
+		}
 	}
 }

@@ -299,13 +299,112 @@ func TestClusterShardingAndMigration(t *testing.T) {
 			t.Fatalf("key-%03d = %q", i, got.Value)
 		}
 	}
-	// No key may exist on two nodes.
+	// No key may exist on two nodes (R=1: replicas would be duplicates).
 	keys, err := cl.Keys("key-")
 	if err != nil {
 		t.Fatalf("Keys: %v", err)
 	}
 	if len(keys) != n {
-		t.Fatalf("cluster holds %d copies of %d keys (duplicates after migration)", len(keys), n)
+		t.Fatalf("Keys returned %d of %d keys", len(keys), n)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		copies := 0
+		for _, nd := range cl.nodes {
+			if _, err := nd.srv.Store().Get(key); err == nil {
+				copies++
+			}
+		}
+		if copies != 1 {
+			t.Fatalf("%s on %d nodes, want exactly 1 at R=1", key, copies)
+		}
+	}
+}
+
+func TestExportImportLocks(t *testing.T) {
+	clock := simclock.NewSim(time.Unix(0, 0))
+	src := NewStore(clock)
+	if err := src.TryLock("A", "alice", time.Minute); err != nil {
+		t.Fatalf("TryLock A: %v", err)
+	}
+	if err := src.TryLock("B", "bob", time.Second); err != nil {
+		t.Fatalf("TryLock B: %v", err)
+	}
+	if err := src.TryLock("other", "carol", time.Minute); err != nil {
+		t.Fatalf("TryLock other: %v", err)
+	}
+	clock.Advance(2 * time.Second) // B's lease expires
+
+	snap := src.ExportLocks(func(name string) bool { return name != "other" })
+	if _, ok := snap["other"]; ok {
+		t.Fatal("filter ignored")
+	}
+	a, ok := snap["A"]
+	if !ok || a.Owner != "alice" || !a.Expires.Equal(time.Unix(60, 0)) {
+		t.Fatalf("exported A = %+v (owner and absolute expiry must be carried)", a)
+	}
+
+	dst := NewStore(clock)
+	dst.ImportLocks(snap)
+	if owner, held := dst.LockOwner("A"); !held || owner != "alice" {
+		t.Fatalf("imported A owner = %q/%v, want alice", owner, held)
+	}
+	// B expired before export; its state may travel but must not be held.
+	if _, held := dst.LockOwner("B"); held {
+		t.Fatal("expired lease imported as held")
+	}
+	if err := dst.TryLock("A", "mallory", time.Minute); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("TryLock(mallory) on imported lease = %v, want ErrLockHeld", err)
+	}
+	if err := dst.Unlock("A", "alice"); err != nil {
+		t.Fatalf("Unlock(alice) on imported lease: %v", err)
+	}
+}
+
+// TestImportLocksOrdering: a re-delivered older lease (smaller sequence)
+// must never overwrite a newer state — in particular it must not
+// resurrect a released lock.
+func TestImportLocksOrdering(t *testing.T) {
+	src := NewStore(nil)
+	if err := src.TryLock("L", "alice", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	heldSnap := src.ExportLocks(nil) // lease at seq 1
+	if err := src.Unlock("L", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	releasedSnap := src.ExportLocks(nil) // tombstone at seq 2
+
+	dst := NewStore(nil)
+	dst.ImportLocks(releasedSnap)
+	dst.ImportLocks(heldSnap) // delayed re-delivery of the older lease
+	if owner, held := dst.LockOwner("L"); held {
+		t.Fatalf("released lock resurrected by stale import (owner %q)", owner)
+	}
+	// Local mutations after an import must outrank everything imported.
+	if err := dst.TryLock("L", "bob", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dst.ImportLocks(releasedSnap)
+	if owner, held := dst.LockOwner("L"); !held || owner != "bob" {
+		t.Fatalf("local acquisition lost to stale import: %q/%v", owner, held)
+	}
+}
+
+// TestImportVersionGate: Import is idempotent and can never roll a key
+// back to an older version.
+func TestImportVersionGate(t *testing.T) {
+	s := NewStore(nil)
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("v2")) // version 2
+	s.Import(map[string]Versioned{"k": {Value: []byte("stale"), Version: 1}})
+	got, err := s.Get("k")
+	if err != nil || string(got.Value) != "v2" || got.Version != 2 {
+		t.Fatalf("stale import rolled key back: %+v, %v", got, err)
+	}
+	s.Import(map[string]Versioned{"k": {Value: []byte("v5"), Version: 5}})
+	if got, _ := s.Get("k"); got.Version != 5 {
+		t.Fatalf("newer import rejected: %+v", got)
 	}
 }
 
@@ -365,5 +464,46 @@ func TestGoPutPipelines(t *testing.T) {
 		if len(got.Value) != 1 || got.Value[0] != byte(i) {
 			t.Fatalf("get %d = %v", i, got.Value)
 		}
+	}
+}
+
+// TestDeleteTombstoneOrdering: deletions leave version-stamped tombstones
+// invisible to readers but decisive in merges — a stale live copy can
+// never outrank (resurrect past) a deletion, and a re-created key
+// continues above its tombstone.
+func TestDeleteTombstoneOrdering(t *testing.T) {
+	s := NewStore(nil)
+	s.Put("k", []byte("a")) // v1
+	s.Delete("k")           // tombstone v2
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+	if s.Len() != 0 || len(s.Keys("")) != 0 {
+		t.Fatalf("tombstone visible: Len=%d Keys=%v", s.Len(), s.Keys(""))
+	}
+	snap := s.Export(nil)
+	if e, ok := snap["k"]; !ok || !e.Deleted || e.Version != 2 {
+		t.Fatalf("exported tombstone = %+v, %v", snap["k"], ok)
+	}
+	// A stale live copy (the pre-delete value) must not resurrect the key.
+	s.Import(map[string]Versioned{"k": {Value: []byte("stale"), Version: 1}})
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale import resurrected deleted key: %v", err)
+	}
+	// Re-creation continues above the tombstone.
+	if v := s.Put("k", []byte("b")); v != 3 {
+		t.Fatalf("re-created version = %d, want 3 (must continue above tombstone)", v)
+	}
+	s.Delete("k") // tombstone v4
+	v, _, err := s.CompareAndSwap("k", []byte("c"), 0)
+	if err != nil || v != 5 {
+		t.Fatalf("CAS create after delete = %d, %v (deleted key counts as absent)", v, err)
+	}
+	s.Delete("k") // tombstone v6
+	if n, err := s.AddInt64("k", 4); err != nil || n != 4 {
+		t.Fatalf("Add after delete = %d, %v (deleted key counts as 0)", n, err)
+	}
+	if got, _ := s.Get("k"); got.Version != 7 {
+		t.Fatalf("Add version = %d, want 7", got.Version)
 	}
 }

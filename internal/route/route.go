@@ -167,3 +167,30 @@ func (r *Ring) Lookup(key string, ok func(idx int) bool) int {
 // Owner returns the index of the member owning key with no filter, -1 on
 // an empty ring. It is the shared-ownership primitive (kvstore sharding).
 func (r *Ring) Owner(key string) int { return r.Lookup(key, nil) }
+
+// Owners returns the indices of the first n distinct members clockwise
+// from key's hash — the key's successor-list replica set. Owners(key, n)[0]
+// is the primary (identical to Owner(key)); the remainder are the backups
+// in promotion order, so replicated stores agree with every client holding
+// the same table on both placement and failover order. Fewer than n
+// distinct members on the ring yields a shorter list; an empty ring yields
+// nil.
+func (r *Ring) Owners(key string, n int) []int {
+	np := len(r.points)
+	if np == 0 || n <= 0 {
+		return nil
+	}
+	kh := KeyHash(key)
+	start := sort.Search(np, func(i int) bool { return r.points[i].hash >= kh })
+	out := make([]int, 0, n)
+	seen := make(map[int]struct{}, n)
+	for i := 0; i < np && len(out) < n; i++ {
+		p := r.points[(start+i)%np]
+		if _, dup := seen[p.idx]; dup {
+			continue
+		}
+		seen[p.idx] = struct{}{}
+		out = append(out, p.idx)
+	}
+	return out
+}

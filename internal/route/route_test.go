@@ -243,3 +243,37 @@ func TestRingOwnerDeterminism(t *testing.T) {
 		t.Fatal("empty ring must return -1")
 	}
 }
+
+func TestRingOwnersReplicaSet(t *testing.T) {
+	tab := table(1, "n1:1", "n2:1", "n3:1", "n4:1")
+	r := BuildRing(tab)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 3) = %v, want 3 distinct members", key, owners)
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if o < 0 || o >= len(tab.Members) || seen[o] {
+				t.Fatalf("Owners(%s, 3) = %v: out of range or duplicate", key, owners)
+			}
+			seen[o] = true
+		}
+		// The primary is Owner, and shorter replica sets are prefixes of
+		// longer ones (a store can widen R without remapping primaries).
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%s)[0] = %d, Owner = %d", key, owners[0], r.Owner(key))
+		}
+		if two := r.Owners(key, 2); two[0] != owners[0] || two[1] != owners[1] {
+			t.Fatalf("Owners(%s, 2) = %v not a prefix of %v", key, two, owners)
+		}
+	}
+	// Asking for more replicas than members returns every member once.
+	if got := r.Owners("k", 10); len(got) != 4 {
+		t.Fatalf("Owners(k, 10) = %v, want all 4 members", got)
+	}
+	if BuildRing(Table{}).Owners("x", 2) != nil {
+		t.Fatal("empty ring must return nil")
+	}
+}

@@ -171,3 +171,45 @@ printf '%s\n' "$OVER" | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 ' > BENCH_overload.json
 echo "wrote BENCH_overload.json"
 cat BENCH_overload.json
+
+# BENCH_kvstore.json: the replicated shared-state figure. R=1 vs R=2
+# put/get/lock cost on the same 3-node cluster (the R=2 spread is the
+# synchronous backup forward on every write — the price of surviving a
+# node loss), plus the failover experiment: one node killed under a
+# streaming writer, reporting the longest gap between two consecutive
+# acknowledged writes (the availability blip) and the number of failed
+# operations (target 0 — the router retries through the failover).
+KV=$(go test -run '^$' -bench '^BenchmarkClusterR[12]' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
+printf '%s\n' "$KV"
+BLIP=$(go test -run '^$' -bench '^BenchmarkClusterFailoverBlip$' -benchtime 1x ./internal/kvstore/)
+printf '%s\n' "$BLIP"
+
+{ printf '%s\n' "$KV"; printf '%s\n' "$BLIP"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")      ns[name] = $(i-1)
+      if ($i == "blip-ms")    blip     = $(i-1)
+      if ($i == "failed-ops") failedop = $(i-1)
+      if ($i == "acked-ops")  ackedop  = $(i-1)
+    }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", gen
+    printf "  \"workload\": \"3-node store cluster over loopback TCP, 1024-key Put/Get stream and 64-name lock churn (internal/kvstore/bench_test.go)\",\n"
+    printf "  \"note\": \"R=2 synchronously forwards every write to one backup before the ack; blip = longest gap between consecutive acked writes while one node is killed mid-stream\",\n"
+    printf "  \"r1\": {\"put_ns\": %s, \"get_ns\": %s, \"lock_ns\": %s},\n", \
+      ns["BenchmarkClusterR1Put"], ns["BenchmarkClusterR1Get"], ns["BenchmarkClusterR1Lock"]
+    printf "  \"r2\": {\"put_ns\": %s, \"get_ns\": %s, \"lock_ns\": %s},\n", \
+      ns["BenchmarkClusterR2Put"], ns["BenchmarkClusterR2Get"], ns["BenchmarkClusterR2Lock"]
+    printf "  \"replication_cost_x\": {\"put\": %.2f, \"get\": %.2f, \"lock\": %.2f},\n", \
+      ns["BenchmarkClusterR2Put"] / ns["BenchmarkClusterR1Put"], \
+      ns["BenchmarkClusterR2Get"] / ns["BenchmarkClusterR1Get"], \
+      ns["BenchmarkClusterR2Lock"] / ns["BenchmarkClusterR1Lock"]
+    printf "  \"failover\": {\"blip_ms\": %s, \"failed_ops\": %s, \"acked_ops\": %s}\n", blip, failedop, ackedop
+    printf "}\n"
+  }
+' > BENCH_kvstore.json
+echo "wrote BENCH_kvstore.json"
+cat BENCH_kvstore.json
