@@ -1,18 +1,27 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos
+.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos generate-check
 
 all: vet test
 
 # ci is the full gate (run by .github/workflows/ci.yml): formatting, build,
-# vet, the whole test suite under the race detector, then a short fuzz
-# smoke over the wire codec. The explicit -timeout makes a deadlocked test
-# (e.g. an overload/quiesce scenario wedging on a blocked handler) fail the
-# job in minutes instead of hanging the workflow until its global limit.
-ci: fmt-check build vet
+# vet, codegen freshness, the whole test suite under the race detector, then
+# a short fuzz smoke over the wire codec and the generated payload codecs.
+# The explicit -timeout makes a deadlocked test (e.g. an overload/quiesce
+# scenario wedging on a blocked handler) fail the job in minutes instead of
+# hanging the workflow until its global limit.
+ci: fmt-check build vet generate-check
 	$(GO) test -race -timeout 300s ./...
 	$(MAKE) kv-chaos
 	$(MAKE) fuzz-smoke
+
+# generate-check fails when any checked-in *_ermi.go file is stale: rerunning
+# ermi-gen over the annotated sources must be a no-op, so hand-edited or
+# forgotten regenerations cannot drift from the annotations that define them.
+generate-check:
+	$(GO) generate ./...
+	@git diff --exit-code -- '*_ermi.go' || \
+		{ echo "generated *_ermi.go files are stale; run 'go generate ./...' and commit"; exit 1; }
 
 # kv-chaos gates the replicated shared-state layer explicitly: the kvstore
 # chaos scenario (node killed under a mixed Get/Put/CAS/lock workload with
@@ -30,14 +39,22 @@ fmt-check:
 		echo "gofmt -l found unformatted files:"; echo "$$files"; exit 1; \
 	fi
 
-# fuzz-smoke runs each wire-codec fuzz target briefly; `go test -fuzz`
-# accepts exactly one target per invocation, hence the loop.
-FUZZ_TARGETS := FuzzReadFrame FuzzParseRequest FuzzParseResponse FuzzParseBatch
+# fuzz-smoke runs each fuzz target briefly; `go test -fuzz` accepts exactly
+# one target per invocation, hence the loop. Entries are pkg:Target pairs:
+# the wire codec (frame/request/response/batch parsers) plus the generated
+# payload codec round trip in gentest.
+FUZZ_TARGETS := \
+	./internal/transport/:FuzzReadFrame \
+	./internal/transport/:FuzzParseRequest \
+	./internal/transport/:FuzzParseResponse \
+	./internal/transport/:FuzzParseBatch \
+	./internal/gen/gentest/:FuzzCodecRoundTrip
 FUZZTIME ?= 10s
 fuzz-smoke:
-	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/transport/ || exit 1; \
+	@for pt in $(FUZZ_TARGETS); do \
+		pkg=$${pt%%:*}; t=$${pt##*:}; \
+		echo "fuzz $$pkg $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) "$$pkg" || exit 1; \
 	done
 
 build:

@@ -1,14 +1,20 @@
 // Command ermi-gen is the ElasticRMI preprocessor for Go — the rmic
-// counterpart. It reads a Go file declaring interfaces marked with
-// `//ermi:elastic` and writes the generated stubs and skeletons next to it.
+// counterpart. It reads Go files declaring interfaces marked with
+// `//ermi:elastic` and/or payload structs marked with `//ermi:codec`, and
+// writes the generated stubs, skeletons and binary payload codecs next to
+// them.
 //
 // Usage:
 //
-//	ermi-gen -in service.go            # writes service_ermi.go
+//	ermi-gen -in service.go                    # writes service_ermi.go
 //	ermi-gen -in service.go -out x.go
+//	ermi-gen -in server.go,store.go -out c.go  # codec fields may span files
 //
 // Every method of an elastic interface must have the canonical remote
-// signature `Method(arg ArgType) (ReplyType, error)`.
+// signature `Method(arg ArgType) (ReplyType, error)`. Codec structs may use
+// scalars, strings, []byte (decoded as zero-copy views), time.Duration,
+// named local scalar types, nested annotated structs, and slices/maps of
+// those; anything else keeps the gob fallback.
 package main
 
 import (
@@ -22,8 +28,8 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input Go file declaring //ermi:elastic interfaces")
-	out := flag.String("out", "", "output file (default <in>_ermi.go)")
+	in := flag.String("in", "", "comma-separated Go files declaring //ermi:elastic interfaces or //ermi:codec structs")
+	out := flag.String("out", "", "output file (default <first in>_ermi.go)")
 	flag.Parse()
 	if err := run(*in, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "ermi-gen:", err)
@@ -35,24 +41,38 @@ func run(in, out string) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	src, err := os.ReadFile(in)
+	var inputs []gen.Source
+	var baseNames []string
+	for _, name := range strings.Split(in, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, gen.Source{Name: name, Src: src})
+		baseNames = append(baseNames, filepath.Base(name))
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("-in is required")
+	}
+	parsed, err := gen.ParseFiles(inputs)
 	if err != nil {
 		return err
 	}
-	parsed, err := gen.Parse(in, src)
-	if err != nil {
-		return err
-	}
-	code, err := gen.Generate(parsed, filepath.Base(in))
+	code, err := gen.Generate(parsed, strings.Join(baseNames, ", "))
 	if err != nil {
 		return err
 	}
 	if out == "" {
-		out = strings.TrimSuffix(in, ".go") + "_ermi.go"
+		out = strings.TrimSuffix(inputs[0].Name, ".go") + "_ermi.go"
 	}
 	if err := os.WriteFile(out, code, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("ermi-gen: %s -> %s (%d services)\n", in, out, len(parsed.Services))
+	fmt.Printf("ermi-gen: %s -> %s (%d services, %d codecs)\n",
+		in, out, len(parsed.Services), len(parsed.Codecs))
 	return nil
 }

@@ -2,8 +2,13 @@ package main
 
 import "elasticrmi/internal/core"
 
-// Argument and reply types of the elastic interface; they travel
-// gob-encoded through the generated stub.
+//go:generate go run elasticrmi/cmd/ermi-gen -in service.go
+
+// Argument and reply types of the elastic interface; the //ermi:codec mark
+// makes the preprocessor emit binary payload codecs for them, so they
+// travel through the generated stub without gob.
+//
+//ermi:codec
 type (
 	// SetArgs writes Key=Value.
 	SetArgs struct {

@@ -21,9 +21,15 @@ import (
 	"strings"
 
 	"elasticrmi/internal/core"
+	"elasticrmi/internal/transport"
 )
 
-// Message is one published message as delivered to a subscriber.
+//go:generate go run elasticrmi/cmd/ermi-gen -in hedwig.go -out hedwig_ermi.go
+
+// Message is one published message as delivered to a subscriber. Body
+// decodes as a zero-copy view into the transport frame.
+//
+//ermi:codec
 type Message struct {
 	Topic string
 	Seq   int64
@@ -46,7 +52,10 @@ const (
 	MethodOwner = "Owner"
 )
 
-// Argument/reply structs for the remote methods.
+// Argument/reply structs for the remote methods; the //ermi:codec mark
+// gives them generated binary codecs, so publishes and consumes avoid gob.
+//
+//ermi:codec
 type (
 	// PublishArgs carries one publish request.
 	PublishArgs struct {
@@ -143,6 +152,12 @@ func New(cfg Config) core.Factory {
 // HandleCall implements core.Object.
 func (h *Hub) HandleCall(method string, arg []byte) ([]byte, error) {
 	return h.mux.HandleCall(method, arg)
+}
+
+// HandleRequest implements core.RequestHandler: the skeleton dispatches
+// through here so codec payload buffers keep their arena lifetime.
+func (h *Hub) HandleRequest(req *transport.Request) ([]byte, error) {
+	return h.mux.HandleRequest(req)
 }
 
 // ownerOf maps a topic onto a live hub by rendezvous hashing over the

@@ -25,6 +25,8 @@ import (
 	"elasticrmi/internal/transport"
 )
 
+//go:generate go run elasticrmi/cmd/ermi-gen -in marketcetera.go -out marketcetera_ermi.go
+
 // Side of an order.
 type Side int
 
@@ -46,7 +48,11 @@ func (s Side) String() string {
 	}
 }
 
-// Order is a trading order submitted by a trader or strategy engine.
+// Order is a trading order submitted by a trader or strategy engine. It is
+// //ermi:codec-marked, so orders travel (and persist) in the generated
+// binary encoding rather than gob.
+//
+//ermi:codec
 type Order struct {
 	ID     string
 	Trader string
@@ -76,6 +82,8 @@ func (o Order) Validate() error {
 }
 
 // Receipt acknowledges a routed order.
+//
+//ermi:codec
 type Receipt struct {
 	OrderID  string
 	Venue    string
@@ -84,6 +92,8 @@ type Receipt struct {
 
 // Venue is a market/broker destination with the symbols it lists. A venue
 // listing no symbols is a default destination accepting anything.
+//
+//ermi:codec
 type Venue struct {
 	Name    string
 	Symbols []string
@@ -102,6 +112,8 @@ const (
 )
 
 // Status aggregates routing counters from the shared state.
+//
+//ermi:codec
 type Status struct {
 	Routed   int64
 	Rejected int64
@@ -166,6 +178,12 @@ func (r *Router) HandleCall(method string, arg []byte) ([]byte, error) {
 	return r.mux.HandleCall(method, arg)
 }
 
+// HandleRequest implements core.RequestHandler: the skeleton dispatches
+// through here so codec payload buffers keep their arena lifetime.
+func (r *Router) HandleRequest(req *transport.Request) ([]byte, error) {
+	return r.mux.HandleRequest(req)
+}
+
 // route picks the venue for the order, persists the order on two nodes and
 // returns the receipt.
 func (r *Router) route(o Order) (Receipt, error) {
@@ -183,7 +201,7 @@ func (r *Router) route(o Order) (Receipt, error) {
 	}
 	// Persist the order on two nodes for fault tolerance (§5.2): primary
 	// and backup records hash to different store shards.
-	rec, err := transport.Encode(o)
+	rec, err := transport.Encode(&o)
 	if err != nil {
 		return Receipt{}, err
 	}

@@ -25,6 +25,7 @@ import (
 
 	"elasticrmi/internal/metrics"
 	"elasticrmi/internal/simclock"
+	"elasticrmi/internal/transport"
 )
 
 // Exported errors.
@@ -44,6 +45,15 @@ var (
 type Object interface {
 	// HandleCall executes one remote method invocation.
 	HandleCall(method string, arg []byte) ([]byte, error)
+}
+
+// RequestHandler is implemented by Objects that want the full transport
+// request instead of raw bytes. The skeleton prefers this path: handlers
+// can Retain the request when decoded arguments alias the frame's payload
+// (zero-copy []byte views) and set ReleaseReply so codec-encoded replies
+// are returned to the payload arena once written. The Mux implements it.
+type RequestHandler interface {
+	HandleRequest(req *transport.Request) ([]byte, error)
 }
 
 // Closer is implemented by Objects that need teardown when their member is

@@ -206,10 +206,12 @@ func (f *Future[Reply]) Get() (Reply, error) {
 	return f.rep, f.err
 }
 
-// GoCall is the typed asynchronous counterpart of Call: it gob-encodes the
-// argument, starts the invocation and returns the typed future.
+// GoCall is the typed asynchronous counterpart of Call: it encodes the
+// argument, starts the invocation and returns the typed future. The request
+// buffer is not recycled — an abandoned future (Wait timeout) can leave the
+// invocation queued past GoCall's lifetime, so the GC reclaims it instead.
 func GoCall[Arg, Reply any](s *Stub, method string, arg Arg) *Future[Reply] {
-	payload, err := transport.Encode(arg)
+	payload, err := transport.Encode(&arg)
 	if err != nil {
 		return &Future[Reply]{ac: newCompletedAsync(err)}
 	}
@@ -218,7 +220,7 @@ func GoCall[Arg, Reply any](s *Stub, method string, arg Arg) *Future[Reply] {
 
 // OneWayCall is the typed fire-and-forget counterpart of Call.
 func OneWayCall[Arg any](s *Stub, method string, arg Arg) error {
-	payload, err := transport.Encode(arg)
+	payload, err := transport.Encode(&arg)
 	if err != nil {
 		return err
 	}

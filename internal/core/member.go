@@ -143,6 +143,7 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 	switch req.Method {
 	case MethodDiscover:
 		t := m.currentTable()
+		req.ReleaseReply = true
 		return transport.Encode(DiscoverReply{Pool: m.pool.cfg.Name, Epoch: t.Epoch, Members: m.rosterCopy()})
 	case MethodPing:
 		return nil, nil
@@ -155,6 +156,7 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 		}
 		sort.Slice(methods, func(i, j int) bool { return methods[i].Method < methods[j].Method })
 		srvStats := m.srv.Stats()
+		req.ReleaseReply = true
 		return transport.Encode(StatsReply{
 			Pool:     m.pool.cfg.Name,
 			UID:      m.uid,
@@ -174,6 +176,9 @@ func (m *member) handle(req *transport.Request) ([]byte, error) {
 	// get the same treatment minus the correction (they carry no reply).
 	finish := m.meter.Begin(req.Method)
 	defer finish()
+	if rh, ok := m.obj.(RequestHandler); ok {
+		return rh.HandleRequest(req)
+	}
 	return m.obj.HandleCall(req.Method, req.Payload)
 }
 

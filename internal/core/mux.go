@@ -12,23 +12,34 @@ import (
 // application registers one handler per remote method and the Mux takes
 // care of unmarshalling arguments and marshalling results.
 type Mux struct {
-	handlers map[string]func(arg []byte) ([]byte, error)
+	handlers map[string]func(req *transport.Request) ([]byte, error)
 }
 
 var _ Object = (*Mux)(nil)
+var _ RequestHandler = (*Mux)(nil)
 
 // NewMux returns an empty method table.
 func NewMux() *Mux {
-	return &Mux{handlers: make(map[string]func([]byte) ([]byte, error))}
+	return &Mux{handlers: make(map[string]func(*transport.Request) ([]byte, error))}
 }
 
-// HandleCall implements Object.
+// HandleCall implements Object. Callers holding only raw bytes (tests,
+// adaptors) dispatch through here; the skeleton's hot path uses
+// HandleRequest so handlers see the transport request's payload lifetime.
 func (m *Mux) HandleCall(method string, arg []byte) ([]byte, error) {
-	h, ok := m.handlers[method]
+	return m.HandleRequest(&transport.Request{Method: method, Payload: arg})
+}
+
+// HandleRequest implements RequestHandler: it dispatches with full request
+// context, letting typed handlers retain zero-copy payload views past the
+// frame's lifetime and mark codec-encoded replies as transport-owned arena
+// memory (released once the response frame is written).
+func (m *Mux) HandleRequest(req *transport.Request) ([]byte, error) {
+	h, ok := m.handlers[req.Method]
 	if !ok {
-		return nil, fmt.Errorf("core: no such remote method %q", method)
+		return nil, fmt.Errorf("core: no such remote method %q", req.Method)
 	}
-	return h(arg)
+	return h(req)
 }
 
 // Methods returns the registered method names.
@@ -42,21 +53,40 @@ func (m *Mux) Methods() []string {
 
 // HandleRaw registers an untyped handler.
 func (m *Mux) HandleRaw(name string, fn func(arg []byte) ([]byte, error)) {
-	m.handlers[name] = fn
+	m.handlers[name] = func(req *transport.Request) ([]byte, error) {
+		return fn(req.Payload)
+	}
 }
 
-// Handle registers a typed remote method on the mux. Argument and reply are
-// gob-encoded on the wire.
+// Handle registers a typed remote method on the mux. Argument and reply
+// travel through transport.Encode/Decode: generated binary codecs when the
+// types carry them, gob otherwise. Whether the decoded argument may alias
+// the request frame (zero-copy []byte views) is determined once here, so
+// the per-call path only pays a Retain for types that need one.
 func Handle[Arg, Reply any](m *Mux, name string, fn func(Arg) (Reply, error)) {
-	m.handlers[name] = func(raw []byte) ([]byte, error) {
+	// A type whose pointer form implements the ERMIViews marker decodes
+	// []byte fields as views into the payload buffer: the frame must outlive
+	// the handler, so the request is detached from arena recycling.
+	_, viewy := any((*Arg)(nil)).(interface{ ERMIViews() })
+	m.handlers[name] = func(req *transport.Request) ([]byte, error) {
 		var arg Arg
-		if err := transport.Decode(raw, &arg); err != nil {
+		if err := transport.Decode(req.Payload, &arg); err != nil {
 			return nil, fmt.Errorf("method %s: %w", name, err)
+		}
+		if viewy {
+			req.Retain()
 		}
 		reply, err := fn(arg)
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(reply)
+		out, err := transport.Encode(&reply)
+		if err != nil {
+			return nil, err
+		}
+		// The reply buffer is Encode output the handler hands over outright:
+		// the transport releases it to the arena after the write.
+		req.ReleaseReply = true
+		return out, nil
 	}
 }

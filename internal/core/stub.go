@@ -315,21 +315,30 @@ func (s *Stub) Close() error {
 	return s.conns.Close()
 }
 
-// Call is the typed convenience wrapper around Stub.Invoke: it gob-encodes
-// the argument and decodes the reply, mirroring the static typing a
-// generated RMI stub provides.
+// Call is the typed convenience wrapper around Stub.Invoke: it encodes the
+// argument (generated binary codec when the type carries one, gob
+// otherwise) and decodes the reply, mirroring the static typing a generated
+// RMI stub provides. Payloads travel through the transport arena: the
+// request buffer is recycled once Invoke returns, and the reply buffer is
+// recycled after decoding unless the reply type keeps zero-copy views into
+// it.
 func Call[Arg, Reply any](s *Stub, method string, arg Arg) (Reply, error) {
 	var zero Reply
-	payload, err := transport.Encode(arg)
+	payload, err := transport.Encode(&arg)
 	if err != nil {
 		return zero, err
 	}
 	out, err := s.Invoke(method, payload)
+	transport.ReleasePayload(payload)
 	if err != nil {
 		return zero, err
 	}
 	var reply Reply
-	if err := transport.Decode(out, &reply); err != nil {
+	err = transport.Decode(out, &reply)
+	if !replyHoldsViews[Reply]() {
+		transport.ReleasePayload(out)
+	}
+	if err != nil {
 		return zero, err
 	}
 	return reply, nil
@@ -339,17 +348,30 @@ func Call[Arg, Reply any](s *Stub, method string, arg Arg) (Reply, error) {
 // InvokeKeyed): same-key invocations land on the same member.
 func CallKeyed[Arg, Reply any](s *Stub, method, key string, arg Arg) (Reply, error) {
 	var zero Reply
-	payload, err := transport.Encode(arg)
+	payload, err := transport.Encode(&arg)
 	if err != nil {
 		return zero, err
 	}
 	out, err := s.InvokeKeyed(method, key, payload)
+	transport.ReleasePayload(payload)
 	if err != nil {
 		return zero, err
 	}
 	var reply Reply
-	if err := transport.Decode(out, &reply); err != nil {
+	err = transport.Decode(out, &reply)
+	if !replyHoldsViews[Reply]() {
+		transport.ReleasePayload(out)
+	}
+	if err != nil {
 		return zero, err
 	}
 	return reply, nil
+}
+
+// replyHoldsViews reports whether decoding into Reply may leave []byte
+// fields aliasing the response buffer (the generated codec marks such types
+// with an ERMIViews method); if so the buffer must stay out of the arena.
+func replyHoldsViews[Reply any]() bool {
+	_, viewy := any((*Reply)(nil)).(interface{ ERMIViews() })
+	return viewy
 }

@@ -59,46 +59,83 @@ type Service struct {
 type File struct {
 	Package  string
 	Services []Service
+	Codecs   []Codec
 }
 
-// Parse extracts the elastic interfaces from Go source. Interfaces must be
-// marked with the `//ermi:elastic` comment directly above the type
-// declaration (or in its doc group). Every method must have the canonical
-// signature; anything else is an error, mirroring how the paper's
-// preprocessor rejects non-remote-able declarations.
+// Source is one named input file.
+type Source struct {
+	Name string
+	Src  []byte
+}
+
+// Parse extracts the elastic interfaces and codec types from one Go source
+// file. See ParseFiles.
 func Parse(filename string, src []byte) (*File, error) {
+	return ParseFiles([]Source{{Name: filename, Src: src}})
+}
+
+// ParseFiles extracts the elastic interfaces and `//ermi:codec` payload
+// types from one or more Go source files of the same package. Interfaces
+// must be marked with the `//ermi:elastic` comment directly above the type
+// declaration (or in its doc group); every method must have the canonical
+// signature `Method(arg ArgType) (ReplyType, error)` — anything else is an
+// error, mirroring how the paper's preprocessor rejects non-remote-able
+// declarations. Codec field resolution sees the named types of every input
+// file, so payload structs may nest types declared in a sibling file.
+func ParseFiles(inputs []Source) (*File, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("gen: no input files")
+	}
+	out := &File{}
+	decls := typeDecls{}
+	codecMarked := map[string]bool{}
+	var declOrder []string
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	for _, in := range inputs {
+		f, err := parser.ParseFile(fset, in.Name, in.Src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("gen: parse %s: %w", in.Name, err)
+		}
+		if out.Package == "" {
+			out.Package = f.Name.Name
+		} else if out.Package != f.Name.Name {
+			return nil, fmt.Errorf("gen: %s is package %s, want %s", in.Name, f.Name.Name, out.Package)
+		}
+		collectCodecs(f, decls, codecMarked)
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				declOrder = append(declOrder, ts.Name.Name)
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				if !marked(gd.Doc) && !marked(ts.Doc) && !marked(ts.Comment) {
+					continue
+				}
+				svc, err := parseInterface(ts.Name.Name, it)
+				if err != nil {
+					return nil, err
+				}
+				out.Services = append(out.Services, svc)
+			}
+		}
+	}
+	codecs, err := resolveCodecs(decls, codecMarked, declOrder)
 	if err != nil {
-		return nil, fmt.Errorf("gen: parse %s: %w", filename, err)
+		return nil, err
 	}
-	out := &File{Package: f.Name.Name}
-	for _, decl := range f.Decls {
-		gd, ok := decl.(*ast.GenDecl)
-		if !ok || gd.Tok != token.TYPE {
-			continue
-		}
-		for _, spec := range gd.Specs {
-			ts, ok := spec.(*ast.TypeSpec)
-			if !ok {
-				continue
-			}
-			it, ok := ts.Type.(*ast.InterfaceType)
-			if !ok {
-				continue
-			}
-			if !marked(gd.Doc) && !marked(ts.Doc) && !marked(ts.Comment) {
-				continue
-			}
-			svc, err := parseInterface(ts.Name.Name, it)
-			if err != nil {
-				return nil, err
-			}
-			out.Services = append(out.Services, svc)
-		}
-	}
-	if len(out.Services) == 0 {
-		return nil, fmt.Errorf("gen: %s declares no interfaces marked %s", filename, Marker)
+	out.Codecs = codecs
+	if len(out.Services) == 0 && len(out.Codecs) == 0 {
+		return nil, fmt.Errorf("gen: %s declares no interfaces marked %s and no types marked %s",
+			inputs[0].Name, Marker, CodecMarker)
 	}
 	return out, nil
 }
@@ -243,15 +280,15 @@ func typeString(e ast.Expr) (string, error) {
 
 var tmpl = template.Must(template.New("gen").Parse(`// Code generated by ermi-gen. DO NOT EDIT.
 //
-// Stubs and skeletons for the elastic interfaces of {{.Source}} — the
-// output the ElasticRMI preprocessor produces for elastic classes (§2.3 of
-// "Elastic Remote Methods", MIDDLEWARE 2013).
+// Stubs, skeletons and payload codecs for {{.Source}} — the output the
+// ElasticRMI preprocessor produces for elastic classes (§2.3 of "Elastic
+// Remote Methods", MIDDLEWARE 2013).
 
 package {{.Package}}
 
 import (
-	"elasticrmi/internal/core"
-)
+{{range .Imports}}	{{printf "%q" .}}
+{{end}})
 {{range .Services}}
 // {{.Name}}Stub is the generated client stub for {{.Name}}: the client's
 // local representative of the elastic object pool. The existence of a pool
@@ -342,18 +379,39 @@ func (o *sized{{.Name}}Object) HandleCall(method string, arg []byte) ([]byte, er
 	return o.mux.HandleCall(method, arg)
 }
 
+// HandleRequest implements core.RequestHandler: the skeleton's hot path
+// keeps the payload's arena lifetime visible to the typed handlers.
+func (o *sized{{.Name}}Object) HandleRequest(req *transport.Request) ([]byte, error) {
+	return o.mux.HandleRequest(req)
+}
+
 // ChangePoolSize implements core.PoolSizer.
 func (o *sized{{.Name}}Object) ChangePoolSize() int { return o.sizer.ChangePoolSize() }
-{{end}}`))
+{{end}}{{.CodecSource}}`))
 
-// Generate emits the stub/skeleton source for a parsed file.
+// Generate emits the stub/skeleton/codec source for a parsed file.
 func Generate(f *File, sourceName string) ([]byte, error) {
+	var imports []string
+	if len(f.Services) > 0 {
+		imports = append(imports, "elasticrmi/internal/core", "elasticrmi/internal/transport")
+	}
+	if len(f.Codecs) > 0 {
+		imports = append(imports, "elasticrmi/internal/ermic")
+		if usesDuration(f.Codecs) {
+			imports = append(imports, "time")
+		}
+	}
 	var buf bytes.Buffer
 	err := tmpl.Execute(&buf, struct {
-		Package  string
-		Source   string
-		Services []Service
-	}{Package: f.Package, Source: sourceName, Services: f.Services})
+		Package     string
+		Source      string
+		Imports     []string
+		Services    []Service
+		CodecSource string
+	}{
+		Package: f.Package, Source: sourceName, Imports: imports,
+		Services: f.Services, CodecSource: emitCodecs(f.Codecs),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("gen: template: %w", err)
 	}

@@ -1,0 +1,68 @@
+package gentest
+
+import (
+	"testing"
+
+	"elasticrmi/internal/transport"
+)
+
+// gobBlob mirrors BlobArgs but carries no generated codec, so
+// transport.Encode/Decode take the gob fallback path for it. The pair
+// measures exactly what the `//ermi:codec` annotation buys at each payload
+// size: same struct shape, same transport entry points, different encoding.
+type gobBlob struct{ Data []byte }
+
+// benchmarkCodecRoundTrip measures one Encode+Decode cycle of a
+// codec-annotated payload through the transport's arena pipeline.
+func benchmarkCodecRoundTrip(b *testing.B, n int) {
+	arg := BlobArgs{Data: make([]byte, n)}
+	for i := range arg.Data {
+		arg.Data[i] = byte(i)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := transport.Encode(&arg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out BlobArgs
+		if err := transport.Decode(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+		// BlobArgs decodes as a zero-copy view into buf; this loop's use of
+		// the view ends here, so the slab can go back to the arena.
+		transport.ReleasePayload(buf)
+	}
+}
+
+// benchmarkGobRoundTrip is the same cycle through the gob fallback.
+func benchmarkGobRoundTrip(b *testing.B, n int) {
+	arg := gobBlob{Data: make([]byte, n)}
+	for i := range arg.Data {
+		arg.Data[i] = byte(i)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := transport.Encode(&arg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out gobBlob
+		if err := transport.Decode(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+		transport.ReleasePayload(buf)
+	}
+}
+
+func BenchmarkCodec64B(b *testing.B)   { benchmarkCodecRoundTrip(b, 64) }
+func BenchmarkCodec4KB(b *testing.B)   { benchmarkCodecRoundTrip(b, 4<<10) }
+func BenchmarkCodec256KB(b *testing.B) { benchmarkCodecRoundTrip(b, 256<<10) }
+
+func BenchmarkGob64B(b *testing.B)   { benchmarkGobRoundTrip(b, 64) }
+func BenchmarkGob4KB(b *testing.B)   { benchmarkGobRoundTrip(b, 4<<10) }
+func BenchmarkGob256KB(b *testing.B) { benchmarkGobRoundTrip(b, 256<<10) }

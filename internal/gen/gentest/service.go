@@ -13,7 +13,13 @@ import (
 	"elasticrmi/internal/core"
 )
 
-// Argument/reply types of the fixture service.
+//go:generate go run elasticrmi/cmd/ermi-gen -in service.go
+
+// Argument/reply types of the fixture service. The group is marked
+// //ermi:codec, so the generator emits binary payload codecs alongside the
+// stubs: these types travel on the wire without gob.
+//
+//ermi:codec
 type (
 	// BumpArgs increments the shared counter by N.
 	BumpArgs struct{ N int64 }
@@ -25,6 +31,14 @@ type (
 	TagArgs struct{ Key, Value string }
 	// TagReply names the member that served the store.
 	TagReply struct{ MemberUID int64 }
+	// BlobArgs carries an opaque payload; Data decodes as a zero-copy view
+	// into the transport frame.
+	BlobArgs struct{ Data []byte }
+	// BlobReply returns the payload's length and leading byte.
+	BlobReply struct {
+		Len   int64
+		First byte
+	}
 )
 
 // Counter is the elastic interface under test.
@@ -38,6 +52,9 @@ type Counter interface {
 	//
 	//ermi:affinity Key
 	Tag(arg TagArgs) (TagReply, error)
+	// Sink measures the zero-alloc payload path: its argument carries a
+	// []byte view and its reply is fixed-size.
+	Sink(arg BlobArgs) (BlobReply, error)
 }
 
 // Impl implements Counter with shared state; it also implements
@@ -74,6 +91,15 @@ func (i *Impl) Tag(arg TagArgs) (TagReply, error) {
 		return TagReply{}, err
 	}
 	return TagReply{MemberUID: i.ctx.UID}, nil
+}
+
+// Sink implements Counter without letting the payload view escape.
+func (i *Impl) Sink(arg BlobArgs) (BlobReply, error) {
+	rep := BlobReply{Len: int64(len(arg.Data))}
+	if len(arg.Data) > 0 {
+		rep.First = arg.Data[0]
+	}
+	return rep, nil
 }
 
 // ChangePoolSize implements core.PoolSizer.

@@ -91,14 +91,14 @@ func (c *Client) GoPut(key string, value []byte) *AsyncPut {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
-	call := conn.GoDecode(ServiceName, "Put", putReq{Key: key, Val: value})
+	call := conn.GoDecode(ServiceName, "Put", &putReq{Key: key, Val: value})
 	return &AsyncPut{call: call, done: call.Done()}
 }
 
 // Get fetches key.
 func (c *Client) Get(key string) (Versioned, error) {
 	var rep getReply
-	if err := c.call("Get", getReq{Key: key}, &rep); err != nil {
+	if err := c.call("Get", &getReq{Key: key}, &rep); err != nil {
 		return Versioned{}, err
 	}
 	return rep.Val, nil
@@ -107,7 +107,7 @@ func (c *Client) Get(key string) (Versioned, error) {
 // Put stores value at key and returns the new version.
 func (c *Client) Put(key string, value []byte) (uint64, error) {
 	var rep putReply
-	if err := c.call("Put", putReq{Key: key, Val: value}, &rep); err != nil {
+	if err := c.call("Put", &putReq{Key: key, Val: value}, &rep); err != nil {
 		return 0, err
 	}
 	return rep.Version, nil
@@ -116,13 +116,13 @@ func (c *Client) Put(key string, value []byte) (uint64, error) {
 // Delete removes key.
 func (c *Client) Delete(key string) error {
 	var rep delReply
-	return c.call("Delete", delReq{Key: key}, &rep)
+	return c.call("Delete", &delReq{Key: key}, &rep)
 }
 
 // CompareAndSwap conditionally replaces key at expectVersion.
 func (c *Client) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, error) {
 	var rep casReply
-	if err := c.call("CAS", casReq{Key: key, Val: value, ExpectVersion: expectVersion}, &rep); err != nil {
+	if err := c.call("CAS", &casReq{Key: key, Val: value, ExpectVersion: expectVersion}, &rep); err != nil {
 		return 0, err
 	}
 	return rep.Version, nil
@@ -131,7 +131,7 @@ func (c *Client) CompareAndSwap(key string, value []byte, expectVersion uint64) 
 // AddInt64 atomically adds delta to the integer at key.
 func (c *Client) AddInt64(key string, delta int64) (int64, error) {
 	var rep addReply
-	if err := c.call("Add", addReq{Key: key, Delta: delta}, &rep); err != nil {
+	if err := c.call("Add", &addReq{Key: key, Delta: delta}, &rep); err != nil {
 		return 0, err
 	}
 	return rep.Value, nil
@@ -140,7 +140,7 @@ func (c *Client) AddInt64(key string, delta int64) (int64, error) {
 // Keys lists keys with the given prefix.
 func (c *Client) Keys(prefix string) ([]string, error) {
 	var rep keysReply
-	if err := c.call("Keys", keysReq{Prefix: prefix}, &rep); err != nil {
+	if err := c.call("Keys", &keysReq{Prefix: prefix}, &rep); err != nil {
 		return nil, err
 	}
 	return rep.Keys, nil
@@ -149,13 +149,13 @@ func (c *Client) Keys(prefix string) ([]string, error) {
 // TryLock attempts to take the named lock.
 func (c *Client) TryLock(name, owner string, lease time.Duration) error {
 	var rep lockReply
-	return c.call("TryLock", lockReq{Name: name, Owner: owner, Lease: lease}, &rep)
+	return c.call("TryLock", &lockReq{Name: name, Owner: owner, Lease: lease}, &rep)
 }
 
 // Unlock releases the named lock.
 func (c *Client) Unlock(name, owner string) error {
 	var rep unlockReply
-	return c.call("Unlock", unlockReq{Name: name, Owner: owner}, &rep)
+	return c.call("Unlock", &unlockReq{Name: name, Owner: owner}, &rep)
 }
 
 // Export snapshots entries with the prefix (used by shard migration).

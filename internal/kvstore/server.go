@@ -16,8 +16,17 @@ import (
 // ServiceName is the transport service name of the key-value store.
 const ServiceName = "kv"
 
+//go:generate go run elasticrmi/cmd/ermi-gen -in server.go,store.go -out codec_ermi.go
+
 // Wire messages. Every op has a request and reply struct; errors travel as
 // string codes so clients can re-map them to the exported sentinel errors.
+//
+// The hot data-path messages are //ermi:codec-marked: Get/Put/Delete/CAS/
+// Add/Keys and the lock calls travel in the generated binary encoding, with
+// values ([]byte) decoding server-side as zero-copy views into the
+// transport frame.
+//
+//ermi:codec
 type (
 	getReq   struct{ Key string }
 	getReply struct{ Val Versioned }
@@ -55,6 +64,12 @@ type (
 		Owner string
 	}
 	unlockReply struct{}
+)
+
+// Bulk migration/replication messages stay on the gob fallback: they carry
+// LockInfo (absolute time.Time expiries), which the binary codec does not
+// encode, and they are off the per-operation hot path.
+type (
 	exportReq   struct{ Prefix string }
 	exportReply struct{ Entries map[string]Versioned }
 	importReq   struct{ Entries map[string]Versioned }
@@ -320,6 +335,11 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 	if req.Service != ServiceName {
 		return nil, fmt.Errorf("unknown service %q", req.Service)
 	}
+	// Every successful reply below is transport.Encode output the handler
+	// hands over outright: the server returns it to the payload arena once
+	// the response frame is written. (Error returns carry a nil payload, for
+	// which the release is a no-op.)
+	req.ReleaseReply = true
 	switch req.Method {
 	case "Get":
 		var r getReq
@@ -330,7 +350,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(getReply{Val: v})
+		return transport.Encode(&getReply{Val: v})
 	case "Put":
 		var r putReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -340,7 +360,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		ver := s.store.Put(r.Key, r.Val)
 		s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
 		unlock()
-		return transport.Encode(putReply{Version: ver})
+		return transport.Encode(&putReply{Version: ver})
 	case "Delete":
 		var r delReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -351,7 +371,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 			s.forward(r.Key, map[string]Versioned{r.Key: tomb}, nil)
 		}
 		unlock()
-		return transport.Encode(delReply{})
+		return transport.Encode(&delReply{})
 	case "CAS":
 		var r casReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -366,7 +386,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(casReply{Version: ver})
+		return transport.Encode(&casReply{Version: ver})
 	case "Add":
 		var r addReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -383,13 +403,13 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(addReply{Value: v})
+		return transport.Encode(&addReply{Value: v})
 	case "Keys":
 		var r keysReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
-		return transport.Encode(keysReply{Keys: s.store.Keys(r.Prefix)})
+		return transport.Encode(&keysReply{Keys: s.store.Keys(r.Prefix)})
 	case "TryLock":
 		var r lockReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -406,7 +426,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(lockReply{})
+		return transport.Encode(&lockReply{})
 	case "Unlock":
 		var r unlockReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -423,7 +443,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(unlockReply{})
+		return transport.Encode(&unlockReply{})
 	case "Export":
 		var r exportReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -432,7 +452,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		entries := s.store.Export(func(k string) bool {
 			return r.Prefix == "" || len(k) >= len(r.Prefix) && k[:len(r.Prefix)] == r.Prefix
 		})
-		return transport.Encode(exportReply{Entries: entries})
+		return transport.Encode(&exportReply{Entries: entries})
 	case "Import":
 		// Bulk install during migration/repair. Applied directly, never
 		// re-forwarded: membership changes run under the cluster's write
@@ -442,7 +462,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 			return nil, err
 		}
 		s.store.Import(r.Entries)
-		return transport.Encode(importReply{})
+		return transport.Encode(&importReply{})
 	case "ExportLocks":
 		var r exportLocksReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
@@ -451,14 +471,14 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		locks := s.store.ExportLocks(func(name string) bool {
 			return r.Prefix == "" || len(name) >= len(r.Prefix) && name[:len(r.Prefix)] == r.Prefix
 		})
-		return transport.Encode(exportLocksReply{Locks: locks})
+		return transport.Encode(&exportLocksReply{Locks: locks})
 	case "ImportLocks":
 		var r importLocksReq
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
 		s.store.ImportLocks(r.Locks)
-		return transport.Encode(importLocksReply{})
+		return transport.Encode(&importLocksReply{})
 	case "Replicate":
 		// Primary→backup delta. Applied directly, never re-forwarded.
 		var r replReq
@@ -469,7 +489,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		s.store.Drop(r.Dels)
 		s.store.ImportLocks(r.Locks)
 		s.store.DropLocks(r.LockDrops)
-		return transport.Encode(replReply{})
+		return transport.Encode(&replReply{})
 	default:
 		return nil, fmt.Errorf("unknown method %q", req.Method)
 	}

@@ -65,6 +65,11 @@ var (
 // deletion in a rebalance merge and resurrect the key. Versions are
 // monotonic across a key's whole history, deletions included (a re-created
 // key continues above its tombstone).
+//
+// The //ermi:codec mark gives it a generated binary codec (nested in the
+// hot wire messages); Value decodes as a zero-copy view into the frame.
+//
+//ermi:codec
 type Versioned struct {
 	Value   []byte
 	Version uint64

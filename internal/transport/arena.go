@@ -1,0 +1,100 @@
+package transport
+
+// The payload arena is a size-classed buffer pool shared by every hot
+// allocation of the payload pipeline: frame bodies read off the wire
+// (request and response payloads, frame metadata), and Encode's marshal
+// output. Buffers move through the pipeline by ownership transfer —
+// read → parse → handler → response write on the server, read → deliver →
+// decode on the client — and return here through ReleasePayload (or the
+// transport's own release points), so a steady-state echo loop allocates
+// nothing for payload memory.
+//
+// Free lists are buffered channels rather than sync.Pools: sending and
+// receiving a []byte on a channel copies the three-word header and never
+// allocates, whereas a sync.Pool of slices costs a heap allocation per Put
+// (interface boxing of the header). The channel capacity bounds worst-case
+// retained memory per class; a Put that finds its class full simply drops
+// the buffer for the GC.
+
+// arenaClasses are the slab capacities, ascending. Requests larger than the
+// top class are allocated exactly-sized and never pooled (rare, huge).
+var arenaClasses = [...]int{512, 2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+
+// arenaFree holds the per-class free lists. Capacities taper with class
+// size, bounding worst-case retained memory to ~45 MB across all classes
+// (dominated by the 8 MB class at 4 entries).
+var arenaFree = [len(arenaClasses)]chan []byte{
+	make(chan []byte, 256), // 512 B   → 128 KB
+	make(chan []byte, 256), // 2 KB    → 512 KB
+	make(chan []byte, 128), // 8 KB    → 1 MB
+	make(chan []byte, 64),  // 32 KB   → 2 MB
+	make(chan []byte, 32),  // 128 KB  → 4 MB
+	make(chan []byte, 16),  // 512 KB  → 8 MB
+	make(chan []byte, 8),   // 2 MB    → 16 MB
+	make(chan []byte, 4),   // 8 MB    → 32 MB
+}
+
+// arenaClass returns the index of the smallest class holding n bytes, or -1
+// when n exceeds the top class.
+func arenaClass(n int) int {
+	for i, c := range arenaClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// arenaGet returns a buffer of length n backed by a pooled slab. The
+// returned slice starts at the slab's base with the full class capacity
+// behind it, so the slab is recoverable from any b[:x] reslice via cap.
+func arenaGet(n int) []byte {
+	i := arenaClass(n)
+	if i < 0 {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-arenaFree[i]:
+		return b[:n]
+	default:
+		return make([]byte, n, arenaClasses[i])[:n]
+	}
+}
+
+// arenaPut returns a buffer obtained from arenaGet to its class. Only exact
+// class-capacity slabs are accepted: a foreign buffer (append-grown, or
+// never from the arena) silently goes to the GC instead of poisoning a
+// class with a wrong-sized slab.
+func arenaPut(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	for i, cls := range arenaClasses {
+		if c == cls {
+			select {
+			case arenaFree[i] <- b[:0][:cls:cls]:
+			default: // class full: drop for the GC
+			}
+			return
+		}
+		if c < cls {
+			return
+		}
+	}
+}
+
+// ReleasePayload returns a payload buffer to the transport's arena. It
+// applies to exactly two kinds of buffer: response payloads the client
+// handed out (Call, Wait, Payload) and Encode output. Server handlers must
+// never release req.Payload — the server releases request frames itself
+// after the response is written. Releasing is always optional (an
+// unreleased buffer is ordinary garbage) and must happen at most once,
+// after the caller's last use of the buffer AND of anything aliasing it: a
+// decoded value whose type has zero-copy []byte views (ERMIViews) still
+// references the buffer, which is why the transport's own decode paths
+// skip the release for such types. Buffers from any other source are
+// ignored.
+func ReleasePayload(b []byte) {
+	arenaPut(b)
+}

@@ -63,17 +63,19 @@ func (b *batcher) getTarget() int {
 	return b.target
 }
 
-// drainFrames parses every complete frame in the sink.
-func drainFrames(t *testing.T, raw []byte) (kinds []frameKind, bodies [][]byte) {
+// drainFrames parses every complete frame in the sink, returning each
+// frame's kind and metadata section (batch frames carry their entries
+// there).
+func drainFrames(t *testing.T, raw []byte) (kinds []frameKind, metas [][]byte) {
 	t.Helper()
 	br := bufio.NewReader(bytes.NewReader(raw))
 	for {
-		kind, body, err := readFrame(br)
+		kind, meta, _, err := readFrame(br)
 		if err != nil {
-			return kinds, bodies
+			return kinds, metas
 		}
 		kinds = append(kinds, kind)
-		bodies = append(bodies, body)
+		metas = append(metas, meta)
 	}
 }
 
@@ -87,7 +89,7 @@ func wireEntries(t *testing.T, raw []byte) int {
 		case frameRequest, frameOneWay:
 			total++
 		case frameBatch:
-			items, err := parseBatch(bodies[i])
+			items, err := parseBatch(bodies[i], nil)
 			if err != nil {
 				t.Fatalf("parseBatch: %v", err)
 			}
@@ -174,7 +176,7 @@ func TestBatcherCoalescesIntoBatchFrame(t *testing.T) {
 	if len(kinds) != 1 || kinds[0] != frameBatch {
 		t.Fatalf("frames = %v, want exactly one batch frame", kinds)
 	}
-	items, err := parseBatch(bodies[0])
+	items, err := parseBatch(bodies[0], nil)
 	if err != nil {
 		t.Fatalf("parseBatch: %v", err)
 	}

@@ -47,9 +47,11 @@ func benchmarkEcho(b *testing.B, payloadSize, callers int) {
 
 	if callers <= 1 {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.Call("svc", "Echo", payload, 10*time.Second); err != nil {
+			out, err := c.Call("svc", "Echo", payload, 10*time.Second)
+			if err != nil {
 				b.Fatal(err)
 			}
+			ReleasePayload(out)
 		}
 		return
 	}
@@ -67,10 +69,12 @@ func benchmarkEcho(b *testing.B, payloadSize, callers int) {
 		go func(n int) {
 			defer wg.Done()
 			for i := 0; i < n; i++ {
-				if _, err := c.Call("svc", "Echo", payload, 10*time.Second); err != nil {
+				out, err := c.Call("svc", "Echo", payload, 10*time.Second)
+				if err != nil {
 					errs <- err
 					return
 				}
+				ReleasePayload(out)
 			}
 		}(n)
 	}
@@ -86,6 +90,15 @@ func benchmarkEcho(b *testing.B, payloadSize, callers int) {
 func BenchmarkCall(b *testing.B)      { benchmarkEcho(b, 64, 1) }
 func BenchmarkCall4KB(b *testing.B)   { benchmarkEcho(b, 4<<10, 1) }
 func BenchmarkCall256KB(b *testing.B) { benchmarkEcho(b, 256<<10, 1) }
+
+// BenchmarkCall256KBNoSG is BenchmarkCall256KB with the scatter-gather
+// write path disabled (header and payload copied into one contiguous
+// buffer), isolating what writev-style vectored writes buy on large frames.
+func BenchmarkCall256KBNoSG(b *testing.B) {
+	sgEnabled.Store(false)
+	b.Cleanup(func() { sgEnabled.Store(true) })
+	benchmarkEcho(b, 256<<10, 1)
+}
 
 // Concurrent variants share one connection, exercising multiplexing and
 // write coalescing under contention.
@@ -125,9 +138,11 @@ func benchmarkEchoPipelined(b *testing.B, payloadSize, window int, bo BatchOptio
 			calls = append(calls, c.Go("svc", "Echo", payload))
 		}
 		for _, ca := range calls {
-			if _, err := ca.Wait(10 * time.Second); err != nil {
+			out, err := ca.Wait(10 * time.Second)
+			if err != nil {
 				b.Fatal(err)
 			}
+			ReleasePayload(out)
 		}
 		done += n
 	}

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"net"
 	"sync"
@@ -134,17 +133,27 @@ func (ca *Call) Payload() ([]byte, error) {
 	return ca.res.payload, nil
 }
 
-// Decode blocks until the call completes and gob-decodes the response
-// payload into reply. A nil reply discards the payload.
+// Decode blocks until the call completes and decodes the response payload
+// into reply (generated codec or gob; see transport.Decode). A nil reply
+// discards the payload. Unless reply's type holds zero-copy views into the
+// buffer (ERMIViews), the payload is released back to the transport arena —
+// the caller must not touch it (or call Payload) afterwards.
 func (ca *Call) Decode(reply interface{}) error {
 	out, err := ca.Payload()
 	if err != nil {
 		return err
 	}
 	if reply == nil {
+		ca.res.payload = nil
+		arenaPut(out)
 		return nil
 	}
-	return Decode(out, reply)
+	err = Decode(out, reply)
+	if !holdsViews(reply) {
+		ca.res.payload = nil
+		arenaPut(out)
+	}
+	return err
 }
 
 // Release returns the call object to the pool. An incomplete call is
@@ -231,9 +240,6 @@ func (ca *Call) Wait(timeout time.Duration) ([]byte, error) {
 
 var timerPool sync.Pool // *time.Timer, stopped
 
-// encBufPool recycles gob encode buffers (see Encode).
-var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
-
 // Dial connects to a Server at addr.
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, 5*time.Second)
@@ -312,18 +318,25 @@ func (c *Client) readLoop() {
 	defer close(c.done)
 	br := bufio.NewReaderSize(c.conn, connBufSize)
 	for {
-		kind, body, err := readFrame(br)
+		kind, meta, payload, err := readFrame(br)
 		if err != nil {
 			c.failAll(err)
 			return
 		}
 		if kind != frameResponse {
+			arenaPut(meta)
+			arenaPut(payload)
 			c.failAll(fmt.Errorf("transport: protocol violation: frame kind %d", kind))
 			return
 		}
 		var res callResult
-		seq, err := parseResponse(body, &res)
+		seq, err := parseResponse(meta, payload, &res)
+		// The metadata slab is done the moment parsing returns: strings and
+		// route tables were copied out. The payload slab's ownership travels
+		// with the delivered result.
+		arenaPut(meta)
 		if err != nil {
+			arenaPut(payload)
 			c.failAll(err)
 			return
 		}
@@ -341,9 +354,11 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ca.deliver(res)
+		} else {
+			// A response for an unknown seq was abandoned by a timed-out
+			// caller that reclaimed its pending entry first; recycle it.
+			arenaPut(payload)
 		}
-		// A response for an unknown seq was abandoned by a timed-out caller
-		// that reclaimed its pending entry first; drop it.
 	}
 }
 
@@ -485,10 +500,13 @@ func (c *Client) Call(service, method string, payload []byte, timeout time.Durat
 	return c.GoBudget(service, method, payload, timeout).Wait(timeout)
 }
 
-// CallDecode is the typed convenience around Call: it gob-encodes arg,
-// invokes service.method and gob-decodes the response payload into reply.
-// A nil arg sends an empty payload; a nil reply discards the response
-// payload.
+// CallDecode is the typed convenience around Call: it encodes arg, invokes
+// service.method and decodes the response payload into reply (generated
+// codec or gob; see transport.Encode). A nil arg sends an empty payload; a
+// nil reply discards the response payload. CallDecode manages the payload
+// arena end to end: the request buffer is released once the call completes
+// and the response buffer after decoding (unless reply's type holds
+// zero-copy views into it).
 func (c *Client) CallDecode(service, method string, arg, reply interface{}, timeout time.Duration) error {
 	var payload []byte
 	if arg != nil {
@@ -499,13 +517,21 @@ func (c *Client) CallDecode(service, method string, arg, reply interface{}, time
 		}
 	}
 	out, err := c.Call(service, method, payload, timeout)
+	// Call returned, so the request bytes are written (or the entry was
+	// purged from the batch queue): the encode buffer is reusable.
+	arenaPut(payload)
 	if err != nil {
 		return err
 	}
 	if reply == nil {
+		arenaPut(out)
 		return nil
 	}
-	return Decode(out, reply)
+	err = Decode(out, reply)
+	if !holdsViews(reply) {
+		arenaPut(out)
+	}
+	return err
 }
 
 // GoDecode is the typed convenience around Go: it gob-encodes arg and

@@ -5,12 +5,13 @@
 // client connection multiplexes concurrent calls; responses are matched to
 // requests by sequence number.
 //
-// # Wire format (version 3)
+// # Wire format (version 4)
 //
 // Framing is a hand-rolled binary codec: no reflection runs on the hot path.
-// Only application payloads — the opaque []byte a Request or Response
-// carries — use gob, via Encode and Decode, so type descriptors are never
-// re-transmitted per frame.
+// Application payloads — the opaque []byte a Request or Response carries —
+// are produced by Encode and consumed by Decode, which dispatch to generated
+// per-type binary codecs where available and fall back to gob otherwise (see
+// "Payload encoding" below).
 //
 // A connection starts with a 5-byte preamble sent by the dialing side:
 //
@@ -18,36 +19,45 @@
 //	| 'e' | 'R' | 'M' | 'I' | version |
 //	+-----+-----+-----+-----+---------+
 //
-// The current protocol version is 3 (version 1 lacked the request epoch and
+// The current protocol version is 4 (version 1 lacked the request epoch and
 // piggybacked route updates and carried a redirect list on responses;
-// version 2 lacked the request budget and the response status). A server
-// that reads a bad magic or an unknown version closes the connection before
-// parsing any frame; mismatched peers fail fast at connection start rather
-// than mid-stream. The preamble is buffered with the first request frame,
-// costing no extra syscall.
+// version 2 lacked the request budget and the response status; version 3
+// carried the payload inline in the body rather than in a separately-sized
+// section). A server that reads a bad magic or an unknown version closes the
+// connection before parsing any frame; mismatched peers fail fast at
+// connection start rather than mid-stream. The preamble is buffered with the
+// first request frame, costing no extra syscall.
 //
 // After the preamble the stream is a sequence of frames:
 //
-//	+----------------+------+------------------+
-//	| length (u32 BE)| kind | body (length-1 B)|
-//	+----------------+------+------------------+
+//	+----------------+------+-------------+------+---------+
+//	| length (u32 BE)| kind | plen (u32 BE)| meta | payload |
+//	+----------------+------+-------------+------+---------+
 //
-// length counts the kind byte plus the body and must not exceed MaxFrame
-// (64 MiB); oversized frames are rejected by the reader (killing the
-// connection) and refused by the writer before any byte is written (failing
-// only that call). kind is 1 for a request, 2 for a response, 3 for a
-// one-way request, 4 for a batch of requests. All integers inside a body
-// are unsigned varints (encoding/binary uvarint); strings and byte slices
-// are length-prefixed with a uvarint.
+// length counts everything after itself (kind, plen, meta and payload) and
+// must not exceed MaxFrame (64 MiB); oversized frames are rejected by the
+// reader (killing the connection) and refused by the writer before any byte
+// is written (failing only that call). kind is 1 for a request, 2 for a
+// response, 3 for a one-way request, 4 for a batch of requests. plen is the
+// size of the trailing payload section; the metadata section (the body
+// fields below, minus the payload) fills the bytes in between. Carrying
+// plen in the fixed header lets the reader land the payload directly in an
+// exactly-sized arena slab and lets the writer emit large payloads by
+// scatter-gather, without either side copying them through the connection
+// buffer. All integers inside the metadata are unsigned varints
+// (encoding/binary uvarint); strings and byte slices are length-prefixed
+// with a uvarint. Batch frames are the exception: their entries' payloads
+// travel inline in the metadata section (plen = 0) and share the frame's
+// buffer by refcount.
 //
-// Request body (kind 1):
+// Request metadata (kind 1; the application payload is the frame's payload
+// section):
 //
 //	seq      uvarint   // caller-chosen, echoed by the response
 //	epoch    uvarint   // caller's routing epoch (0 = none); see below
 //	budget   uvarint   // remaining deadline budget in µs (0 = none)
 //	service  uvarint n, then n bytes
 //	method   uvarint n, then n bytes
-//	payload  uvarint n, then n bytes
 //
 // budget is the caller's remaining deadline when the request was written —
 // for a stub, what is left of the single per-invocation budget shared
@@ -57,13 +67,13 @@
 // answered with status 2 (expired). Handlers see the anchored deadline on
 // Request.Deadline.
 //
-// Response body (kind 2):
+// Response metadata (kind 2; the result payload is the frame's payload
+// section):
 //
 //	seq      uvarint   // matches the request
 //	status   uvarint   // 0 = ok; 1 = overload; 2 = expired (see below)
 //	errmsg   uvarint n, then n bytes   // n>0 => RemoteError at the caller
 //	route    route update (see below); first uvarint 0 = absent
-//	payload  uvarint n, then n bytes
 //
 // status 0 carries the handler's result (or its application error in
 // errmsg). status 1 (overload) means the server's admission controller shed
@@ -96,7 +106,7 @@
 // so even a shed call re-synchronizes its caller. Requests carrying a
 // current epoch cost one byte (the absent marker) on the response.
 //
-// One-way body (kind 3): identical to a request body. The server executes
+// One-way frames (kind 3) are identical in shape to a request. The server executes
 // the invocation and sends no response frame of any kind; handler results
 // and errors are dropped, and there is no reply to piggyback corrections
 // on. The seq is carried for symmetry and debugging but is never echoed.
@@ -104,8 +114,9 @@
 // gate and queue are full it is dropped silently (the client awaits no
 // reply), never parked on an unbounded goroutine.
 //
-// Batch body (kind 4): several coalesced requests in one frame, written by
-// the client-side adaptive batcher (see BatchOptions):
+// Batch metadata (kind 4): several coalesced requests in one frame, written
+// by the client-side adaptive batcher (see BatchOptions). Entry payloads
+// travel inline here — a batch frame's payload section is empty (plen = 0):
 //
 //	count    uvarint   // 1..1024
 //	entries  count times:
@@ -151,15 +162,50 @@
 // without quiescing can cut an acknowledged-but-unflushed response, which a
 // retrying caller would turn into a duplicate execution.
 //
+// # Payload encoding
+//
+// Encode and Decode turn application argument/reply values into the opaque
+// payload section and back. Types annotated //ermi:codec in their source
+// carry generated binary codecs (the ermi-gen preprocessor emits SizeERMI /
+// MarshalERMI / UnmarshalERMI — the Marshaler and Unmarshaler interfaces
+// here): Encode sizes the value exactly, draws a slab of that size from the
+// payload arena and marshals straight into it, with no reflection and no
+// intermediate buffer. Unannotated types fall back to gob through a pooled
+// encode buffer (buffers grown past 64 KiB are not pooled again, so one
+// large payload cannot inflate the steady state).
+//
+// Payload memory is recycled through a size-classed arena (arena.go):
+// fixed classes from 512 B to 8 MiB backed by bounded freelists, shared by
+// both directions — the reader lands each frame's payload section in an
+// exactly-sized slab, Encode draws response and argument buffers from the
+// same classes, and ReleasePayload returns a slab once its last use has
+// passed. The transport's own call paths (CallDecode, the generated stubs
+// above them, the server's response writer via Request.ReleaseReply) release
+// what they own; a payload that escapes — a decoded []byte view held beyond
+// the call — is retained instead (Request.Retain on the server; on the
+// client, reply types whose codecs mark them as view-holding, via the
+// ERMIViews marker, skip the release and leave the slab to the GC).
+//
+// Decoding through a generated codec is zero-copy for []byte fields: the
+// field aliases the payload slab rather than copying out of it. Strings are
+// copied (they routinely outlive the frame); integers travel as varints;
+// the codec rejects malformed input rather than panicking, and trailing
+// bytes after a valid value are an error.
+//
 // # Performance notes
 //
 // Both directions of a connection are buffered. Writers coalesce: a frame
 // written while other writers are queued on the same connection skips the
-// flush, so N concurrent calls can reach the kernel in one syscall. Framing
-// allocates nothing on the write path; the read path allocates one buffer
-// per frame (the payload handed to the handler or caller aliases it). Client
-// call state (completion channels, timers) is pooled, and sequence numbers
-// come from an atomic counter, so a steady-state Call is allocation-light.
+// flush, so N concurrent calls can reach the kernel in one syscall; payload
+// sections of 16 KiB and above bypass the connection buffer entirely and go
+// to the kernel as one vectored write (net.Buffers → writev) together with
+// the header and metadata. Framing allocates nothing on the write path; the
+// read path parses the fixed header in place (Peek/Discard on the buffered
+// reader) and lands the payload in a recycled arena slab. Server Request
+// objects and their frame refcounts are pooled, a resident worker absorbs
+// light load without goroutine spawns, client call state (completion
+// channels, timers) is pooled, and sequence numbers come from an atomic
+// counter: a steady-state 64-byte echo round-trip costs 2 allocations.
 //
 // Asynchronous invocation pipelines through the same machinery: Client.Go
 // returns a pooled future immediately, so one caller can keep many requests

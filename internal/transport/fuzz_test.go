@@ -13,14 +13,15 @@ import (
 // hostile or corrupt peer can put arbitrary bytes on the connection. These
 // fuzz targets assert the parsers never panic, never allocate proportionally
 // to attacker-declared counts, and are round-trip stable: anything a parser
-// accepts re-encodes through the production writers to a body the parser
-// reads back identically. (Byte-exact re-encoding is deliberately not
-// asserted — encoding/binary accepts non-minimal varints.) Seeds come from
-// the protocol edge cases exercised in protocol_test.go (boundary frames,
-// hostile counts, truncated bodies).
+// accepts re-encodes through the production writers to frames the reader and
+// parsers consume back identically. (Byte-exact re-encoding is deliberately
+// not asserted — encoding/binary accepts non-minimal varints.) Seeds come
+// from the protocol edge cases exercised in protocol_test.go (boundary
+// frames, hostile counts and lengths, truncated sections).
 
-// frameBytes renders a full frame (header + kind + body) via the production
-// writer so fuzz seeds and re-encodings stay in sync with the encoder.
+// frameBytes renders a full frame (length + header + meta + payload) via the
+// production writer so fuzz seeds and re-encodings stay in sync with the
+// encoder.
 func frameBytes(t testing.TB, write func(w *connWriter) error) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -31,14 +32,27 @@ func frameBytes(t testing.TB, write func(w *connWriter) error) []byte {
 	return buf.Bytes()
 }
 
+// reparse reads the single frame in raw and returns its kind and sections.
+func reparse(t *testing.T, raw []byte) (frameKind, []byte, []byte) {
+	t.Helper()
+	kind, meta, payload, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("re-encoded frame rejected by readFrame: %v", err)
+	}
+	return kind, meta, payload
+}
+
 func FuzzReadFrame(f *testing.F) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
 	f.Add(hdr[:])
 	binary.BigEndian.PutUint32(hdr[:], 0)
 	f.Add(hdr[:])
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // hostile declared length
-	f.Add([]byte{0, 0, 0, 2, byte(frameRequest)})  // truncated body
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})                          // hostile declared length
+	f.Add([]byte{0, 0, 0, 2, byte(frameRequest)})                           // size below the fixed header
+	f.Add([]byte{0, 0, 0, 10, byte(frameRequest), 0, 0, 0, 0})              // truncated metadata section
+	f.Add([]byte{0, 0, 0, 9, byte(frameRequest), 0xFF, 0xFF, 0xFF, 0xFF})   // payload length beyond the frame
+	f.Add([]byte{0, 0, 0, 12, byte(frameResponse), 0, 0, 0, 4, 1, 2, 3, 4}) // payload section, truncated
 	var t testing.T
 	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeRequest(7, 3, 1500, "svc", "m", []byte("hi")) }))
 	f.Add(frameBytes(&t, func(w *connWriter) error { return w.writeOneWay(0, 0, 0, "svc", "m", nil) }))
@@ -57,24 +71,24 @@ func FuzzReadFrame(f *testing.F) {
 	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		kind, body, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		kind, meta, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {
 			return
 		}
-		// A parsed frame's declared size is honored exactly: kind byte plus
-		// body must fit inside the input.
-		if len(body)+1 > len(data)-4 {
-			t.Fatalf("frame body of %d bytes from %d input bytes", len(body), len(data))
+		// A parsed frame's declared size is honored exactly: header plus both
+		// sections must fit inside the input.
+		if frameHeaderSize+len(meta)+len(payload) > len(data)-4 {
+			t.Fatalf("frame sections of %d+%d bytes from %d input bytes", len(meta), len(payload), len(data))
 		}
-		// Whatever the kind claims, every parser must be total on the body.
+		// Whatever the kind claims, every parser must be total on the bytes.
 		switch kind {
 		case frameRequest, frameOneWay:
-			_, _ = parseRequest(body)
+			_, _ = parseRequest(meta, payload, nil)
 		case frameResponse:
 			var res callResult
-			_, _ = parseResponse(body, &res)
+			_, _ = parseResponse(meta, payload, &res)
 		case frameBatch:
-			items, err := parseBatch(body)
+			items, err := parseBatch(meta, nil)
 			if err == nil && (len(items) == 0 || len(items) > maxBatchEntries) {
 				t.Fatalf("parseBatch accepted %d entries", len(items))
 			}
@@ -83,25 +97,34 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 func FuzzParseRequest(f *testing.F) {
-	f.Add([]byte{})
-	f.Add([]byte{7, 2, 1, 's', 1, 'm', 0})
-	f.Add(binary.AppendUvarint(nil, 1<<40)) // seq only, then truncation
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{7, 2, 0, 1, 's', 1, 'm'}, []byte("payload"))
+	f.Add(binary.AppendUvarint(nil, 1<<40), []byte{}) // seq only, then truncation
 	seed := binary.AppendUvarint(nil, 3)
 	seed = binary.AppendUvarint(seed, 1)
-	seed = binary.AppendUvarint(seed, 200) // service length beyond the body
-	f.Add(seed)
+	seed = binary.AppendUvarint(seed, 0)
+	seed = binary.AppendUvarint(seed, 200) // service length beyond the meta
+	f.Add(seed, []byte{})
 
-	f.Fuzz(func(t *testing.T, body []byte) {
-		req, err := parseRequest(body)
+	f.Fuzz(func(t *testing.T, meta, payload []byte) {
+		req, err := parseRequest(meta, payload, nil)
 		if err != nil {
 			return
 		}
+		budget := budgetMicros(req.Budget)
+		if requestFrameSize(req.Seq, req.Epoch, budget, req.Service, req.Method, req.Payload) > MaxFrame {
+			return // the writer refuses oversize frames by design
+		}
 		// Round-trip stability: what the parser accepted re-encodes to a
-		// body it parses back field-identically.
+		// frame it parses back field-identically.
 		out := frameBytes(t, func(w *connWriter) error {
-			return w.writeRequest(req.Seq, req.Epoch, budgetMicros(req.Budget), req.Service, req.Method, req.Payload)
+			return w.writeRequest(req.Seq, req.Epoch, budget, req.Service, req.Method, req.Payload)
 		})
-		again, err := parseRequest(out[5:])
+		kind, meta2, payload2 := reparse(t, out)
+		if kind != frameRequest {
+			t.Fatalf("re-encoded request came back as kind %d", kind)
+		}
+		again, err := parseRequest(meta2, payload2, nil)
 		if err != nil {
 			t.Fatalf("re-encoded request rejected: %v", err)
 		}
@@ -114,7 +137,7 @@ func FuzzParseRequest(f *testing.F) {
 }
 
 func FuzzParseResponse(f *testing.F) {
-	f.Add([]byte{})
+	f.Add([]byte{}, []byte{})
 	// A hostile route-member count: declared 67M entries backed by 64 bytes.
 	hostile := binary.AppendUvarint(nil, 9)
 	hostile = binary.AppendUvarint(hostile, 0) // status
@@ -122,8 +145,8 @@ func FuzzParseResponse(f *testing.F) {
 	hostile = binary.AppendUvarint(hostile, 12) // route epoch
 	hostile = binary.AppendUvarint(hostile, 67_000_000)
 	hostile = append(hostile, make([]byte, 64)...)
-	f.Add(hostile)
-	// A well-formed error + route-update body.
+	f.Add(hostile, []byte{})
+	// A well-formed error + route-update meta with a payload section.
 	ok := binary.AppendUvarint(nil, 4)
 	ok = binary.AppendUvarint(ok, 0) // status
 	ok = binary.AppendUvarint(ok, 4)
@@ -136,31 +159,34 @@ func FuzzParseResponse(f *testing.F) {
 	ok = binary.AppendUvarint(ok, 100) // weight
 	ok = binary.AppendUvarint(ok, 5)   // load
 	ok = append(ok, 0)                 // flags
-	ok = binary.AppendUvarint(ok, 0)   // payload
-	f.Add(ok)
+	f.Add(ok, []byte("result"))
 
-	f.Fuzz(func(t *testing.T, body []byte) {
-		if len(body) > 1<<20 {
-			return // keep re-encoding clear of the writer's MaxFrame clamp
-		}
+	f.Fuzz(func(t *testing.T, meta, payload []byte) {
 		var res callResult
-		seq, err := parseResponse(body, &res)
+		seq, err := parseResponse(meta, payload, &res)
 		if err != nil {
 			// The count guard must hold even on rejected bodies: storage
 			// never grows proportionally to a declared member count.
-			if res.route != nil && len(res.route.Members) > len(body) {
-				t.Fatalf("rejected body of %d bytes materialized %d route members", len(body), len(res.route.Members))
+			if res.route != nil && len(res.route.Members) > len(meta) {
+				t.Fatalf("rejected meta of %d bytes materialized %d route members", len(meta), len(res.route.Members))
 			}
 			return
 		}
 		if res.route != nil && (res.route.Epoch == 0 || len(res.route.Members) > maxRouteMembers) {
 			t.Fatalf("accepted invalid route update: %+v", res.route)
 		}
+		if responseFrameSize(seq, res.status, res.payload, res.errMsg, res.route) > MaxFrame {
+			return // the writer degrades oversize responses by design
+		}
 		out := frameBytes(t, func(w *connWriter) error {
 			return w.writeResponse(seq, res.status, res.payload, res.errMsg, res.route, false)
 		})
+		kind, meta2, payload2 := reparse(t, out)
+		if kind != frameResponse {
+			t.Fatalf("re-encoded response came back as kind %d", kind)
+		}
 		var again callResult
-		seq2, err := parseResponse(out[5:], &again)
+		seq2, err := parseResponse(meta2, payload2, &again)
 		if err != nil {
 			t.Fatalf("re-encoded response rejected: %v", err)
 		}
@@ -196,13 +222,10 @@ func FuzzParseBatch(f *testing.F) {
 			{oneway: true, seq: 0, service: "svc", method: "Tick", payload: nil},
 		})
 	})
-	f.Add(good[5:]) // strip header + kind: parseBatch sees the body
+	f.Add(good[9:]) // strip length + header: batch entries ride in the meta section
 
-	f.Fuzz(func(t *testing.T, body []byte) {
-		if len(body) > 1<<20 {
-			return // keep re-encoding clear of the writer's MaxFrame bound
-		}
-		items, err := parseBatch(body)
+	f.Fuzz(func(t *testing.T, meta []byte) {
+		items, err := parseBatch(meta, nil)
 		if err != nil {
 			return
 		}
@@ -221,8 +244,15 @@ func FuzzParseBatch(f *testing.F) {
 				payload: it.req.Payload,
 			}
 		}
+		if batchFrameSize(entries) > MaxFrame {
+			return // the writer refuses oversize batches by design
+		}
 		out := frameBytes(t, func(w *connWriter) error { return w.writeBatch(entries) })
-		again, err := parseBatch(out[5:])
+		kind, meta2, _ := reparse(t, out)
+		if kind != frameBatch {
+			t.Fatalf("re-encoded batch came back as kind %d", kind)
+		}
+		again, err := parseBatch(meta2, nil)
 		if err != nil {
 			t.Fatalf("re-encoded batch rejected: %v", err)
 		}

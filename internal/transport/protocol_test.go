@@ -16,20 +16,16 @@ import (
 )
 
 // solvePayloadLen finds the payload length that makes a request frame come
-// out at exactly target bytes (varint length fields make this non-linear).
+// out at exactly target bytes. The payload rides in the frame's dedicated
+// payload section behind a fixed-width length field, so the relationship is
+// linear.
 func solvePayloadLen(t *testing.T, seq uint64, service, method string, target int) int {
 	t.Helper()
-	// base is the frame size excluding the payload-length field and payload.
-	base := requestFrameSize(seq, 0, 0, service, method, nil) - uvarintLen(0)
-	n := target - base - 1
-	for i := 0; i < 6; i++ { // converges: uvarintLen(n) moves by at most 1 per step
-		if base+uvarintLen(uint64(n))+n == target {
-			return n
-		}
-		n = target - base - uvarintLen(uint64(n))
+	n := target - requestFrameSize(seq, 0, 0, service, method, nil)
+	if n <= 0 {
+		t.Fatalf("no payload length reaches frame size %d", target)
 	}
-	t.Fatalf("no payload length reaches frame size %d", target)
-	return 0
+	return n
 }
 
 // TestFrameExactlyAtMaxFrame drives the codec at its boundary: a request
@@ -49,14 +45,14 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 	if got := buf.Len(); got != MaxFrame+4 {
 		t.Fatalf("wire bytes = %d, want %d (frame + 4-byte length)", got, MaxFrame+4)
 	}
-	kind, body, err := readFrame(bufio.NewReader(&buf))
+	kind, meta, payload2, err := readFrame(bufio.NewReader(&buf))
 	if err != nil {
 		t.Fatalf("readFrame at limit: %v", err)
 	}
 	if kind != frameRequest {
 		t.Fatalf("kind = %d", kind)
 	}
-	req, err := parseRequest(body)
+	req, err := parseRequest(meta, payload2, nil)
 	if err != nil {
 		t.Fatalf("parseRequest: %v", err)
 	}
@@ -85,14 +81,20 @@ func TestFrameExactlyAtMaxFrame(t *testing.T) {
 func TestReadFrameRejectsOversizeHeader(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+	_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
 	if err == nil || !strings.Contains(err.Error(), "outside") {
 		t.Fatalf("err = %v, want oversize rejection", err)
 	}
 	// Zero-length frames (no kind byte) are equally malformed.
 	binary.BigEndian.PutUint32(hdr[:], 0)
-	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+	if _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
 		t.Fatal("zero-length frame accepted")
+	}
+	// A payload length exceeding the declared frame size is rejected before
+	// either section is read.
+	hostile := []byte{0, 0, 0, 9, byte(frameRequest), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hostile))); !errors.Is(err, errMalformed) {
+		t.Fatalf("hostile payload length err = %v, want errMalformed", err)
 	}
 }
 
@@ -216,7 +218,7 @@ func TestParseResponseRejectsHostileRouteCount(t *testing.T) {
 	body = binary.AppendUvarint(body, 67_000_000) // hostile member count...
 	body = append(body, make([]byte, 64)...)      // ...backed by 64 bytes
 	var res callResult
-	if _, err := parseResponse(body, &res); !errors.Is(err, errMalformed) {
+	if _, err := parseResponse(body, nil, &res); !errors.Is(err, errMalformed) {
 		t.Fatalf("err = %v, want errMalformed", err)
 	}
 	if res.route != nil && len(res.route.Members) > 64 {

@@ -90,6 +90,8 @@ type Server struct {
 	workers atomic.Int32
 	shed    atomic.Uint64
 	expired atomic.Uint64
+	// quit retires the resident worker at Close.
+	quit chan struct{}
 
 	// draining makes the server drop newly arriving requests without
 	// executing them (see Quiesce): the unanswered request fails with the
@@ -169,12 +171,41 @@ func ServeListenerOpts(lis net.Listener, handler Handler, opts ServerOptions) (*
 		handler: handler,
 		opts:    opts,
 		work:    make(chan workItem, opts.MaxQueue),
+		quit:    make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 		states:  make(map[*connState]struct{}),
 	}
-	s.wg.Add(1)
+	// One resident worker parks on the admission queue for the server's
+	// lifetime (it occupies the first concurrency slot), so light sequential
+	// load dispatches without spawning a goroutine per request; elastic
+	// workers still spawn behind it when the queue backs up.
+	s.workers.Store(1)
+	s.wg.Add(2)
+	go s.residentWorker()
 	go s.acceptLoop()
 	return s, nil
+}
+
+// residentWorker is the permanent member of the worker pool.
+func (s *Server) residentWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case it := <-s.work:
+			s.process(it)
+		case <-s.quit:
+			// Drain anything the elastic workers left behind so admitted
+			// work is never stranded at Close.
+			for {
+				select {
+				case it := <-s.work:
+					s.process(it)
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // Addr returns the listener's address.
@@ -274,13 +305,17 @@ func (s *Server) process(it workItem) {
 		s.expired.Add(1)
 		if !it.oneway {
 			s.reply(it.st, req, statusExpired, nil, "")
+		} else {
+			req.recycle()
 		}
 		return
 	}
 	if it.oneway {
 		// The result, including any error, is dropped — the client asked
-		// for no response frame.
+		// for no response frame. The payload slab is done once the handler
+		// returns (unless it Retained).
 		_, _ = s.handler(req)
+		req.recycle()
 		return
 	}
 	payload, err := s.handler(req)
@@ -299,6 +334,14 @@ func (s *Server) reply(st *connState, req *Request, status byte, payload []byte,
 	rt := s.routeUpdateFor(req.Epoch)
 	hold := st.outstanding.Add(-1) > 0
 	werr := st.w.writeResponse(req.Seq, status, payload, errMsg, rt, hold)
+	// The response bytes are on their way (buffered or scatter-gathered to
+	// the kernel), so nothing references the request's payload slab — or a
+	// transport-owned reply buffer — any longer. Release both, even on a
+	// write error: the slabs are clean either way.
+	if req.ReleaseReply {
+		arenaPut(payload)
+	}
+	req.recycle()
 	st.written.Add(1)
 	if werr != nil {
 		st.conn.Close()
@@ -331,6 +374,7 @@ func (s *Server) ingestRequest(st *connState, req *Request, arrival time.Time) {
 	if s.draining.Load() {
 		st.outstanding.Add(-1)
 		st.written.Add(1)
+		req.recycle()
 		return // dropped unexecuted; fails with the connection
 	}
 	if req.Budget > 0 {
@@ -349,6 +393,7 @@ func (s *Server) ingestRequest(st *connState, req *Request, arrival time.Time) {
 // work silently — never an unbounded goroutine.
 func (s *Server) ingestOneWay(req *Request, arrival time.Time) {
 	if s.draining.Load() {
+		req.recycle()
 		return // at-most-once: dropped with the closing member
 	}
 	req.OneWay = true
@@ -357,6 +402,7 @@ func (s *Server) ingestOneWay(req *Request, arrival time.Time) {
 	}
 	if !s.admit(workItem{req: req, oneway: true}) {
 		s.shed.Add(1)
+		req.recycle()
 	}
 }
 
@@ -382,35 +428,55 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.states, st)
 		s.mu.Unlock()
 	}()
+	in := newInterner()
 	for {
-		kind, body, err := readFrame(br)
+		kind, meta, payload, err := readFrame(br)
 		if err != nil {
 			return
 		}
 		arrival := time.Now()
 		switch kind {
-		case frameRequest:
-			req, err := parseRequest(body)
+		case frameRequest, frameOneWay:
+			req, err := parseRequest(meta, payload, in)
+			// The metadata slab is done once parsing returns (service and
+			// method were interned out of it); the payload slab's ownership
+			// moves to the request, released after its response is written.
+			arenaPut(meta)
 			if err != nil {
+				arenaPut(payload)
 				return
 			}
-			s.ingestRequest(st, req, arrival)
-		case frameOneWay:
-			req, err := parseRequest(body)
-			if err != nil {
-				return
+			if payload != nil {
+				// Single-request frames use the Request's inline frameBuf:
+				// no per-frame refcount allocation.
+				req.fb.buf = payload
+				req.fb.refs.Store(1)
+				req.frame = &req.fb
 			}
-			s.ingestOneWay(req, arrival)
+			if kind == frameRequest {
+				s.ingestRequest(st, req, arrival)
+			} else {
+				s.ingestOneWay(req, arrival)
+			}
 		case frameBatch:
-			items, err := parseBatch(body)
+			items, err := parseBatch(meta, in)
 			if err != nil {
+				arenaPut(meta)
+				arenaPut(payload)
 				return
 			}
+			// Batch payloads ride inline in the metadata section; a stray
+			// payload section from a nonconforming peer is just dropped.
+			arenaPut(payload)
+			// Every entry's payload aliases the shared metadata slab, so the
+			// slab is refcounted: the last entry to finish releases it.
+			fb := newFrameBuf(meta, int32(len(items)))
 			// Fan-out: every entry of the batch passes through the admission
 			// gate exactly as if it had arrived in its own frame. Responses
 			// are ordinary response frames, coalesced on the return path by
 			// the outstanding-count flush elision.
 			for _, it := range items {
+				it.req.frame = fb
 				if it.oneway {
 					s.ingestOneWay(it.req, arrival)
 				} else {
@@ -418,6 +484,8 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 			}
 		default:
+			arenaPut(meta)
+			arenaPut(payload)
 			return
 		}
 	}
@@ -507,6 +575,7 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	close(s.quit)
 	s.wg.Wait()
 	return err
 }

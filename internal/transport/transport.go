@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"reflect"
+	"sync"
 	"time"
 
 	"elasticrmi/internal/route"
@@ -47,9 +49,13 @@ func (e *RemoteError) Error() string {
 }
 
 // Request is a remote method invocation as it travels on the wire. The
-// Payload handed to a server Handler aliases the frame's read buffer; it
-// remains valid indefinitely but is shared with the response write path, so
-// handlers must not mutate it after returning.
+// Payload handed to a server Handler lives in a pooled arena slab: it is
+// valid until the request's response has been written (for one-way
+// requests, until the handler returns), after which the server releases
+// the slab for reuse. A handler that lets the payload — or a zero-copy
+// view decoded from it — escape that window must call Retain first.
+// Handlers must not mutate the payload (it is shared with the response
+// write path when echoed back).
 type Request struct {
 	Seq uint64
 	// Epoch is the routing epoch the caller held when it sent the request
@@ -74,6 +80,72 @@ type Request struct {
 	// response to piggyback corrections on, so handlers execute them with
 	// whatever routing the caller chose.
 	OneWay bool
+	// ReleaseReply marks the handler's returned payload as transport-owned
+	// arena memory (Encode output): the server releases it to the arena once
+	// the response frame is written. A handler returning memory it does not
+	// own outright — req.Payload echoed back, a long-lived application
+	// buffer — must leave it false.
+	ReleaseReply bool
+
+	// frame is the refcounted arena slab backing Payload (nil once released
+	// or retained). See Retain.
+	frame *frameBuf
+	// fb backs frame inline for single-request frames, so parsing a request
+	// allocates neither a Request (pooled) nor a frameBuf; batch entries
+	// share one out-of-line refcounted frameBuf instead.
+	fb frameBuf
+	// retained records Retain: the Request must not return to the pool while
+	// decoded views alias its slab, so it is left to the GC with the slab.
+	retained bool
+}
+
+// reqPool recycles server-side Request objects: one is checked out per
+// parsed invocation and returned once the response is written (one-way
+// work: once the handler returns), unless Retain detached it.
+var reqPool = sync.Pool{New: func() interface{} { return new(Request) }}
+
+// getRequest checks a zeroed Request out of the pool.
+func getRequest() *Request {
+	r := reqPool.Get().(*Request)
+	r.Seq, r.Epoch = 0, 0
+	r.Service, r.Method = "", ""
+	r.Payload = nil
+	r.Budget, r.Deadline = 0, time.Time{}
+	r.OneWay, r.ReleaseReply, r.retained = false, false, false
+	r.frame = nil
+	r.fb.buf = nil
+	return r
+}
+
+// Retain detaches the request's payload from the transport's arena
+// recycling: the slab is left to the garbage collector instead of being
+// reused after the response is written. Handlers (or the decode layer
+// above them) call it when the payload — or a zero-copy view into it, such
+// as a []byte field decoded by a generated codec — outlives the request.
+func (r *Request) Retain() {
+	r.retained = true
+	r.frame = nil
+}
+
+// releaseFrame drops the request's reference on its frame slab (a no-op
+// after Retain). Called by the server once the response is written — or,
+// for one-way work, once the handler returns.
+func (r *Request) releaseFrame() {
+	if f := r.frame; f != nil {
+		r.frame = nil
+		f.release()
+	}
+}
+
+// recycle releases the frame reference and returns the Request to the pool
+// for the next parse. A retained Request stays out of the pool: the decoded
+// views aliasing its slab keep both alive until the application drops them.
+func (r *Request) recycle() {
+	r.releaseFrame()
+	if !r.retained {
+		r.fb.buf = nil
+		reqPool.Put(r)
+	}
 }
 
 // Response answers a Request with the same Seq. It is the logical shape of a
@@ -91,21 +163,122 @@ type Response struct {
 // an error surfaces as a RemoteError at the caller.
 type Handler func(req *Request) ([]byte, error)
 
-// Encode gob-encodes v into a payload byte slice.
+// Marshaler is the encode half of a generated payload codec (ermi-gen's
+// `//ermi:codec` output): SizeERMI returns the exact encoded size and
+// MarshalERMI appends the encoding to b. Encode dispatches to it instead of
+// gob, marshalling straight into an exactly-sized arena slab.
+type Marshaler interface {
+	SizeERMI() int
+	MarshalERMI(b []byte) []byte
+}
+
+// Unmarshaler is the decode half of a generated payload codec. Decode
+// dispatches to it instead of gob. Implementations must be total on
+// arbitrary input (returning an error, never panicking) and may alias b in
+// []byte fields (zero-copy views) — such types also implement the
+// ERMIViews marker so the transport's decode paths know the buffer
+// escapes.
+type Unmarshaler interface {
+	UnmarshalERMI(b []byte) error
+}
+
+// viewer is the marker interface generated codecs implement when the
+// decoded value may hold zero-copy views into the payload buffer.
+type viewer interface{ ERMIViews() }
+
+// holdsViews reports whether v's decoded form may alias the payload buffer
+// it was decoded from (so the buffer must not be released after decode).
+func holdsViews(v interface{}) bool {
+	_, ok := v.(viewer)
+	return ok
+}
+
+// encBufPool recycles gob encode buffers (the codec fallback path of
+// Encode).
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledEncBuf caps the capacity an encode buffer may carry back into
+// encBufPool. Without the cap one large encode poisons the pool: a buffer
+// grown to 256 KB is retained forever and handed to every later 100-byte
+// encode, so steady-state memory tracks the largest payload ever seen
+// rather than the working set. Oversized buffers go to the GC instead.
+const maxPooledEncBuf = 64 << 10
+
+func putEncBuf(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledEncBuf {
+		return
+	}
+	encBufPool.Put(buf)
+}
+
+// marshalerByValue caches, per concrete type, whether the *addressable*
+// form of the type implements Marshaler even though the value passed to
+// Encode does not (codec methods have pointer receivers; a caller passing
+// the struct by value would otherwise silently fall back to gob while the
+// receiving side decodes with the codec — asymmetric corruption). The
+// cached value is true when Encode must promote the value to a pointer.
+var marshalerByValue sync.Map // reflect.Type → bool
+
+var marshalerType = reflect.TypeOf((*Marshaler)(nil)).Elem()
+
+// promoteMarshaler returns v's Marshaler when the pointer form of v's type
+// implements it (via an addressable copy), or nil.
+func promoteMarshaler(v interface{}) Marshaler {
+	t := reflect.TypeOf(v)
+	if t == nil {
+		return nil
+	}
+	cached, ok := marshalerByValue.Load(t)
+	if !ok {
+		cached = t.Kind() != reflect.Pointer && reflect.PointerTo(t).Implements(marshalerType)
+		marshalerByValue.Store(t, cached)
+	}
+	if !cached.(bool) {
+		return nil
+	}
+	p := reflect.New(t)
+	p.Elem().Set(reflect.ValueOf(v))
+	return p.Interface().(Marshaler)
+}
+
+// Encode serializes v into a payload buffer drawn from the transport's
+// arena. Values whose type carries a generated codec (Marshaler) are
+// marshalled directly into an exactly-sized slab; everything else falls
+// back to gob. The buffer may be handed back with ReleasePayload after its
+// last use (transport call paths that own the buffer do so themselves).
 func Encode(v interface{}) ([]byte, error) {
+	m, ok := v.(Marshaler)
+	if !ok {
+		m = promoteMarshaler(v)
+	}
+	if m != nil {
+		buf := arenaGet(m.SizeERMI())
+		out := m.MarshalERMI(buf[:0])
+		return out, nil
+	}
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		encBufPool.Put(buf)
+		putEncBuf(buf)
 		return nil, fmt.Errorf("encode payload: %w", err)
 	}
-	out := append([]byte(nil), buf.Bytes()...)
-	encBufPool.Put(buf)
+	out := arenaGet(buf.Len())
+	copy(out, buf.Bytes())
+	putEncBuf(buf)
 	return out, nil
 }
 
-// Decode gob-decodes a payload produced by Encode into v.
+// Decode deserializes a payload produced by Encode into v. Values whose
+// type carries a generated codec (Unmarshaler) decode through it;
+// everything else falls back to gob. Codec types with []byte fields alias
+// data (zero-copy views) — see ReleasePayload for the lifetime rules.
 func Decode(data []byte, v interface{}) error {
+	if u, ok := v.(Unmarshaler); ok {
+		if err := u.UnmarshalERMI(data); err != nil {
+			return fmt.Errorf("decode payload: %w", err)
+		}
+		return nil
+	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("decode payload: %w", err)
 	}

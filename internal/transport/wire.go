@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,9 +14,10 @@ import (
 	"elasticrmi/internal/route"
 )
 
-// MaxFrame bounds a single message (kind byte + body) to protect against
-// corrupt frames and unbounded buffering. Writers refuse larger frames
-// before emitting any byte; readers treat them as a protocol violation.
+// MaxFrame bounds a single message (everything after the u32 length field)
+// to protect against corrupt frames and unbounded buffering. Writers refuse
+// larger frames before emitting any byte; readers treat them as a protocol
+// violation.
 const MaxFrame = 64 << 20
 
 // Protocol preamble: magic "eRMI" plus a version byte, sent by the dialing
@@ -24,7 +26,11 @@ const MaxFrame = 64 << 20
 // redirect list of version 1). Version 3 added the remaining-budget field on
 // requests, one-way frames and batch entries, and the status field on
 // responses (statusOverload / statusExpired for admission-control refusals).
-const protoVersion = 3
+// Version 4 split every frame into a metadata section and a payload section
+// whose length travels in the fixed header, so readers place the payload in
+// an exactly-sized arena slab and writers emit large payloads by
+// scatter-gather without copying them through the connection buffer.
+const protoVersion = 4
 
 var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
 
@@ -39,9 +45,15 @@ const (
 	frameOneWay frameKind = 3
 	// frameBatch carries several coalesced requests in one frame. The
 	// server fans the entries out to the handler; responses (for the
-	// entries that want one) travel as ordinary response frames.
+	// entries that want one) travel as ordinary response frames. Batch
+	// frames carry their entries' payloads inline in the metadata section
+	// (plen = 0); the entries share the frame's buffer by refcount.
 	frameBatch frameKind = 4
 )
+
+// frameHeaderSize is the fixed per-frame header after the u32 length field:
+// one kind byte plus the u32 payload-section length.
+const frameHeaderSize = 5
 
 // oneWayFlag marks a batch entry whose response the client does not want.
 const oneWayFlag = 0x1
@@ -76,6 +88,20 @@ var errMalformed = errors.New("transport: malformed frame")
 // small frames, small enough to be cheap per connection.
 const connBufSize = 32 << 10
 
+// scatterGatherThreshold selects the write path for a frame's payload
+// section: payloads at or above it bypass the connection buffer entirely —
+// the header+metadata scratch and the payload go to the kernel as one
+// net.Buffers writev — instead of being copied through connBufSize-sized
+// flushes. Half the connection buffer: anything larger would flush at least
+// once mid-copy anyway.
+const scatterGatherThreshold = 16 << 10
+
+// sgEnabled gates the scatter-gather path (benchmarks toggle it to measure
+// the writev saving in isolation).
+var sgEnabled atomic.Bool
+
+func init() { sgEnabled.Store(true) }
+
 // uvarintLen returns the encoded size of x.
 func uvarintLen(x uint64) int {
 	n := 1
@@ -91,15 +117,19 @@ func uvarintLen(x uint64) int {
 // behind it leaves flushing to the last of them, so a burst of concurrent
 // frames reaches the kernel in a single syscall. Write errors are sticky —
 // once a frame fails the connection is dead and every later write fails.
+// Large payloads skip the buffer: header+metadata are built in an arena
+// scratch and handed to the kernel together with the payload as one
+// scatter-gather write (net.Buffers → writev on TCP).
 type connWriter struct {
 	mu      sync.Mutex
 	bw      *bufio.Writer
+	dst     io.Writer // the raw connection, for scatter-gather writes
 	waiters atomic.Int32
 	err     error
 }
 
 func newConnWriter(w io.Writer) *connWriter {
-	return &connWriter{bw: bufio.NewWriterSize(w, connBufSize)}
+	return &connWriter{bw: bufio.NewWriterSize(w, connBufSize), dst: w}
 }
 
 // lock enters the writer's critical section, tracking this writer in the
@@ -124,17 +154,53 @@ func (w *connWriter) finish(err error) error {
 	return err
 }
 
-func putUvarint(bw *bufio.Writer, x uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], x)
-	bw.Write(tmp[:n])
+// writeSG emits a fully built header+metadata scratch and the payload as
+// one gathered write to the raw connection: buffered frames are flushed
+// first (ordering), then net.Buffers hands both slices to writev in a
+// single syscall on TCP, so the payload is never copied into the
+// connection buffer. Caller holds the lock.
+func (w *connWriter) writeSG(hdrMeta, payload []byte) error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	bufs := net.Buffers{hdrMeta, payload}
+	_, err := bufs.WriteTo(w.dst)
+	return err
 }
 
-func putFrameHeader(bw *bufio.Writer, size int, kind frameKind) {
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(size))
-	hdr[4] = byte(kind)
-	bw.Write(hdr[:])
+// writeFrame emits one fully built header+metadata scratch plus its payload
+// section, choosing the scatter-gather path for large payloads. Caller
+// holds the lock.
+func (w *connWriter) writeFrame(hdrMeta, payload []byte) error {
+	if len(payload) >= scatterGatherThreshold && sgEnabled.Load() {
+		return w.writeSG(hdrMeta, payload)
+	}
+	_, err := w.bw.Write(hdrMeta)
+	if err == nil && len(payload) > 0 {
+		_, err = w.bw.Write(payload)
+	}
+	return err
+}
+
+// putFrameHeader writes the wire header into b[:9]: the u32 frame size (the
+// byte count after the size field itself), the kind byte, and the u32
+// payload-section length.
+func putFrameHeader(b []byte, size int, kind frameKind, plen int) {
+	binary.BigEndian.PutUint32(b[:4], uint32(size))
+	b[4] = byte(kind)
+	binary.BigEndian.PutUint32(b[5:9], uint32(plen))
+}
+
+// appendWireString appends a uvarint-length-prefixed string.
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendWireBytes appends a uvarint-length-prefixed byte string.
+func appendWireBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
 }
 
 // budgetMicros converts a caller deadline budget to the wire's µs field,
@@ -146,12 +212,17 @@ func budgetMicros(budget time.Duration) uint64 {
 	return uint64(budget / time.Microsecond)
 }
 
-// requestFrameSize returns the frame size (kind byte + body) of a request.
-func requestFrameSize(seq, epoch, budget uint64, service, method string, payload []byte) int {
-	return 1 + uvarintLen(seq) + uvarintLen(epoch) + uvarintLen(budget) +
+// requestMetaSize returns the metadata-section size of a request frame.
+func requestMetaSize(seq, epoch, budget uint64, service, method string) int {
+	return uvarintLen(seq) + uvarintLen(epoch) + uvarintLen(budget) +
 		uvarintLen(uint64(len(service))) + len(service) +
-		uvarintLen(uint64(len(method))) + len(method) +
-		uvarintLen(uint64(len(payload))) + len(payload)
+		uvarintLen(uint64(len(method))) + len(method)
+}
+
+// requestFrameSize returns the frame size (everything after the u32 length
+// field) of a request.
+func requestFrameSize(seq, epoch, budget uint64, service, method string, payload []byte) int {
+	return frameHeaderSize + requestMetaSize(seq, epoch, budget, service, method) + len(payload)
 }
 
 func (w *connWriter) writeRequest(seq, epoch, budget uint64, service, method string, payload []byte) error {
@@ -164,25 +235,28 @@ func (w *connWriter) writeOneWay(seq, epoch, budget uint64, service, method stri
 }
 
 func (w *connWriter) writeRequestKind(kind frameKind, seq, epoch, budget uint64, service, method string, payload []byte) error {
-	size := requestFrameSize(seq, epoch, budget, service, method, payload)
+	metaSize := requestMetaSize(seq, epoch, budget, service, method)
+	size := frameHeaderSize + metaSize + len(payload)
 	if size > MaxFrame {
 		return fmt.Errorf("%w: request frame of %d bytes", ErrFrameTooLarge, size)
 	}
+	// Build header+metadata in arena scratch before taking the lock, so the
+	// critical section is just the copy (or writev) to the connection.
+	hm := arenaGet(9 + metaSize)
+	putFrameHeader(hm, size, kind, len(payload))
+	b := hm[:9]
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, epoch)
+	b = binary.AppendUvarint(b, budget)
+	b = appendWireString(b, service)
+	_ = appendWireString(b, method)
 	if err := w.lock(); err != nil {
 		w.mu.Unlock()
+		arenaPut(hm)
 		return err
 	}
-	bw := w.bw
-	putFrameHeader(bw, size, kind)
-	putUvarint(bw, seq)
-	putUvarint(bw, epoch)
-	putUvarint(bw, budget)
-	putUvarint(bw, uint64(len(service)))
-	bw.WriteString(service)
-	putUvarint(bw, uint64(len(method)))
-	bw.WriteString(method)
-	putUvarint(bw, uint64(len(payload)))
-	_, err := bw.Write(payload) // bufio errors are sticky; checking the last suffices
+	err := w.writeFrame(hm, payload)
+	arenaPut(hm)
 	return w.finish(err)
 }
 
@@ -200,14 +274,16 @@ type batchEntry struct {
 }
 
 // batchEntrySize returns the encoded size of one batch entry (flag byte +
-// request fields).
+// request fields + inline length-prefixed payload).
 func batchEntrySize(e *batchEntry) int {
-	return 1 + requestFrameSize(e.seq, e.epoch, e.budget, e.service, e.method, e.payload) - 1
+	return 1 + requestMetaSize(e.seq, e.epoch, e.budget, e.service, e.method) +
+		uvarintLen(uint64(len(e.payload))) + len(e.payload)
 }
 
-// batchFrameSize returns the frame size (kind byte + body) of a batch.
+// batchFrameSize returns the frame size (everything after the u32 length
+// field) of a batch.
 func batchFrameSize(entries []batchEntry) int {
-	size := 1 + uvarintLen(uint64(len(entries)))
+	size := frameHeaderSize + uvarintLen(uint64(len(entries)))
 	for i := range entries {
 		size += batchEntrySize(&entries[i])
 	}
@@ -216,7 +292,9 @@ func batchFrameSize(entries []batchEntry) int {
 
 // writeBatch emits one batch frame carrying every entry. The caller keeps
 // batches within MaxFrame and maxBatchEntries; violations fail the whole
-// write before any byte reaches the wire.
+// write before any byte reaches the wire. Batch payloads travel inline in
+// the metadata section (plen = 0): entries are small by construction, so
+// the scatter-gather path has nothing to win here.
 func (w *connWriter) writeBatch(entries []batchEntry) error {
 	if len(entries) == 0 {
 		return nil
@@ -228,31 +306,31 @@ func (w *connWriter) writeBatch(entries []batchEntry) error {
 	if size > MaxFrame {
 		return fmt.Errorf("%w: batch frame of %d bytes", ErrFrameTooLarge, size)
 	}
-	if err := w.lock(); err != nil {
-		w.mu.Unlock()
-		return err
-	}
-	bw := w.bw
-	putFrameHeader(bw, size, frameBatch)
-	putUvarint(bw, uint64(len(entries)))
-	var err error
+	hm := arenaGet(4 + size)
+	putFrameHeader(hm, size, frameBatch, 0)
+	b := hm[:9]
+	b = binary.AppendUvarint(b, uint64(len(entries)))
 	for i := range entries {
 		e := &entries[i]
 		var flags byte
 		if e.oneway {
 			flags |= oneWayFlag
 		}
-		bw.WriteByte(flags)
-		putUvarint(bw, e.seq)
-		putUvarint(bw, e.epoch)
-		putUvarint(bw, e.budget)
-		putUvarint(bw, uint64(len(e.service)))
-		bw.WriteString(e.service)
-		putUvarint(bw, uint64(len(e.method)))
-		bw.WriteString(e.method)
-		putUvarint(bw, uint64(len(e.payload)))
-		_, err = bw.Write(e.payload)
+		b = append(b, flags)
+		b = binary.AppendUvarint(b, e.seq)
+		b = binary.AppendUvarint(b, e.epoch)
+		b = binary.AppendUvarint(b, e.budget)
+		b = appendWireString(b, e.service)
+		b = appendWireString(b, e.method)
+		b = appendWireBytes(b, e.payload)
 	}
+	if err := w.lock(); err != nil {
+		w.mu.Unlock()
+		arenaPut(hm)
+		return err
+	}
+	_, err := w.bw.Write(hm)
+	arenaPut(hm)
 	return w.finish(err)
 }
 
@@ -314,34 +392,38 @@ func routeUpdateSize(rt *route.Table) int {
 	return size
 }
 
-func putRouteUpdate(bw *bufio.Writer, rt *route.Table) {
+func appendRouteUpdate(b []byte, rt *route.Table) []byte {
 	if rt == nil {
-		putUvarint(bw, 0)
-		return
+		return binary.AppendUvarint(b, 0)
 	}
-	putUvarint(bw, rt.Epoch)
-	putUvarint(bw, uint64(len(rt.Members)))
+	b = binary.AppendUvarint(b, rt.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(rt.Members)))
 	for i := range rt.Members {
 		m := &rt.Members[i]
-		putUvarint(bw, uint64(len(m.Addr)))
-		bw.WriteString(m.Addr)
-		putUvarint(bw, clampUID(m.UID))
-		putUvarint(bw, clampWeight(m.Weight))
-		putUvarint(bw, clampLoad(m.Load))
+		b = appendWireString(b, m.Addr)
+		b = binary.AppendUvarint(b, clampUID(m.UID))
+		b = binary.AppendUvarint(b, clampWeight(m.Weight))
+		b = binary.AppendUvarint(b, clampLoad(m.Load))
 		var flags byte
 		if m.Draining {
 			flags |= drainingFlag
 		}
-		bw.WriteByte(flags)
+		b = append(b, flags)
 	}
+	return b
 }
 
-// responseFrameSize returns the frame size (kind byte + body) of a response.
-func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table) int {
-	return 1 + uvarintLen(seq) + uvarintLen(uint64(status)) +
+// responseMetaSize returns the metadata-section size of a response frame.
+func responseMetaSize(seq uint64, status byte, errMsg string, rt *route.Table) int {
+	return uvarintLen(seq) + uvarintLen(uint64(status)) +
 		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
-		routeUpdateSize(rt) +
-		uvarintLen(uint64(len(payload))) + len(payload)
+		routeUpdateSize(rt)
+}
+
+// responseFrameSize returns the frame size (everything after the u32 length
+// field) of a response.
+func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table) int {
+	return frameHeaderSize + responseMetaSize(seq, status, errMsg, rt) + len(payload)
 }
 
 // writeResponse emits one response frame, piggybacking rt when non-nil (the
@@ -349,7 +431,9 @@ func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, r
 // flush even when no other writer is queued — the server passes it while
 // more responses for this connection are imminent (outstanding requests),
 // so a wave of completions reaches the kernel in one syscall; the caller
-// guarantees a later flush (last writer, or its straggler timer).
+// guarantees a later flush (last writer, or its straggler timer). A payload
+// at or above the scatter-gather threshold goes to the kernel immediately
+// regardless of hold (it is never copied into the connection buffer).
 func (w *connWriter) writeResponse(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table, hold bool) error {
 	if rt != nil && (len(rt.Members) == 0 || len(rt.Members) > maxRouteMembers || rt.Epoch == 0) {
 		rt = nil // unencodable table: drop the piggyback, never the response
@@ -360,20 +444,22 @@ func (w *connWriter) writeResponse(seq uint64, status byte, payload []byte, errM
 		payload, rt = nil, nil
 		errMsg = fmt.Sprintf("%v: response frame exceeds %d bytes", ErrFrameTooLarge, MaxFrame)
 	}
-	size := responseFrameSize(seq, status, payload, errMsg, rt)
+	metaSize := responseMetaSize(seq, status, errMsg, rt)
+	size := frameHeaderSize + metaSize + len(payload)
+	hm := arenaGet(9 + metaSize)
+	putFrameHeader(hm, size, frameResponse, len(payload))
+	b := hm[:9]
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(status))
+	b = appendWireString(b, errMsg)
+	_ = appendRouteUpdate(b, rt)
 	if err := w.lock(); err != nil {
 		w.mu.Unlock()
+		arenaPut(hm)
 		return err
 	}
-	bw := w.bw
-	putFrameHeader(bw, size, frameResponse)
-	putUvarint(bw, seq)
-	putUvarint(bw, uint64(status))
-	putUvarint(bw, uint64(len(errMsg)))
-	bw.WriteString(errMsg)
-	putRouteUpdate(bw, rt)
-	putUvarint(bw, uint64(len(payload)))
-	_, err := bw.Write(payload)
+	err := w.writeFrame(hm, payload)
+	arenaPut(hm)
 	if hold && err == nil {
 		if w.err == nil {
 			w.mu.Unlock()
@@ -400,23 +486,123 @@ func (w *connWriter) flushNow() error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame and returns its kind and body.
-// The body is freshly allocated: parsed payloads alias it and outlive the
-// next read.
-func readFrame(br *bufio.Reader) (frameKind, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, nil, err
+// readFrame reads one length-prefixed frame and returns its kind, metadata
+// section and payload section. Both sections live in arena slabs owned by
+// the caller: metadata is typically parsed and released immediately, while
+// the payload slab's ownership travels with the decoded message (the
+// payload slice starts at its slab's base, so ReleasePayload can recover
+// the slab from the slice alone). The frame size is validated from the
+// first four bytes before anything else is read, so a hostile declared
+// length is rejected without allocation.
+func readFrame(br *bufio.Reader) (frameKind, []byte, []byte, error) {
+	// The 4-byte length prefix and 5-byte frame header are parsed in the
+	// bufio window via Peek/Discard: a ReadFull into a local array would
+	// force the array to the heap (it escapes through the io.Reader
+	// parameter), costing two allocations per frame on the hot path. The
+	// length is validated as soon as its 4 bytes arrive — before waiting
+	// for the rest of the header — so a hostile declared size kills the
+	// connection even when the peer stalls mid-header.
+	lenPfx, perr := br.Peek(4)
+	if len(lenPfx) < 4 {
+		if perr == nil || (perr == io.EOF && len(lenPfx) > 0) {
+			perr = io.ErrUnexpectedEOF
+		}
+		return 0, nil, nil, perr
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxFrame {
-		return 0, nil, fmt.Errorf("transport: frame of %d bytes outside (0, %d]", n, MaxFrame)
+	size := binary.BigEndian.Uint32(lenPfx)
+	if size == 0 || size > MaxFrame {
+		return 0, nil, nil, fmt.Errorf("transport: frame of %d bytes outside (0, %d]", size, MaxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return 0, nil, err
+	if size < frameHeaderSize {
+		return 0, nil, nil, errMalformed
 	}
-	return frameKind(body[0]), body[1:], nil
+	hdr, perr := br.Peek(frameHeaderSize + 4)
+	if len(hdr) < frameHeaderSize+4 {
+		if perr == nil || perr == io.EOF {
+			perr = io.ErrUnexpectedEOF
+		}
+		return 0, nil, nil, perr
+	}
+	kind := frameKind(hdr[4])
+	plen := binary.BigEndian.Uint32(hdr[5:9])
+	if _, err := br.Discard(frameHeaderSize + 4); err != nil {
+		return 0, nil, nil, err
+	}
+	if uint64(plen) > uint64(size)-frameHeaderSize {
+		return 0, nil, nil, errMalformed
+	}
+	meta := arenaGet(int(size) - frameHeaderSize - int(plen))
+	if _, err := io.ReadFull(br, meta); err != nil {
+		arenaPut(meta)
+		return 0, nil, nil, err
+	}
+	var payload []byte
+	if plen > 0 {
+		payload = arenaGet(int(plen))
+		if _, err := io.ReadFull(br, payload); err != nil {
+			arenaPut(meta)
+			arenaPut(payload)
+			return 0, nil, nil, err
+		}
+	}
+	return kind, meta, payload, nil
+}
+
+// frameBuf is a refcounted arena slab backing one or more parsed requests.
+// A plain request holds one reference on its payload slab; every entry of a
+// batch frame holds a reference on the shared metadata slab its inline
+// payload aliases. The last release returns the slab to the arena; a
+// Retain'd request simply never releases its reference, leaving the slab to
+// the garbage collector once all aliases die.
+type frameBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+func newFrameBuf(buf []byte, refs int32) *frameBuf {
+	f := &frameBuf{buf: buf}
+	f.refs.Store(refs)
+	return f
+}
+
+// release drops one reference, returning the slab to the arena on the last.
+func (f *frameBuf) release() {
+	if f.refs.Add(-1) == 0 {
+		arenaPut(f.buf)
+	}
+}
+
+// interner deduplicates the service/method strings of one connection: a
+// connection invokes a small, stable set of methods, so after the first
+// occurrence every parse hits the map (whose string(b) lookup key never
+// allocates) instead of allocating two fresh strings per request. Bounded
+// so a hostile peer cycling through names cannot grow it without limit; a
+// nil interner degrades to plain copies.
+type interner struct {
+	m map[string]string
+}
+
+const (
+	internMaxEntries = 256
+	internMaxLen     = 128
+)
+
+func newInterner() *interner {
+	return &interner{m: make(map[string]string, 8)}
+}
+
+func (in *interner) intern(b []byte) string {
+	if in == nil || len(b) > internMaxLen {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // compiler-optimized: no alloc for the key
+		return s
+	}
+	s := string(b)
+	if len(in.m) < internMaxEntries {
+		in.m[s] = s
+	}
+	return s
 }
 
 // takeUvarint consumes a uvarint from b.
@@ -438,10 +624,11 @@ func takeBytes(b []byte) ([]byte, []byte, bool) {
 	return rest[:n], rest[n:], true
 }
 
-// parseRequest decodes a request body. Service and Method are copied out;
-// Payload aliases body.
-func parseRequest(body []byte) (*Request, error) {
-	seq, rest, ok := takeUvarint(body)
+// parseRequest decodes a request's metadata section and attaches the
+// payload section. Service and Method are interned (copied out of meta);
+// Payload is the arena slab readFrame produced.
+func parseRequest(meta, payload []byte, in *interner) (*Request, error) {
+	seq, rest, ok := takeUvarint(meta)
 	if !ok {
 		return nil, errMalformed
 	}
@@ -458,21 +645,17 @@ func parseRequest(body []byte) (*Request, error) {
 		return nil, errMalformed
 	}
 	method, rest, ok := takeBytes(rest)
-	if !ok {
-		return nil, errMalformed
-	}
-	payload, rest, ok := takeBytes(rest)
 	if !ok || len(rest) != 0 {
 		return nil, errMalformed
 	}
-	return &Request{
-		Seq:     seq,
-		Epoch:   epoch,
-		Budget:  clampBudget(budget),
-		Service: string(service),
-		Method:  string(method),
-		Payload: payload,
-	}, nil
+	req := getRequest()
+	req.Seq = seq
+	req.Epoch = epoch
+	req.Budget = clampBudget(budget)
+	req.Service = in.intern(service)
+	req.Method = in.intern(method)
+	req.Payload = payload
+	return req, nil
 }
 
 // clampBudget converts the wire's µs budget field into a duration, capping
@@ -491,10 +674,11 @@ type batchItem struct {
 	req    *Request
 }
 
-// parseBatch decodes a batch body. Service and Method strings are copied
-// out; payloads alias body.
-func parseBatch(body []byte) ([]batchItem, error) {
-	count, rest, ok := takeUvarint(body)
+// parseBatch decodes a batch's metadata section. Service and Method strings
+// are interned; payloads alias meta (the caller wraps meta in a refcounted
+// frameBuf shared by every entry).
+func parseBatch(meta []byte, in *interner) ([]batchItem, error) {
+	count, rest, ok := takeUvarint(meta)
 	if !ok || count == 0 || count > maxBatchEntries {
 		return nil, errMalformed
 	}
@@ -536,18 +720,15 @@ func parseBatch(body []byte) ([]batchItem, error) {
 		if !ok {
 			return nil, errMalformed
 		}
-		items = append(items, batchItem{
-			oneway: flags&oneWayFlag != 0,
-			req: &Request{
-				Seq:     seq,
-				Epoch:   epoch,
-				Budget:  clampBudget(budget),
-				Service: string(service),
-				Method:  string(method),
-				Payload: payload,
-				OneWay:  flags&oneWayFlag != 0,
-			},
-		})
+		req := getRequest()
+		req.Seq = seq
+		req.Epoch = epoch
+		req.Budget = clampBudget(budget)
+		req.Service = in.intern(service)
+		req.Method = in.intern(method)
+		req.Payload = payload
+		req.OneWay = flags&oneWayFlag != 0
+		items = append(items, batchItem{oneway: req.OneWay, req: req})
 	}
 	if len(rest) != 0 {
 		return nil, errMalformed
@@ -555,10 +736,12 @@ func parseBatch(body []byte) ([]batchItem, error) {
 	return items, nil
 }
 
-// parseResponse decodes a response body into res. res.payload aliases body;
-// a piggybacked route update is copied out (it outlives the frame).
-func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
-	seq, rest, ok := takeUvarint(body)
+// parseResponse decodes a response's metadata section into res and attaches
+// the payload section. The error string and any piggybacked route update
+// are copied out of meta (they outlive the frame); res.payload is the arena
+// slab readFrame produced.
+func parseResponse(meta, payload []byte, res *callResult) (seq uint64, err error) {
+	seq, rest, ok := takeUvarint(meta)
 	if !ok {
 		return 0, errMalformed
 	}
@@ -619,8 +802,7 @@ func parseResponse(body []byte, res *callResult) (seq uint64, err error) {
 		}
 		res.route = rt
 	}
-	payload, rest, ok := takeBytes(rest)
-	if !ok || len(rest) != 0 {
+	if len(rest) != 0 {
 		return 0, errMalformed
 	}
 	res.payload = payload

@@ -66,6 +66,50 @@ EOF
 } > BENCH_transport.json
 echo "wrote BENCH_transport.json"
 
+# BENCH_codec.json: the generated-payload-codec figure. Round-trip
+# Encode+Decode of the same []byte-carrying struct through the generated
+# binary codec vs the gob fallback at 64B/4KB/256KB (the speedup the
+# //ermi:codec annotation buys), plus the 256KB echo with and without the
+# scatter-gather write path (what writev-style vectored writes buy on large
+# frames — both rows come from the transport sweep above).
+CODEC=$(go test -run '^$' -bench '^Benchmark(Codec|Gob)' -benchmem -benchtime "${BENCHTIME:-2s}" ./internal/gen/gentest/)
+printf '%s\n' "$CODEC"
+
+{ printf '%s\n' "$CODEC"; printf '%s\n' "$OUT"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns[name]  = $(i-1)
+      if ($i == "MB/s")      mbs[name] = $(i-1)
+      if ($i == "B/op")      bop[name] = $(i-1)
+      if ($i == "allocs/op") aop[name] = $(i-1)
+    }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", gen
+    printf "  \"workload\": \"Encode+Decode round trip of a []byte-carrying struct (internal/gen/gentest/codec_bench_test.go); echo rows from internal/transport/bench_test.go\",\n"
+    printf "  \"note\": \"codec = generated //ermi:codec binary marshaller into arena slabs; gob = the fallback encoding; no_sg = scatter-gather write path disabled on the 256KB echo\",\n"
+    n = split("64B 4KB 256KB", sizes, " ")
+    printf "  \"roundtrip\": {\n"
+    for (i = 1; i <= n; i++) {
+      s = sizes[i]; c = "BenchmarkCodec" s; g = "BenchmarkGob" s
+      printf "    \"%s\": {\"codec\": {\"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, \"gob\": {\"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, \"speedup_x\": %.2f}%s\n", \
+        s, ns[c], mbs[c], bop[c], aop[c], ns[g], mbs[g], bop[g], aop[g], ns[g] / ns[c], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    sg = "BenchmarkCall256KB"; nosg = "BenchmarkCall256KBNoSG"
+    printf "  \"scatter_gather_256kb_echo\": {\n"
+    printf "    \"sg_on\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", ns[sg], mbs[sg]
+    printf "    \"sg_off\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", ns[nosg], mbs[nosg]
+    printf "    \"throughput_x\": %.2f\n", mbs[sg] / mbs[nosg]
+    printf "  }\n"
+    printf "}\n"
+  }
+' > BENCH_codec.json
+echo "wrote BENCH_codec.json"
+cat BENCH_codec.json
+
 # BENCH_async.json: the asynchronous invocation pipeline figure — the same
 # 64B echo workload driven sequentially-sync, as a pipelined window of
 # futures, through the adaptive batcher, and fire-and-forget. speedup_x is
