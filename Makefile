@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos generate-check
+.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos kv-restart generate-check
 
 all: vet test
 
@@ -13,6 +13,7 @@ all: vet test
 ci: fmt-check build vet generate-check
 	$(GO) test -race -timeout 300s ./...
 	$(MAKE) kv-chaos
+	$(MAKE) kv-restart
 	$(MAKE) fuzz-smoke
 
 # generate-check fails when any checked-in *_ermi.go file is stale: rerunning
@@ -32,6 +33,13 @@ generate-check:
 kv-chaos:
 	$(GO) test -race -timeout 300s -run 'TestKVStoreChaosKillUnderLoad' -count 3 ./internal/ermitest/
 
+# kv-restart gates the durability layer: the whole-cluster power-cut
+# scenario (every node halted mid-load with its log abandoned unflushed,
+# then rebooted from disk) under the race detector, repeated so the
+# halt lands on different interleavings of the write/snapshot pipeline.
+kv-restart:
+	$(GO) test -race -timeout 300s -run 'TestKVStoreClusterRestartFromDisk' -count 3 ./internal/ermitest/
+
 # fmt-check fails if any file is not gofmt-clean (gofmt -l lists offenders).
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -48,7 +56,8 @@ FUZZ_TARGETS := \
 	./internal/transport/:FuzzParseRequest \
 	./internal/transport/:FuzzParseResponse \
 	./internal/transport/:FuzzParseBatch \
-	./internal/gen/gentest/:FuzzCodecRoundTrip
+	./internal/gen/gentest/:FuzzCodecRoundTrip \
+	./internal/wal/:FuzzWALReplay
 FUZZTIME ?= 10s
 fuzz-smoke:
 	@for pt in $(FUZZ_TARGETS); do \

@@ -1,0 +1,273 @@
+package ermitest_test
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elasticrmi/internal/kvstore"
+)
+
+// TestKVStoreClusterRestartFromDisk is the whole-cluster power-cut
+// scenario: an R=2 durable cluster serves a mixed Put/CAS/delete/lock
+// workload, the ENTIRE cluster is halted mid-load (every node's log
+// abandoned with unfsynced bytes, as a rack power cut would), and a new
+// cluster boots from the surviving node directories. The durability
+// contract under test:
+//
+//   - zero lost acked writes — every acknowledged Put/CAS survives the
+//     restart at a value/version >= the acked one;
+//   - zero resurrected deletes — a key whose Delete was acked stays gone;
+//   - unexpired lock leases come back with their original owner AND
+//     original expiry (not extended by recovery), and a released lock
+//     does not come back held.
+func TestKVStoreClusterRestartFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	opts := kvstore.DurOptions{Dir: dir, GroupCommit: true, SnapshotEvery: 256}
+	cl, err := kvstore.NewDurable(3, 2, nil, opts)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+
+	var (
+		stop       = make(chan struct{})
+		stopOnce   sync.Once
+		wg         sync.WaitGroup
+		inCS       atomic.Int32
+		doubleHold atomic.Int32
+	)
+	halt := func() {
+		stopOnce.Do(func() { close(stop) })
+		wg.Wait()
+	}
+	defer halt()
+
+	// Writers: one key each, strictly increasing values; the last value
+	// and version whose Put RETURNED are the loss oracle. A durable ack
+	// means the primary fsynced the write before replying.
+	type writerState struct {
+		key       string
+		lastAcked int64
+		ackedVer  uint64
+	}
+	writers := make([]*writerState, 3)
+	for i := range writers {
+		ws := &writerState{key: fmt.Sprintf("restart-w%d", i)}
+		writers[i] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := int64(1); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ver, err := cl.Put(ws.key, []byte(strconv.FormatInt(n, 10)))
+				if err == nil {
+					ws.lastAcked, ws.ackedVer = n, ver
+				}
+			}
+		}()
+	}
+
+	// CAS chains: an acked CAS is an applied increment; ambiguous
+	// failures may add unacked increments, never subtract.
+	type casState struct {
+		key   string
+		acked int64
+	}
+	casers := make([]*casState, 2)
+	for i := range casers {
+		cs := &casState{key: fmt.Sprintf("restart-c%d", i)}
+		casers[i] = cs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var cur int64
+				var ver uint64
+				v, err := cl.Get(cs.key)
+				switch {
+				case errors.Is(err, kvstore.ErrNotFound):
+				case err != nil:
+					continue
+				default:
+					cur, _ = strconv.ParseInt(string(v.Value), 10, 64)
+					ver = v.Version
+				}
+				if _, err := cl.CompareAndSwap(cs.key, []byte(strconv.FormatInt(cur+1, 10)), ver); err == nil {
+					cs.acked++
+				}
+			}
+		}()
+	}
+
+	// Deleter: put a key, then delete it; a key whose Delete was acked
+	// must never resurface after the restart.
+	var (
+		delMu    sync.Mutex
+		ackedDel []string
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("restart-del-%05d", n)
+			if _, err := cl.Put(key, []byte("x")); err != nil {
+				continue
+			}
+			if err := cl.Delete(key); err == nil {
+				delMu.Lock()
+				ackedDel = append(ackedDel, key)
+				delMu.Unlock()
+			}
+		}
+	}()
+
+	// Lock churn: contend on one lock, assert mutual exclusion until the
+	// halt. Errors are tolerated (the halt races the workload).
+	for i := 0; i < 2; i++ {
+		worker := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owner := fmt.Sprintf("restart-locker-%d#%d", worker, seq)
+				if err := cl.TryLock("restart-churn-lock", owner, 5*time.Second); err != nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if inCS.Add(1) != 1 {
+					doubleHold.Add(1)
+				}
+				time.Sleep(200 * time.Microsecond)
+				inCS.Add(-1)
+				_ = cl.Unlock("restart-churn-lock", owner)
+			}
+		}()
+	}
+
+	// Ramp the workload so the halt lands mid-stream.
+	time.Sleep(400 * time.Millisecond)
+
+	// Pin down the three lock outcomes recovery must reproduce: a long
+	// lease that must survive held, a short lease whose exact expiry must
+	// be preserved, and a released lock that must not come back.
+	if err := cl.TryLock("restart-survivor", "original-owner", 30*time.Second); err != nil {
+		t.Fatalf("acquiring survivor lock: %v", err)
+	}
+	shortAcquired := time.Now()
+	const shortLease = 5 * time.Second
+	if err := cl.TryLock("restart-short", "short-owner", shortLease); err != nil {
+		t.Fatalf("acquiring short lock: %v", err)
+	}
+	if err := cl.TryLock("restart-released", "done-owner", 30*time.Second); err != nil {
+		t.Fatalf("acquiring to-release lock: %v", err)
+	}
+	if err := cl.Unlock("restart-released", "done-owner"); err != nil {
+		t.Fatalf("releasing lock: %v", err)
+	}
+
+	// Power cut: every node at once, mid-load, no handoff.
+	cl.Halt()
+	halt()
+
+	if n := doubleHold.Load(); n != 0 {
+		t.Fatalf("mutual exclusion broke %d times before the halt", n)
+	}
+
+	// Cold start from the surviving directories.
+	cl2, err := kvstore.NewDurable(3, 2, nil, opts)
+	if err != nil {
+		t.Fatalf("restart NewDurable: %v", err)
+	}
+	defer cl2.Close()
+
+	for _, ws := range writers {
+		if ws.lastAcked == 0 {
+			t.Fatalf("writer %s never got an ack; workload did not run", ws.key)
+		}
+		got, err := cl2.Get(ws.key)
+		if err != nil {
+			t.Fatalf("Get(%s) after restart: %v", ws.key, err)
+		}
+		val, _ := strconv.ParseInt(string(got.Value), 10, 64)
+		if val < ws.lastAcked || got.Version < ws.ackedVer {
+			t.Fatalf("%s: recovered %d@v%d < acked %d@v%d (acked write lost in restart)",
+				ws.key, val, got.Version, ws.lastAcked, ws.ackedVer)
+		}
+	}
+	for _, cs := range casers {
+		got, err := cl2.Get(cs.key)
+		if errors.Is(err, kvstore.ErrNotFound) && cs.acked == 0 {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Get(%s) after restart: %v", cs.key, err)
+		}
+		val, _ := strconv.ParseInt(string(got.Value), 10, 64)
+		if val < cs.acked {
+			t.Fatalf("%s: recovered %d < %d acked CAS increments", cs.key, val, cs.acked)
+		}
+	}
+	delMu.Lock()
+	deleted := ackedDel
+	delMu.Unlock()
+	if len(deleted) == 0 {
+		t.Fatal("deleter never got an ack; workload did not run")
+	}
+	for _, key := range deleted {
+		if _, err := cl2.Get(key); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("deleted key %s resurrected after restart (err=%v)", key, err)
+		}
+	}
+
+	// Survivor lease: original owner, still held against intruders, and
+	// renewable by the owner (owner identity preserved).
+	if err := cl2.TryLock("restart-survivor", "intruder", time.Second); !errors.Is(err, kvstore.ErrLockHeld) {
+		t.Fatalf("intruder on survivor lease: %v, want ErrLockHeld", err)
+	}
+	if err := cl2.TryLock("restart-survivor", "original-owner", 30*time.Second); err != nil {
+		t.Fatalf("original owner renewing survivor lease: %v", err)
+	}
+
+	// Short lease: exact expiry preserved — held before the original
+	// expiry, free after it. A recovery that re-stamped the lease would
+	// fail the second check; one that dropped it would fail the first.
+	if time.Since(shortAcquired) < shortLease-time.Second {
+		if err := cl2.TryLock("restart-short", "intruder", time.Second); !errors.Is(err, kvstore.ErrLockHeld) {
+			t.Fatalf("intruder on short lease before expiry: %v, want ErrLockHeld", err)
+		}
+	}
+	for time.Since(shortAcquired) < shortLease+300*time.Millisecond {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cl2.TryLock("restart-short", "intruder", time.Second); err != nil {
+		t.Fatalf("short lease still held past its original expiry (extended by recovery?): %v", err)
+	}
+
+	// Released lock: must not come back held.
+	if err := cl2.TryLock("restart-released", "new-owner", time.Second); err != nil {
+		t.Fatalf("released lock resurrected as held: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -150,6 +151,44 @@ func benchClusterLock(b *testing.B, rf int) {
 
 func BenchmarkClusterR1Lock(b *testing.B) { benchClusterLock(b, 1) }
 func BenchmarkClusterR2Lock(b *testing.B) { benchClusterLock(b, 2) }
+
+// Durability benchmarks: the same parallel put workload against an
+// in-memory store, a WAL paying one fsync per write (the naive
+// write-ahead baseline), and a group-committed WAL (one fsync amortized
+// across the concurrently admitted batch). The spread between the last
+// two is the cost group commit recovers; BENCH_kvstore.json records all
+// three. Parallel on purpose — group commit's whole point is concurrent
+// writers sharing a sync.
+
+func benchStorePutDur(b *testing.B, opts DurOptions) {
+	s, err := NewStoreDur(nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	val := []byte("value-payload-0123456789")
+	var ctr atomic.Uint64
+	// Force a real writer pool even on small machines: group commit's
+	// batch is exactly the set of concurrently admitted writers, and
+	// RunParallel defaults to GOMAXPROCS goroutines (1 on a 1-core box,
+	// which would degenerate the comparison to fsync-per-write thrice).
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			s.Put(fmt.Sprintf("key-%d", i%1024), val)
+		}
+	})
+}
+
+func BenchmarkStorePutNoWAL(b *testing.B) { benchStorePutDur(b, DurOptions{}) }
+func BenchmarkStorePutWALSync(b *testing.B) {
+	benchStorePutDur(b, DurOptions{Dir: b.TempDir()})
+}
+func BenchmarkStorePutWALGroup(b *testing.B) {
+	benchStorePutDur(b, DurOptions{Dir: b.TempDir(), GroupCommit: true})
+}
 
 // BenchmarkClusterFailoverBlip is one fixed-duration experiment (run with
 // -benchtime 1x): a single writer streams puts against an R=2 cluster, one

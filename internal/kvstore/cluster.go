@@ -3,7 +3,11 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,11 +46,13 @@ var ErrUnavailable = errors.New("kvstore: shard unavailable")
 // owner per key.
 type Cluster struct {
 	clock simclock.Clock
-	rf    int // desired replication factor (effective: min(rf, nodes))
+	rf    int        // desired replication factor (effective: min(rf, nodes))
+	dur   DurOptions // base durability config; Dir "" = in-memory nodes
 
 	mu      sync.RWMutex // ops hold R; membership changes hold W
 	nodes   []*clusterNode
 	nextUID int64
+	nextDir int // next node directory index (durable clusters)
 	epoch   uint64
 	table   route.Table
 	ring    *route.Ring
@@ -61,6 +67,7 @@ type clusterNode struct {
 	cli  *Client
 	addr string
 	uid  int64
+	dir  string // durability directory ("" for in-memory nodes)
 }
 
 // NewCluster starts n single-copy (R=1) store nodes on loopback.
@@ -93,10 +100,108 @@ func NewReplicated(n, rf int, clock simclock.Clock) (*Cluster, error) {
 	return c, nil
 }
 
-// startNodeLocked boots one node with a fresh stable UID. The caller must
-// rebuild the view afterwards.
+// NewDurable starts (or restarts) a replicated cluster whose nodes persist
+// under per-node directories inside dur.Dir. On a directory that already
+// holds node state — a whole-cluster power cut — it boots one node per
+// surviving `node-*` directory instead of n fresh ones, each recovering
+// its own snapshot + log tail, then runs the normal rebalance merge so
+// every key and lock lands on the new ring's owners (node addresses change
+// across a restart) at the newest recovered version/sequence. A node
+// directory whose recovery fails is skipped as a crashed replica — its
+// shards are covered by the others — as long as at least one node boots.
+// With dur.Dir == "" it is NewReplicated.
+func NewDurable(n, rf int, clock simclock.Clock, dur DurOptions) (*Cluster, error) {
+	if dur.Dir == "" {
+		return NewReplicated(n, rf, clock)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("kvstore cluster: need at least 1 node, got %d", n)
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if err := os.MkdirAll(dur.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore cluster: %w", err)
+	}
+	c := &Cluster{clock: clock, rf: rf, dur: dur}
+	dirs, err := filepath.Glob(filepath.Join(dur.Dir, "node-*"))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore cluster: %w", err)
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		// Fresh cluster: n nodes on newly allocated directories.
+		for i := 0; i < n; i++ {
+			if err := c.startNodeLocked(); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		c.rebuildViewLocked()
+		return c, nil
+	}
+	// Restart: recover every surviving node directory.
+	var recoverErrs []error
+	for _, dir := range dirs {
+		if info, serr := os.Stat(dir); serr != nil || !info.IsDir() {
+			continue
+		}
+		if idx, ok := parseNodeDir(dir); ok && idx >= c.nextDir {
+			c.nextDir = idx + 1
+		}
+		if err := c.startNodeDirLocked(dir); err != nil {
+			recoverErrs = append(recoverErrs, err)
+		}
+	}
+	if len(c.nodes) == 0 {
+		c.Close()
+		return nil, fmt.Errorf("kvstore cluster: restart from %s: no node recovered: %v", dur.Dir, errors.Join(recoverErrs...))
+	}
+	c.rebuildViewLocked()
+	// The recovery merge: each node came back with its own pre-crash
+	// shards, but the restarted ring assigns keys by the NEW addresses.
+	// Rebalance re-derives placement from the union of recovered states
+	// (newest version/sequence wins, exactly as after a failover).
+	if err := c.rebalanceLocked(nil, nil); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("kvstore cluster: restart merge: %w", err)
+	}
+	return c, nil
+}
+
+func parseNodeDir(dir string) (int, bool) {
+	base := filepath.Base(dir)
+	if !strings.HasPrefix(base, "node-") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(base, "node-"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// startNodeLocked boots one node with a fresh stable UID (and, on durable
+// clusters, a fresh node directory). The caller must rebuild the view
+// afterwards.
 func (c *Cluster) startNodeLocked() error {
-	srv, err := NewServer("127.0.0.1:0", c.clock)
+	dir := ""
+	if c.dur.Dir != "" {
+		dir = filepath.Join(c.dur.Dir, fmt.Sprintf("node-%04d", c.nextDir))
+		c.nextDir++
+	}
+	return c.startNodeDirLocked(dir)
+}
+
+// startNodeDirLocked boots one node persisted under dir ("" = in-memory),
+// recovering whatever state the directory holds.
+func (c *Cluster) startNodeDirLocked(dir string) error {
+	opts := c.dur
+	opts.Dir = dir
+	srv, err := NewServerDur("127.0.0.1:0", c.clock, opts)
 	if err != nil {
 		return err
 	}
@@ -108,7 +213,7 @@ func (c *Cluster) startNodeLocked() error {
 	uid := c.nextUID
 	c.nextUID++
 	srv.OnReplFailure(c.handleReplFailure)
-	c.nodes = append(c.nodes, &clusterNode{srv: srv, cli: cli, addr: srv.Addr(), uid: uid})
+	c.nodes = append(c.nodes, &clusterNode{srv: srv, cli: cli, addr: srv.Addr(), uid: uid, dir: dir})
 	return nil
 }
 
@@ -466,6 +571,13 @@ func (c *Cluster) RemoveNode(addr string) error {
 	err := c.rebalanceLocked(extraData, extraLocks)
 	victim.cli.Close()
 	victim.srv.Close()
+	if err == nil && victim.dir != "" {
+		// The handoff landed everywhere, so the victim's on-disk state is
+		// fully superseded. Removing it matters: left behind, a later
+		// whole-cluster restart would boot a node from it and re-merge
+		// tombstone-pruned or long-stale state into the cluster.
+		os.RemoveAll(victim.dir)
+	}
 	return err
 }
 
@@ -486,7 +598,27 @@ func (c *Cluster) CrashNode(addr string) error {
 	if victim == nil {
 		return fmt.Errorf("kvstore cluster: no node %s", addr)
 	}
-	return victim.srv.Close()
+	return victim.srv.Crash()
+}
+
+// Halt abruptly kills every node at once — the whole-rack power cut. No
+// handoff runs and no node directory is cleaned up: each node's log is
+// abandoned mid-write (buffered unfsynced records lost, exactly what real
+// power loss does). A durable cluster comes back with NewDurable over the
+// same directory, restoring every acked write and unexpired lease.
+func (c *Cluster) Halt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, n := range c.nodes {
+		n.cli.Close()
+	}
+	for _, n := range c.nodes {
+		n.srv.Crash()
+	}
 }
 
 // failNode handles an observed node death: drop it from the membership,

@@ -189,11 +189,24 @@ func (s *Server) OnReplFailure(fn func(addr string)) {
 	s.viewMu.Unlock()
 }
 
-// NewServer starts a store server on addr (":0" for any free port).
+// NewServer starts an in-memory store server on addr (":0" for any free
+// port).
 func NewServer(addr string, clock simclock.Clock) (*Server, error) {
-	s := &Server{store: NewStore(clock)}
+	return NewServerDur(addr, clock, DurOptions{})
+}
+
+// NewServerDur starts a store server whose engine is durable under
+// opts.Dir (recovering existing state there first); with opts.Dir == ""
+// it is NewServer.
+func NewServerDur(addr string, clock simclock.Clock, opts DurOptions) (*Server, error) {
+	store, err := NewStoreDur(clock, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore server: %w", err)
+	}
+	s := &Server{store: store}
 	srv, err := transport.Serve(addr, s.handle)
 	if err != nil {
+		store.Close()
 		return nil, fmt.Errorf("kvstore server: %w", err)
 	}
 	s.srv = srv
@@ -206,7 +219,8 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 // Store exposes the underlying engine (used in tests and by migration).
 func (s *Server) Store() *Store { return s.store }
 
-// Close shuts the server down and releases its replication links.
+// Close cleanly shuts the server down: stops the transport, releases the
+// replication links, and flushes the store's durability layer.
 func (s *Server) Close() error {
 	err := s.srv.Close()
 	s.viewMu.Lock()
@@ -216,6 +230,30 @@ func (s *Server) Close() error {
 	s.viewMu.Unlock()
 	for _, cli := range links {
 		cli.Close()
+	}
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash kills the server as a power cut would: the transport dies first,
+// then the store's log is abandoned with buffered records unflushed. The
+// ordering matters — once the transport is down no new ack can escape, so
+// every reply a client DID receive had already passed its fsync point and
+// survives recovery.
+func (s *Server) Crash() error {
+	err := s.srv.Close()
+	s.viewMu.Lock()
+	links := s.links
+	s.links = nil
+	s.ring = nil
+	s.viewMu.Unlock()
+	for _, cli := range links {
+		cli.Close()
+	}
+	if cerr := s.store.Crash(); err == nil {
+		err = cerr
 	}
 	return err
 }

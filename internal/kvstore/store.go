@@ -32,6 +32,40 @@
 // state to restore R; with R>=2 no acknowledged write and no held lock is
 // lost, and operations retry transparently (bounded, surfacing
 // ErrUnavailable only when every replica of a key is gone).
+//
+// # Durability contract
+//
+// A store created with NewStoreDur additionally writes every mutation to a
+// write-ahead log (internal/wal) before it is acknowledged: when a mutating
+// method returns, the mutation's log record is fsynced — so an ack a
+// client observes implies the write survives a power cut of the whole
+// node. With DurOptions.GroupCommit the fsync is amortized: concurrently
+// admitted mutations share one fsync (the group-commit window is exactly
+// the set of records buffered while the previous fsync was in flight), so
+// each still returns only after ITS record is durable, but a batch of N
+// concurrent writers pays ~1 fsync rather than N.
+//
+// Every DurOptions.SnapshotEvery mutations the store writes a compacted
+// snapshot — the Export/ExportLocks image captured at a recorded log
+// position, atomically renamed into place — and drops the log segments the
+// snapshot covers. Snapshotting never blocks the write path: the image is
+// read in chunks (see Export), and mutations admitted while the image is
+// being read are harmless to recovery because replay is version/sequence
+// gated (Import semantics) — re-applying a logged mutation an image
+// already contains converges to the same state. Snapshot compaction is
+// also where tombstone GC runs (see SetTombstoneTTL).
+//
+// Recovery (NewStoreDur on a non-empty directory) loads the newest intact
+// snapshot, replays the log tail past it, and only then exposes the store:
+// every acked write and every unexpired lock lease is restored with its
+// original version/owner/expiry; released or expired leases come back only
+// as invisible tombstones; a torn or corrupt log tail is truncated at the
+// last intact record (those records were never acked — Commit had not
+// returned). Recovery is per node and composes with replication: a cluster
+// restart (Cluster.NewDurable over existing node directories) first
+// recovers each node from its own disk, then runs the normal rebalance
+// merge, so per-key max-version / per-lock max-seq wins across replicas
+// exactly as it does after a failover.
 package kvstore
 
 import (
@@ -92,13 +126,27 @@ type entry struct {
 	value   []byte
 	version uint64
 	deleted bool
+	tombAt  time.Time // when the tombstone was installed here (GC horizon)
 }
 
 type lockState struct {
 	owner   string // "" = released tombstone (kept for its seq)
 	expires time.Time
 	seq     uint64
+	stamp   time.Time // when this state was installed here (GC horizon)
 }
+
+// defaultTombTTL is the default tombstone retention horizon. It must
+// comfortably exceed the maximum replication/migration staleness — the
+// longest a stale copy of a key or lock can survive on any node before a
+// rebalance merge or repair reconciles it (seconds in practice: forwards
+// are synchronous and rebalance runs inline with membership changes).
+// After the horizon a tombstone has done its ordering work and only costs
+// memory.
+const defaultTombTTL = 5 * time.Minute
+
+// gcEvery is how many mutations pass between amortized inline GC sweeps.
+const gcEvery = 1024
 
 // Store is the single-node storage engine. Safe for concurrent use.
 type Store struct {
@@ -108,17 +156,74 @@ type Store struct {
 	data    map[string]entry
 	locks   map[string]lockState
 	lockSeq uint64 // monotonic across all lock mutations on this store
+
+	tombTTL  time.Duration
+	opsSince int         // mutations since the last inline GC sweep
+	dur      *durability // nil for a purely in-memory store
 }
 
-// NewStore creates an empty store; clock may be nil for the wall clock.
+// NewStore creates an empty in-memory store; clock may be nil for the wall
+// clock. See NewStoreDur for a durable one.
 func NewStore(clock simclock.Clock) *Store {
 	if clock == nil {
 		clock = simclock.Real{}
 	}
 	return &Store{
-		clock: clock,
-		data:  make(map[string]entry),
-		locks: make(map[string]lockState),
+		clock:   clock,
+		data:    make(map[string]entry),
+		locks:   make(map[string]lockState),
+		tombTTL: defaultTombTTL,
+	}
+}
+
+// SetTombstoneTTL sets the retention horizon after which deletion
+// tombstones, lock release-tombstones and long-expired leases are pruned.
+// The horizon must exceed the maximum replication staleness (see
+// defaultTombTTL); shorter values are for tests.
+func (s *Store) SetTombstoneTTL(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d > 0 {
+		s.tombTTL = d
+	}
+}
+
+// CompactTombstones runs a full tombstone GC sweep immediately.
+func (s *Store) CompactTombstones() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gcLocked(s.clock.Now())
+}
+
+// gcLocked prunes tombstones past the retention horizon: deletion
+// tombstones installed more than tombTTL ago, lock release-tombstones
+// likewise, and held leases whose lease expired more than tombTTL ago
+// (their sequence can no longer be outrun by any in-flight replica
+// traffic). Fixes the unbounded-growth bug where a sustained put/delete
+// or lock-churn workload grew the maps forever.
+func (s *Store) gcLocked(now time.Time) {
+	for k, e := range s.data {
+		if e.deleted && !e.tombAt.IsZero() && now.Sub(e.tombAt) > s.tombTTL {
+			delete(s.data, k)
+		}
+	}
+	for name, st := range s.locks {
+		switch {
+		case st.owner == "" && !st.stamp.IsZero() && now.Sub(st.stamp) > s.tombTTL:
+			delete(s.locks, name)
+		case st.owner != "" && !st.expires.After(now) && now.Sub(st.expires) > s.tombTTL:
+			delete(s.locks, name)
+		}
+	}
+	s.opsSince = 0
+}
+
+// maybeGCLocked amortizes gcLocked over mutations so the sweep cost stays
+// O(1) per operation.
+func (s *Store) maybeGCLocked() {
+	s.opsSince++
+	if s.opsSince >= gcEvery {
+		s.gcLocked(s.clock.Now())
 	}
 }
 
@@ -135,16 +240,21 @@ func (s *Store) Get(key string) (Versioned, error) {
 	return Versioned{Value: val, Version: e.version}, nil
 }
 
-// Put stores value at key and returns the new version.
+// Put stores value at key and returns the new version. On a durable store
+// it returns only after the write's log record is fsynced.
 func (s *Store) Put(key string, value []byte) uint64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e := s.data[key]
 	e.version++
 	e.deleted = false
+	e.tombAt = time.Time{}
 	e.value = make([]byte, len(value))
 	copy(e.value, value)
 	s.data[key] = e
+	rec := s.entryRecLocked(key, e)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return e.version
 }
 
@@ -159,15 +269,20 @@ func (s *Store) Delete(key string) {
 // ok is false when the key did not exist.
 func (s *Store) DeleteV(key string) (Versioned, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.data[key]
 	if !ok || e.deleted {
+		s.mu.Unlock()
 		return Versioned{}, false
 	}
 	e.version++
 	e.deleted = true
 	e.value = nil
+	e.tombAt = s.clock.Now()
 	s.data[key] = e
+	rec := s.entryRecLocked(key, e)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return Versioned{Version: e.version, Deleted: true}, true
 }
 
@@ -176,10 +291,12 @@ func (s *Store) DeleteV(key string) (Versioned, bool) {
 // survives to resurface in a later membership change.
 func (s *Store) Drop(keys []string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, k := range keys {
 		delete(s.data, k)
 	}
+	rec := s.dropRecLocked(durDrop, keys)
+	s.mu.Unlock()
+	s.durCommit(rec)
 }
 
 // CompareAndSwap stores value at key iff the current version equals
@@ -187,7 +304,6 @@ func (s *Store) Drop(keys []string) {
 // new version; on conflict it returns ErrCASMismatch and the current value.
 func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (uint64, Versioned, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, exists := s.data[key]
 	cur := uint64(0)
 	if exists && !e.deleted {
@@ -196,6 +312,7 @@ func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (
 	if cur != expectVersion {
 		val := make([]byte, len(e.value))
 		copy(val, e.value)
+		s.mu.Unlock()
 		return 0, Versioned{Value: val, Version: cur}, ErrCASMismatch
 	}
 	// A re-creation continues above the tombstone's version (e.version is
@@ -203,9 +320,14 @@ func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (
 	// monotonic for replication ordering.
 	e.version++
 	e.deleted = false
+	e.tombAt = time.Time{}
 	e.value = make([]byte, len(value))
 	copy(e.value, value)
 	s.data[key] = e
+	rec := s.entryRecLocked(key, e)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return e.version, Versioned{}, nil
 }
 
@@ -214,12 +336,12 @@ func (s *Store) CompareAndSwap(key string, value []byte, expectVersion uint64) (
 // so it remains readable through Get.
 func (s *Store) AddInt64(key string, delta int64) (int64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e := s.data[key]
 	var cur int64
 	if !e.deleted && len(e.value) > 0 {
 		v, err := strconv.ParseInt(string(e.value), 10, 64)
 		if err != nil {
+			s.mu.Unlock()
 			return 0, fmt.Errorf("add %q: %w", key, err)
 		}
 		cur = v
@@ -227,8 +349,13 @@ func (s *Store) AddInt64(key string, delta int64) (int64, error) {
 	cur += delta
 	e.version++
 	e.deleted = false
+	e.tombAt = time.Time{}
 	e.value = []byte(strconv.FormatInt(cur, 10))
 	s.data[key] = e
+	rec := s.entryRecLocked(key, e)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return cur, nil
 }
 
@@ -268,13 +395,18 @@ func (s *Store) TryLock(name, owner string, lease time.Duration) error {
 	}
 	now := s.clock.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, held := s.locks[name]
 	if held && st.owner != "" && st.owner != owner && st.expires.After(now) {
+		s.mu.Unlock()
 		return fmt.Errorf("lock %q owned by %s: %w", name, st.owner, ErrLockHeld)
 	}
 	s.lockSeq++
-	s.locks[name] = lockState{owner: owner, expires: now.Add(lease), seq: s.lockSeq}
+	st = lockState{owner: owner, expires: now.Add(lease), seq: s.lockSeq, stamp: now}
+	s.locks[name] = st
+	rec := s.lockRecLocked(name, st)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return nil
 }
 
@@ -283,13 +415,18 @@ func (s *Store) TryLock(name, owner string, lease time.Duration) error {
 // lease updates.
 func (s *Store) Unlock(name, owner string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, held := s.locks[name]
 	if !held || st.owner != owner {
+		s.mu.Unlock()
 		return fmt.Errorf("unlock %q by %s: %w", name, owner, ErrNotLockOwner)
 	}
 	s.lockSeq++
-	s.locks[name] = lockState{owner: "", expires: time.Time{}, seq: s.lockSeq}
+	st = lockState{owner: "", expires: time.Time{}, seq: s.lockSeq, stamp: s.clock.Now()}
+	s.locks[name] = st
+	rec := s.lockRecLocked(name, st)
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(rec)
 	return nil
 }
 
@@ -317,18 +454,53 @@ func (s *Store) LockSnapshot(name string) (LockInfo, bool) {
 	return LockInfo{Owner: st.owner, Expires: st.expires, Seq: st.seq}, true
 }
 
+// exportChunkSize bounds how many entries are copied per lock
+// acquisition in Export/ExportLocks, so a large snapshot never stalls
+// the write path for more than one chunk's copy time.
+const exportChunkSize = 512
+
+// exportPause is a test hook invoked between export chunks with the store
+// mutex released; it lets tests prove concurrent mutations are admitted
+// mid-export.
+var exportPause func()
+
 // Export returns a snapshot of all entries whose key satisfies keep —
 // live values and deletion tombstones alike, so migration and repair
-// preserve deletion ordering. Used when the cluster membership changes.
+// preserve deletion ordering. Used when the cluster membership changes and
+// by the durability snapshotter.
+//
+// The image is taken in chunks, releasing the store mutex between them,
+// so a concurrent Put never waits behind a full-image copy. The result is
+// therefore a consistent-per-key (not point-in-time) snapshot: a key
+// mutated mid-export may appear at either version. Every consumer merges
+// with version/sequence gating (Import semantics), for which
+// per-key-atomic is sufficient — a newer version observed early can only
+// win again later.
 func (s *Store) Export(keep func(key string) bool) map[string]Versioned {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]Versioned)
-	for k, e := range s.data {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
 		if keep == nil || keep(k) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	out := make(map[string]Versioned, len(keys))
+	for start := 0; start < len(keys); start += exportChunkSize {
+		end := min(start+exportChunkSize, len(keys))
+		s.mu.Lock()
+		for _, k := range keys[start:end] {
+			e, ok := s.data[k]
+			if !ok {
+				continue // dropped between chunks
+			}
 			val := make([]byte, len(e.value))
 			copy(val, e.value)
 			out[k] = Versioned{Value: val, Version: e.version, Deleted: e.deleted}
+		}
+		s.mu.Unlock()
+		if exportPause != nil && end < len(keys) {
+			exportPause()
 		}
 	}
 	return out
@@ -339,16 +511,37 @@ func (s *Store) Export(keep func(key string) bool) map[string]Versioned {
 // repair) are idempotent and can never roll a key back — nor resurrect a
 // deletion, since tombstones outrank the values they superseded.
 func (s *Store) Import(entries map[string]Versioned) {
+	now := s.clock.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var recs [][]byte
 	for k, v := range entries {
-		if cur, ok := s.data[k]; ok && cur.version > v.Version {
+		if !s.installEntryLocked(k, v, now) {
 			continue
 		}
-		val := make([]byte, len(v.Value))
-		copy(val, v.Value)
-		s.data[k] = entry{value: val, version: v.Version, deleted: v.Deleted}
+		if rec := s.entryRecLocked(k, s.data[k]); rec != nil {
+			recs = append(recs, rec)
+		}
 	}
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(recs...)
+}
+
+// installEntryLocked applies one versioned entry with the Import gate
+// (newer-or-equal versions win). Shared by Import and WAL replay.
+func (s *Store) installEntryLocked(k string, v Versioned, now time.Time) bool {
+	if cur, ok := s.data[k]; ok && cur.version > v.Version {
+		return false
+	}
+	e := entry{version: v.Version, deleted: v.Deleted}
+	if v.Deleted {
+		e.tombAt = now
+	} else {
+		e.value = make([]byte, len(v.Value))
+		copy(e.value, v.Value)
+	}
+	s.data[k] = e
+	return true
 }
 
 // ExportLocks snapshots the lock states whose name satisfies keep: the
@@ -357,14 +550,31 @@ func (s *Store) Import(entries map[string]Versioned) {
 // to readers, but their sequences keep replicated updates ordered). It is
 // the lock-table counterpart of Export: AddNode/RemoveNode migration must
 // carry it alongside the data, or a held lock whose routed owner changes
-// would appear free on the node that takes the name over.
+// would appear free on the node that takes the name over. Chunked like
+// Export: per-name-atomic, never stalls the write path.
 func (s *Store) ExportLocks(keep func(name string) bool) map[string]LockInfo {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]LockInfo)
-	for name, st := range s.locks {
+	names := make([]string, 0, len(s.locks))
+	for name := range s.locks {
 		if keep == nil || keep(name) {
+			names = append(names, name)
+		}
+	}
+	s.mu.Unlock()
+	out := make(map[string]LockInfo, len(names))
+	for start := 0; start < len(names); start += exportChunkSize {
+		end := min(start+exportChunkSize, len(names))
+		s.mu.Lock()
+		for _, name := range names[start:end] {
+			st, ok := s.locks[name]
+			if !ok {
+				continue // dropped between chunks
+			}
 			out[name] = LockInfo{Owner: st.owner, Expires: st.expires, Seq: st.seq}
+		}
+		s.mu.Unlock()
+		if exportPause != nil && end < len(names) {
+			exportPause()
 		}
 	}
 	return out
@@ -376,10 +586,12 @@ func (s *Store) ExportLocks(keep func(name string) bool) map[string]LockInfo {
 // membership change.
 func (s *Store) DropLocks(names []string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, name := range names {
 		delete(s.locks, name)
 	}
+	rec := s.dropRecLocked(durLockDrop, names)
+	s.mu.Unlock()
+	s.durCommit(rec)
 }
 
 // ImportLocks installs lock leases (held states and release tombstones).
@@ -387,15 +599,41 @@ func (s *Store) DropLocks(names []string) {
 // advanced past every installed value so local mutations made after a
 // promotion keep winning over anything replicated before it.
 func (s *Store) ImportLocks(locks map[string]LockInfo) {
+	now := s.clock.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var recs [][]byte
 	for name, info := range locks {
-		if cur, ok := s.locks[name]; ok && cur.seq >= info.Seq {
+		if !s.installLockLocked(name, info, now) {
 			continue
 		}
-		s.locks[name] = lockState{owner: info.Owner, expires: info.Expires, seq: info.Seq}
-		if info.Seq > s.lockSeq {
-			s.lockSeq = info.Seq
+		if rec := s.lockRecLocked(name, s.locks[name]); rec != nil {
+			recs = append(recs, rec)
 		}
 	}
+	s.maybeGCLocked()
+	s.mu.Unlock()
+	s.durCommit(recs...)
+}
+
+// installLockLocked applies one lock state with the ImportLocks gate (a
+// newer sequence wins) and advances the local sequence counter past it.
+// A lease that is already expired on arrival is installed as a release
+// tombstone instead of verbatim: it is invisible to readers either way,
+// but installing it held would let a dead lease occupy the table and win
+// sequence comparisons as if it were live state. Shared by ImportLocks
+// and WAL replay.
+func (s *Store) installLockLocked(name string, info LockInfo, now time.Time) bool {
+	if cur, ok := s.locks[name]; ok && cur.seq >= info.Seq {
+		return false
+	}
+	st := lockState{owner: info.Owner, expires: info.Expires, seq: info.Seq, stamp: now}
+	if st.owner != "" && !st.expires.After(now) {
+		st.owner = ""
+		st.expires = time.Time{}
+	}
+	s.locks[name] = st
+	if info.Seq > s.lockSeq {
+		s.lockSeq = info.Seq
+	}
+	return true
 }

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot files (`snap-<lsn>.snap`) hold one opaque payload — the state
+// image as of log position lsn — framed as:
+//
+//	8-byte magic | 8-byte LE lsn | 4-byte LE CRC32-C(payload) | payload
+//
+// A snapshot is written to a temp file, fsynced, and renamed into place,
+// so a crash mid-write leaves either the old snapshot or the new one,
+// never a torn file that parses. Only the newest snapshot is kept.
+
+const snapMagic = "eWALSNP1"
+
+func snapPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", lsn))
+}
+
+func parseSnapName(path string) (uint64, bool) {
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "snap-") || !strings.HasSuffix(base, ".snap") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(base, "snap-"), ".snap")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SaveSnapshot atomically persists payload as the snapshot at log
+// position lsn and removes older snapshot files.
+func SaveSnapshot(dir string, lsn uint64, payload []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [20]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(payload, crcTable))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	final := snapPath(dir, lsn)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(dir)
+	// Older snapshots are now redundant; best-effort cleanup.
+	if names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap")); err == nil {
+		for _, name := range names {
+			if name != final {
+				os.Remove(name)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads the newest valid snapshot in dir. ok=false with a nil
+// error means no snapshot exists (a fresh store); snapshots present but
+// all corrupt is an error — the caller must not silently boot empty over
+// state that provably existed.
+func LoadSnapshot(dir string) (lsn uint64, payload []byte, ok bool, err error) {
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("wal: %w", err)
+	}
+	type cand struct {
+		path string
+		lsn  uint64
+	}
+	var cands []cand
+	for _, name := range names {
+		if n, okName := parseSnapName(name); okName {
+			cands = append(cands, cand{name, n})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, nil, false, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lsn > cands[j].lsn })
+	for _, c := range cands {
+		data, rerr := os.ReadFile(c.path)
+		if rerr != nil || len(data) < 20 || string(data[:8]) != snapMagic {
+			continue
+		}
+		gotLSN := binary.LittleEndian.Uint64(data[8:16])
+		want := binary.LittleEndian.Uint32(data[16:20])
+		body := data[20:]
+		if gotLSN != c.lsn || crc32.Checksum(body, crcTable) != want {
+			continue
+		}
+		return c.lsn, body, true, nil
+	}
+	return 0, nil, false, fmt.Errorf("wal: %d snapshot file(s) in %s, none valid", len(cands), dir)
+}

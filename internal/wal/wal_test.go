@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log, from uint64) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	if err := l.Replay(from, func(lsn uint64, rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	var last uint64
+	for i, rec := range want {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		last = lsn
+	}
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Replay from an offset skips the prefix.
+	if tail := collect(t, l, 2); len(tail) != 1 || !bytes.Equal(tail[0], []byte("three")) {
+		t.Fatalf("replay from 2 = %q", tail)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LSN() != 5 {
+		t.Fatalf("recovered LSN = %d, want 5", l2.LSN())
+	}
+	lsn, err := l2.Append([]byte("rec-5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-recovery lsn = %d, want 6", lsn)
+	}
+	if err := l2.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l2, 0); len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+}
+
+func TestCrashDropsUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("buffered-only")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("durable")) {
+		t.Fatalf("recovered %q, want only the committed record", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segPath(dir, 1)
+	// Simulate a torn write: a header promising bytes that never arrived.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LSN() != 3 {
+		t.Fatalf("recovered LSN = %d, want 3", l2.LSN())
+	}
+	if got := collect(t, l2, 0); len(got) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(got))
+	}
+}
+
+func TestBitFlipTruncatesFromCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segPath(dir, 1)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the second record's payload.
+	recLen := recHdrSize + len("payload-0")
+	off := len(segMagic) + recLen + recHdrSize + 2
+	data[off] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("payload-0")) {
+		t.Fatalf("recovered %q, want only the record before the bit flip", got)
+	}
+	if l2.LSN() != 1 {
+		t.Fatalf("recovered LSN = %d, want 1", l2.LSN())
+	}
+}
+
+func TestSegmentRollAndDropBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte("x"), 100)
+	var last uint64
+	for i := 0; i < 12; i++ {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected >= 3 segments after rolling, got %d", len(segs))
+	}
+	removed, err := l.DropBefore(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(segs)-1 {
+		t.Fatalf("DropBefore removed %d segments, want %d", removed, len(segs)-1)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(after) != 1 {
+		t.Fatalf("%d segment files remain, want 1 (active)", len(after))
+	}
+	// Records in the surviving active segment still replay.
+	lsn, err := l.Append([]byte("tail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LSN() != lsn {
+		t.Fatalf("recovered LSN = %d, want %d", l2.LSN(), lsn)
+	}
+	got := collect(t, l2, last)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("tail")) {
+		t.Fatalf("replay after compaction = %q", got)
+	}
+}
+
+func TestResetAdvancesLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(100); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append([]byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 101 {
+		t.Fatalf("post-reset lsn = %d, want 101", lsn)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LSN() != 101 {
+		t.Fatalf("recovered LSN = %d, want 101", l2.LSN())
+	}
+	got := collect(t, l2, 100)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("new")) {
+		t.Fatalf("replay after reset = %q", got)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append([]byte(fmt.Sprintf("concurrent-%d", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = l.Commit(lsn)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// Every committed record survives the crash.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := LoadSnapshot(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v, want no snapshot and no error", ok, err)
+	}
+	if err := SaveSnapshot(dir, 7, []byte("image-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshot(dir, 42, []byte("image-b")); err != nil {
+		t.Fatal(err)
+	}
+	lsn, payload, ok, err := LoadSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if lsn != 42 || !bytes.Equal(payload, []byte("image-b")) {
+		t.Fatalf("loaded lsn=%d payload=%q, want 42/image-b", lsn, payload)
+	}
+	// Older snapshot was cleaned up.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshot files on disk, want 1", len(snaps))
+	}
+}
+
+func TestSnapshotCorruptIsError(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveSnapshot(dir, 9, []byte("image")); err != nil {
+		t.Fatal(err)
+	}
+	path := snapPath(dir, 9)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadSnapshot(dir); err == nil {
+		t.Fatal("corrupt-only snapshot dir must load with an error, got nil")
+	}
+}
+
+func TestGarbageSegmentNamesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-zzzz.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.LSN() != 0 {
+		t.Fatalf("LSN = %d, want 0", l.LSN())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-zzzz.seg")); !os.IsNotExist(err) {
+		t.Fatalf("garbage segment file survived recovery: %v", err)
+	}
+}

@@ -223,12 +223,18 @@ cat BENCH_overload.json
 # streaming writer, reporting the longest gap between two consecutive
 # acknowledged writes (the availability blip) and the number of failed
 # operations (target 0 — the router retries through the failover).
+# The durability rows compare the same parallel put stream against the
+# in-memory store, a WAL fsyncing every write, and a group-committed WAL;
+# fsync_cost_recovered_pct is how much of the naive-WAL overhead group
+# commit wins back.
 KV=$(go test -run '^$' -bench '^BenchmarkClusterR[12]' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
 printf '%s\n' "$KV"
+DUR=$(go test -run '^$' -bench '^BenchmarkStorePut(NoWAL|WALSync|WALGroup)$' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
+printf '%s\n' "$DUR"
 BLIP=$(go test -run '^$' -bench '^BenchmarkClusterFailoverBlip$' -benchtime 1x ./internal/kvstore/)
 printf '%s\n' "$BLIP"
 
-{ printf '%s\n' "$KV"; printf '%s\n' "$BLIP"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+{ printf '%s\n' "$KV"; printf '%s\n' "$DUR"; printf '%s\n' "$BLIP"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     for (i = 2; i <= NF; i++) {
@@ -251,6 +257,14 @@ printf '%s\n' "$BLIP"
       ns["BenchmarkClusterR2Put"] / ns["BenchmarkClusterR1Put"], \
       ns["BenchmarkClusterR2Get"] / ns["BenchmarkClusterR1Get"], \
       ns["BenchmarkClusterR2Lock"] / ns["BenchmarkClusterR1Lock"]
+    nw = ns["BenchmarkStorePutNoWAL"]; ws = ns["BenchmarkStorePutWALSync"]; wg = ns["BenchmarkStorePutWALGroup"]
+    printf "  \"durability\": {\n"
+    printf "    \"workload\": \"parallel 1024-key put stream on one store engine (BenchmarkStorePut{NoWAL,WALSync,WALGroup})\",\n"
+    printf "    \"no_wal_put_ns\": %s,\n", nw
+    printf "    \"wal_fsync_per_write_put_ns\": %s,\n", ws
+    printf "    \"wal_group_commit_put_ns\": %s,\n", wg
+    printf "    \"fsync_cost_recovered_pct\": %.1f\n", (ws - wg) * 100.0 / (ws - nw)
+    printf "  },\n"
     printf "  \"failover\": {\"blip_ms\": %s, \"failed_ops\": %s, \"acked_ops\": %s}\n", blip, failedop, ackedop
     printf "}\n"
   }
