@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos kv-restart generate-check
+.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos kv-restart kv-sessions generate-check
 
 all: vet test
 
@@ -14,6 +14,7 @@ ci: fmt-check build vet generate-check
 	$(GO) test -race -timeout 300s ./...
 	$(MAKE) kv-chaos
 	$(MAKE) kv-restart
+	$(MAKE) kv-sessions
 	$(MAKE) fuzz-smoke
 
 # generate-check fails when any checked-in *_ermi.go file is stale: rerunning
@@ -40,6 +41,13 @@ kv-chaos:
 kv-restart:
 	$(GO) test -race -timeout 300s -run 'TestKVStoreClusterRestartFromDisk' -count 3 ./internal/ermitest/
 
+# kv-sessions gates the client-cache coherence layer: a primary killed under
+# a read-heavy cached workload (plus a fresh node joining), asserting zero
+# stale reads — the invalidate-before-ack and failover-fence invariants —
+# repeated so the crash lands on different lease/invalidation interleavings.
+kv-sessions:
+	$(GO) test -race -timeout 300s -run 'TestKVSessionsNoStaleReadsAcrossCrash' -count 3 ./internal/ermitest/
+
 # fmt-check fails if any file is not gofmt-clean (gofmt -l lists offenders).
 fmt-check:
 	@files=$$(gofmt -l .); \
@@ -56,6 +64,7 @@ FUZZ_TARGETS := \
 	./internal/transport/:FuzzParseRequest \
 	./internal/transport/:FuzzParseResponse \
 	./internal/transport/:FuzzParseBatch \
+	./internal/transport/:FuzzEventFrame \
 	./internal/gen/gentest/:FuzzCodecRoundTrip \
 	./internal/wal/:FuzzWALReplay
 FUZZTIME ?= 10s

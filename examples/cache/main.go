@@ -38,6 +38,12 @@ func run() error {
 		return err
 	}
 	defer store.Close()
+	// The pool reads shared state through a client session: repeated reads
+	// are served from a lease-backed local cache that every store primary
+	// invalidates *before* acknowledging a conflicting write, so cached
+	// reads cost no round trip and can never observe a stale value.
+	session := store.NewSession(kvstore.SessionOptions{})
+	defer session.Close()
 	regSrv, err := core.NewRegistryServer("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -55,7 +61,7 @@ func run() error {
 		MaxPoolSize:   8,
 		BurstInterval: time.Second, // demo-friendly burst interval
 	}, cache.New(cache.Config{Mode: cache.ExplicitFine}), core.Deps{
-		Cluster: mgr, Store: store, Registry: reg,
+		Cluster: mgr, Store: session, StoreCluster: store, Registry: reg,
 	})
 	if err != nil {
 		return err
@@ -117,5 +123,26 @@ func run() error {
 		return err
 	}
 	fmt.Printf("cache holds %d entries\n", n)
+
+	// The session cache at work: the first read leases the key, repeats
+	// are local lookups, and a write pushes an invalidation before its ack
+	// so the next read re-fetches the new value.
+	if err := session.PutString("banner", "v1"); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := session.GetString("banner"); err != nil {
+			return err
+		}
+	}
+	if err := session.PutString("banner", "v2"); err != nil {
+		return err
+	}
+	if s, err := session.GetString("banner"); err != nil || s != "v2" {
+		return fmt.Errorf("cached read after write: %q, %v", s, err)
+	}
+	st := session.Stats()
+	fmt.Printf("store session cache: %d hits, %d misses, %d invalidations pushed\n",
+		st.Hits, st.Misses, st.Invalidations)
 	return nil
 }

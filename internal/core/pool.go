@@ -19,7 +19,13 @@ import (
 // slices (Mesos in the paper), the shared-state store (HyperDex) and an
 // optional registry for naming.
 type Deps struct {
-	Cluster  *cluster.Manager
+	Cluster *cluster.Manager
+	// Store is the shared-state surface pool members read and write. Pass
+	// the *kvstore.Cluster itself for plain per-call access, or a
+	// *kvstore.ClusterSession (Cluster.NewSession) to serve repeated reads
+	// from a lease-backed client cache the store invalidates before it
+	// acknowledges any conflicting write — same consistency, no round trip
+	// on a hit.
 	Store    kvstore.Shared
 	Registry *RegistryClient
 	// StoreCluster, when set (and typically the same object as Store),

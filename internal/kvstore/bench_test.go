@@ -2,6 +2,8 @@ package kvstore
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -234,4 +236,197 @@ func BenchmarkClusterFailoverBlip(b *testing.B) {
 		b.ReportMetric(float64(failed), "failed-ops")
 		b.ReportMetric(float64(acked), "acked-ops")
 	}
+}
+
+// Session benchmarks: the lease-cached read path vs the per-call path at
+// 16 concurrent clients (the PR-8 figure — a cache hit is a local map
+// lookup under a live lease, no network), plus the invalidation storm: one
+// writer against a hot key every caching session holds, measuring the
+// write's ack latency with invalidate-before-ack on the critical path.
+
+const sessionBenchWorkers = 16
+
+// benchSessionWorkers splits b.N across exactly `workers` goroutines (one
+// per simulated client), each running get() over its own 64-key working
+// set. RunParallel is avoided on purpose: its worker count tracks
+// GOMAXPROCS, which would change the client count across machines.
+func benchSessionWorkers(b *testing.B, workers int, get func(worker int, key string) error) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				key := fmt.Sprintf("bench/%d/%d", worker, i%64)
+				if err := get(worker, key); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
+func benchSessionSeed(b *testing.B, cli *Client, workers int) {
+	b.Helper()
+	val := []byte("value-payload-0123456789")
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 64; i++ {
+			if _, err := cli.Put(fmt.Sprintf("bench/%d/%d", w, i), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSessionGetCached: every worker owns a Session; after one cold
+// pass its whole working set is cache-resident under the lease.
+func BenchmarkSessionGetCached(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	benchSessionSeed(b, cli, sessionBenchWorkers)
+	sessions := make([]*Session, sessionBenchWorkers)
+	for w := range sessions {
+		sess, err := NewSession(srv.Addr(), SessionOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		sessions[w] = sess
+		for i := 0; i < 64; i++ { // prime the cache
+			if _, err := sess.Get(fmt.Sprintf("bench/%d/%d", w, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	benchSessionWorkers(b, sessionBenchWorkers, func(w int, key string) error {
+		_, err := sessions[w].Get(key)
+		return err
+	})
+}
+
+// BenchmarkSessionGetUncached is the same 16-client workload on the plain
+// per-call path: every read is a full round trip.
+func BenchmarkSessionGetUncached(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	seedCli, err := NewClient(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer seedCli.Close()
+	benchSessionSeed(b, seedCli, sessionBenchWorkers)
+	clients := make([]*Client, sessionBenchWorkers)
+	for w := range clients {
+		cli, err := NewClient(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		clients[w] = cli
+	}
+	benchSessionWorkers(b, sessionBenchWorkers, func(w int, key string) error {
+		_, err := clients[w].Get(key)
+		return err
+	})
+}
+
+// BenchmarkSessionInvalidationStorm: 16 sessions all hold one hot key
+// under lease, and a single writer updates it — every Put pushes 16
+// invalidations and withholds its ack until all are acknowledged. Each
+// reader watches the key and re-leases on the change notification, so the
+// next write again finds a full house of interested sessions. Readers are
+// event-driven, not spinning: a polling loop would measure scheduler
+// starvation on small machines, not invalidation cost. Reported per-op
+// time is the storm-write ack latency; p50-us/p99-us give the
+// distribution.
+func BenchmarkSessionInvalidationStorm(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Put("hot", []byte("seed")); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < sessionBenchWorkers; w++ {
+		sess, err := NewSession(srv.Addr(), SessionOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		ch, cancel, err := sess.Watch("hot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cancel()
+		if _, err := sess.Get("hot"); err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sess *Session, ch <-chan string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ch:
+					if _, err := sess.Get("hot"); err != nil {
+						return
+					}
+				}
+			}
+		}(sess, ch)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	lat := make([]time.Duration, b.N)
+	val := []byte("value-payload-0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := cli.Put("hot", val); err != nil {
+			b.Fatal(err)
+		}
+		lat[i] = time.Since(t0)
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2].Microseconds()), "p50-us")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99-us")
 }

@@ -39,11 +39,40 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// shedRetries bounds how many times a call the server provably never
+// executed (admission shed, queue expiry) is retried before the error
+// surfaces to the caller.
+const shedRetries = 5
+
+// callShedRetry runs do, retrying with a short doubling backoff while it
+// fails with transport.ErrOverloaded or transport.ErrExpired. Both refusal
+// statuses guarantee the handler never ran, so the retry is safe even for
+// non-idempotent operations (Put, AddInt64, TryLock). Treating them as
+// fatal would be wrong twice over: an ordinary caller would surface a
+// transient queue blip as an operation failure, and a session keepalive or
+// invalidation ack hitting one shed reply would tear down a healthy
+// session.
+func callShedRetry(sleep func(time.Duration), do func() error) error {
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil || attempt >= shedRetries ||
+			(!errors.Is(err, transport.ErrOverloaded) && !errors.Is(err, transport.ErrExpired)) {
+			return err
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
 func (c *Client) call(method string, req, reply interface{}) error {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
-	if err := conn.CallDecode(ServiceName, method, req, reply, defaultCallTimeout); err != nil {
+	err := callShedRetry(time.Sleep, func() error {
+		return conn.CallDecode(ServiceName, method, req, reply, defaultCallTimeout)
+	})
+	if err != nil {
 		return unwireError(err)
 	}
 	return nil

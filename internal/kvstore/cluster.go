@@ -60,6 +60,17 @@ type Cluster struct {
 
 	repairMu  sync.Mutex
 	repairing map[string]bool // replication repairs in flight, by accused addr
+
+	// Session-layer state (see sessclient.go). fenceUntil is the write
+	// fence installed on node death: until it passes, no node may ack a
+	// write, because a session client of the dead primary may still be
+	// serving cached reads under a lease that node granted and can no
+	// longer revoke. It applies to nodes added later too — a node booted
+	// during the window inherits the fence.
+	sessMu      sync.Mutex
+	sessClients map[*ClusterSession]struct{}
+	sessTTL     time.Duration
+	fenceUntil  time.Time
 }
 
 type clusterNode struct {
@@ -213,6 +224,16 @@ func (c *Cluster) startNodeDirLocked(dir string) error {
 	uid := c.nextUID
 	c.nextUID++
 	srv.OnReplFailure(c.handleReplFailure)
+	c.sessMu.Lock()
+	if c.sessTTL > 0 {
+		srv.SetSessionTTL(c.sessTTL)
+	}
+	if !c.fenceUntil.IsZero() {
+		// A node booted inside a failover fence window could otherwise ack
+		// writes while a dead primary's lessees still serve cached reads.
+		srv.FenceWrites(c.fenceUntil)
+	}
+	c.sessMu.Unlock()
 	c.nodes = append(c.nodes, &clusterNode{srv: srv, cli: cli, addr: srv.Addr(), uid: uid, dir: dir})
 	return nil
 }
@@ -645,11 +666,71 @@ func (c *Cluster) failNode(uid int64) {
 	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
 	victim.cli.Close()
 	victim.srv.Close()
+	c.fenceForFailover()
 	c.rebuildViewLocked()
 	// Repair is best-effort here: the promoted replicas already hold every
 	// acknowledged write, and a failed repair just means a later membership
 	// change redoes it.
 	_ = c.rebalanceLocked(nil, nil)
+}
+
+// registerSession records a ClusterSession so node deaths know caching
+// clients exist (and must be fenced against).
+func (c *Cluster) registerSession(cs *ClusterSession) {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.sessClients == nil {
+		c.sessClients = make(map[*ClusterSession]struct{})
+	}
+	c.sessClients[cs] = struct{}{}
+}
+
+func (c *Cluster) dropSessionClient(cs *ClusterSession) {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	delete(c.sessClients, cs)
+}
+
+// SetSessionTTL sets the session lease duration on every current node (and
+// every node added later). Tests shrink it so lease-expiry paths run in
+// milliseconds.
+func (c *Cluster) SetSessionTTL(d time.Duration) {
+	c.sessMu.Lock()
+	c.sessTTL = d
+	c.sessMu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range c.nodes {
+		n.srv.SetSessionTTL(d)
+	}
+}
+
+// fenceForFailover blocks write acks cluster-wide for one session TTL
+// after a node death. The dead primary granted leases it can no longer
+// revoke; its lessees keep serving cached reads until those leases run
+// out, so the promoted replicas must not ack a conflicting write inside
+// that window. No-op when no session client is registered — plain
+// clusters keep the fast failover path. Caller holds c.mu (write).
+func (c *Cluster) fenceForFailover() {
+	c.sessMu.Lock()
+	active := len(c.sessClients) > 0
+	ttl := c.sessTTL
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	if active {
+		if until := c.clock.Now().Add(ttl); until.After(c.fenceUntil) {
+			c.fenceUntil = until
+		}
+	}
+	until := c.fenceUntil
+	c.sessMu.Unlock()
+	if !active {
+		return
+	}
+	for _, n := range c.nodes {
+		n.srv.FenceWrites(until)
+	}
 }
 
 // rebalanceLocked moves the cluster to the placement the current ring

@@ -16,7 +16,7 @@ import (
 // ServiceName is the transport service name of the key-value store.
 const ServiceName = "kv"
 
-//go:generate go run elasticrmi/cmd/ermi-gen -in server.go,store.go -out codec_ermi.go
+//go:generate go run elasticrmi/cmd/ermi-gen -in server.go,store.go,session.go -out codec_ermi.go
 
 // Wire messages. Every op has a request and reply struct; errors travel as
 // string codes so clients can re-map them to the exported sentinel errors.
@@ -103,6 +103,8 @@ const (
 	codeCASMismatch  = "CAS_MISMATCH"
 	codeLockHeld     = "LOCK_HELD"
 	codeNotLockOwner = "NOT_LOCK_OWNER"
+	codeNoSession    = "NO_SESSION"
+	codeWrongOwner   = "WRONG_OWNER"
 )
 
 func wireError(err error) error {
@@ -115,6 +117,10 @@ func wireError(err error) error {
 		return errors.New(codeLockHeld)
 	case errors.Is(err, ErrNotLockOwner):
 		return errors.New(codeNotLockOwner)
+	case errors.Is(err, ErrNoSession):
+		return errors.New(codeNoSession)
+	case errors.Is(err, ErrWrongOwner):
+		return errors.New(codeWrongOwner)
 	default:
 		return err
 	}
@@ -134,6 +140,10 @@ func unwireError(err error) error {
 		return ErrLockHeld
 	case codeNotLockOwner:
 		return ErrNotLockOwner
+	case codeNoSession:
+		return ErrNoSession
+	case codeWrongOwner:
+		return ErrWrongOwner
 	default:
 		return err
 	}
@@ -156,8 +166,9 @@ const replicateTimeout = 2 * time.Second
 // forwards every local write's resulting state to the key's backups
 // before acknowledging.
 type Server struct {
-	store *Store
-	srv   *transport.Server
+	store    *Store
+	srv      *transport.Server
+	sessions *sessionMgr
 
 	viewMu   sync.Mutex
 	rf       int
@@ -203,7 +214,7 @@ func NewServerDur(addr string, clock simclock.Clock, opts DurOptions) (*Server, 
 	if err != nil {
 		return nil, fmt.Errorf("kvstore server: %w", err)
 	}
-	s := &Server{store: store}
+	s := &Server{store: store, sessions: newSessionMgr(clock)}
 	srv, err := transport.Serve(addr, s.handle)
 	if err != nil {
 		store.Close()
@@ -223,6 +234,7 @@ func (s *Server) Store() *Store { return s.store }
 // replication links, and flushes the store's durability layer.
 func (s *Server) Close() error {
 	err := s.srv.Close()
+	s.sessions.closeAll()
 	s.viewMu.Lock()
 	links := s.links
 	s.links = nil
@@ -244,6 +256,7 @@ func (s *Server) Close() error {
 // survives recovery.
 func (s *Server) Crash() error {
 	err := s.srv.Close()
+	s.sessions.closeAll()
 	s.viewMu.Lock()
 	links := s.links
 	s.links = nil
@@ -264,9 +277,25 @@ func (s *Server) Crash() error {
 // change; installing a view clears backup suspicions (a repaired view is
 // the signal a formerly failed peer is gone or healthy again). A server
 // without a view (or with rf <= 1) replicates nothing.
+//
+// Installing a view also flushes every client session cache and waits for
+// the acknowledgments: ownership may have moved (failover, lock migration,
+// rebalance), so no cache entry granted under the old view may survive into
+// the new one. The flush is bounded by the session lease — an unresponsive
+// caching client delays a membership change by at most one TTL before its
+// session is killed.
 func (s *Server) SetView(t route.Table, rf int) {
+	s.installView(t, rf)
+	s.sessions.flushAll()
+}
+
+func (s *Server) installView(t route.Table, rf int) {
+	// The ring is built for any multi-member view — even unreplicated ones,
+	// where forward() ignores it — because isPrimary needs it: a lease
+	// granted by a non-owner (stale client routing) would never be
+	// invalidated by the key's writes.
 	var ring *route.Ring
-	if rf > 1 {
+	if rf > 1 || len(t.Members) > 1 {
 		ring = route.BuildRing(t)
 	}
 	s.viewMu.Lock()
@@ -309,6 +338,32 @@ func (s *Server) SetView(t route.Table, rf int) {
 // ReplStats reports cumulative backup forwards and forward failures.
 func (s *Server) ReplStats() (forwards, failures uint64) {
 	return s.forwards.Load(), s.forwardErrs.Load()
+}
+
+// SetSessionTTL changes the lease granted to session keepalives (existing
+// sessions converge on their next keepalive). Deployment/test tuning; the
+// default is DefaultSessionTTL.
+func (s *Server) SetSessionTTL(d time.Duration) { s.sessions.setTTL(d) }
+
+// FenceWrites forbids this node from acknowledging any write before until.
+// The cluster router fences the survivors of a primary crash for one
+// session TTL: a backup promoted over a dead primary must not confirm a
+// conflicting write while the dead node's lease grants — which it cannot
+// invalidate — may still be serving cached reads. Writes are applied and
+// replicated immediately; only their acknowledgment waits.
+func (s *Server) FenceWrites(until time.Time) { s.sessions.fenceWrites(until) }
+
+// isPrimary reports whether this node heads the replica set of routeKey
+// under its installed view. Servers without a view (single node, or rf <=
+// 1 where no ring is installed) own everything they hold.
+func (s *Server) isPrimary(routeKey string) bool {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	if s.ring == nil {
+		return true
+	}
+	idx := s.ring.Owner(routeKey)
+	return idx >= 0 && idx < len(s.members) && s.members[idx].Addr == s.Addr()
 }
 
 // stripeFor locks the ordering stripe of routeKey and returns its unlock.
@@ -398,6 +453,10 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		ver := s.store.Put(r.Key, r.Val)
 		s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
 		unlock()
+		// Coherence: revoke cached copies (and wait for the acks), then
+		// respect any write fence, before the ack below can escape.
+		s.sessions.invalidate(r.Key)
+		s.sessions.barrier()
 		return transport.Encode(&putReply{Version: ver})
 	case "Delete":
 		var r delReq
@@ -409,6 +468,8 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 			s.forward(r.Key, map[string]Versioned{r.Key: tomb}, nil)
 		}
 		unlock()
+		s.sessions.invalidate(r.Key)
+		s.sessions.barrier()
 		return transport.Encode(&delReply{})
 	case "CAS":
 		var r casReq
@@ -424,6 +485,8 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
+		s.sessions.invalidate(r.Key)
+		s.sessions.barrier()
 		return transport.Encode(&casReply{Version: ver})
 	case "Add":
 		var r addReq
@@ -441,6 +504,8 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
+		s.sessions.invalidate(r.Key)
+		s.sessions.barrier()
 		return transport.Encode(&addReply{Value: v})
 	case "Keys":
 		var r keysReq
@@ -464,6 +529,8 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
+		s.sessions.notify(lockWatchTopic(r.Name))
+		s.sessions.barrier()
 		return transport.Encode(&lockReply{})
 	case "Unlock":
 		var r unlockReq
@@ -481,7 +548,85 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err != nil {
 			return nil, wireError(err)
 		}
+		s.sessions.notify(lockWatchTopic(r.Name))
+		s.sessions.barrier()
 		return transport.Encode(&unlockReply{})
+	case "SessOpen":
+		var r sessOpenReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		p := req.Pusher()
+		if p == nil {
+			return nil, errors.New("sessions require a pushable connection")
+		}
+		id, ttl := s.sessions.open(p)
+		return transport.Encode(&sessOpenReply{ID: id, TTL: ttl})
+	case "SessKeep":
+		var r sessKeepReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		seq, err := s.sessions.keepalive(r.ID, r.Processed)
+		if err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(&sessKeepReply{EventSeq: seq})
+	case "SessClose":
+		var r sessCloseReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.sessions.close(r.ID)
+		return transport.Encode(&sessCloseReply{})
+	case "GetLease":
+		var r leaseReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		if !s.isPrimary(r.Key) {
+			return nil, wireError(ErrWrongOwner)
+		}
+		// Interest registration (and its sequence snapshot) precedes the
+		// read: a write applied after the read is then guaranteed to find
+		// the interest and carry a sequence above the snapshot, so the
+		// client's install guard can tell "already reflected in this value"
+		// from "revokes this value".
+		snap, noCache, err := s.sessions.lease(r.ID, r.Key)
+		if err != nil {
+			return nil, wireError(err)
+		}
+		v, err := s.store.Get(r.Key)
+		if err != nil {
+			if !noCache {
+				s.sessions.forget(r.ID, r.Key)
+			}
+			return nil, wireError(err)
+		}
+		return transport.Encode(&leaseReply{Val: v, Snapshot: snap, NoCache: noCache})
+	case "SessAck":
+		var r sessAckReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.sessions.ack(r.ID, r.Seq)
+		return transport.Encode(&sessAckReply{})
+	case "SessForget":
+		var r sessForgetReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		s.sessions.forget(r.ID, r.Key)
+		return transport.Encode(&sessForgetReply{})
+	case "SessWatch", "SessUnwatch":
+		var r sessWatchReq
+		if err := transport.Decode(req.Payload, &r); err != nil {
+			return nil, err
+		}
+		if err := s.sessions.watch(r.ID, r.Topic, req.Method == "SessWatch"); err != nil {
+			return nil, wireError(err)
+		}
+		return transport.Encode(&sessWatchReply{})
 	case "Export":
 		var r exportReq
 		if err := transport.Decode(req.Payload, &r); err != nil {

@@ -1,0 +1,553 @@
+package kvstore
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"elasticrmi/internal/simclock"
+	"elasticrmi/internal/transport"
+)
+
+// This file is the server half of the session layer: Chubby-style
+// keepalive-backed sessions whose cached reads the store invalidates
+// *before* acknowledging any conflicting write. The client half lives in
+// sessclient.go; the coherence contract is documented on the package
+// (store.go, "Sessions and caching").
+
+// ErrNoSession is returned for session operations against a session the
+// server does not know — never opened, expired, or killed. Clients react by
+// reopening the session (with an empty cache).
+var ErrNoSession = errors.New("kvstore: unknown or expired session")
+
+// ErrWrongOwner is returned by GetLease when the addressed node is not the
+// primary of the key's shard under its installed view — only primaries
+// grant leases, because only the primary of a key sees (and therefore can
+// invalidate before) every write to it. Clients re-route and retry.
+var ErrWrongOwner = errors.New("kvstore: not the primary for this key")
+
+// DefaultSessionTTL is the lease a session holds after each keepalive (and
+// after open). Clients anchor the lease at keepalive *send* time, so the
+// client-side lease always ends at or before the server-side one,
+// regardless of clock offset between the two.
+const DefaultSessionTTL = 2 * time.Second
+
+// defaultMaxInterest caps how many keys one session may hold under lease.
+// Past the cap GetLease still serves reads but stops granting cache
+// permission (NoCache), so a client with an oversized cache cannot make the
+// server track unbounded interest state.
+const defaultMaxInterest = 65536
+
+// Event kinds pushed on session connections (transport.Event.Kind).
+const (
+	// evInval invalidates one cached key (Topic). The client must drop the
+	// entry and acknowledge with SessAck; the conflicting write's reply is
+	// withheld until every affected session acks or its lease expires.
+	evInval = 1
+	// evFlush invalidates the whole cache (view change, lock migration).
+	// Acknowledged like evInval.
+	evFlush = 2
+	// evNotify is a lossy watch notification (Topic = key or lock topic).
+	// Never acknowledged, never blocks a write; Seq is always 0.
+	evNotify = 3
+)
+
+// lockWatchTopic is the notification topic of a named lock. The \x00 prefix
+// keeps it out of the data keyspace, so watching lock "x" never aliases
+// watching data key "lock/x".
+func lockWatchTopic(name string) string { return "\x00lock:" + name }
+
+// Session-protocol wire messages (hot path: every cache miss is a GetLease,
+// every invalidation round trips a SessAck).
+//
+//ermi:codec
+type (
+	sessOpenReq   struct{}
+	sessOpenReply struct {
+		ID  uint64
+		TTL time.Duration
+	}
+	sessKeepReq struct {
+		ID uint64
+		// Processed is the newest event sequence the client has applied to
+		// its cache. It doubles as a cumulative acknowledgment: a lost or
+		// delayed SessAck frame is repaired by the next keepalive, so a
+		// writer never waits longer than a keepalive interval on a client
+		// whose ack path (not its event path) is slow.
+		Processed uint64
+	}
+	sessKeepReply struct {
+		// EventSeq is the session's last issued invalidation sequence at the
+		// time of the keepalive. The client may extend its lease from this
+		// reply only once it has processed every event up to EventSeq —
+		// otherwise a keepalive racing an unprocessed invalidation could
+		// extend the serving window of an entry the server believes revoked.
+		EventSeq uint64
+	}
+	sessCloseReq   struct{ ID uint64 }
+	sessCloseReply struct{}
+	leaseReq       struct {
+		ID  uint64
+		Key string
+	}
+	leaseReply struct {
+		Val Versioned
+		// Snapshot is the session's invalidation sequence captured when the
+		// key's interest was registered — before the value was read. The
+		// client installs the entry only if it has seen no invalidation
+		// newer than Snapshot for this key: any write applied after this
+		// read carries a sequence > Snapshot, and any event <= Snapshot was
+		// for a write the read already reflects.
+		Snapshot uint64
+		// NoCache means the value may be served but not cached: the
+		// session's interest table is full.
+		NoCache bool
+	}
+	sessAckReq struct {
+		ID uint64
+		// Seq acknowledges every outstanding invalidation with sequence <=
+		// Seq (cumulative, so a client can coalesce a burst into one ack).
+		Seq uint64
+	}
+	sessAckReply  struct{}
+	sessForgetReq struct {
+		ID  uint64
+		Key string
+	}
+	sessForgetReply struct{}
+	sessWatchReq    struct {
+		ID    uint64
+		Topic string
+	}
+	sessWatchReply struct{}
+)
+
+// serverSession is one client session. All fields are guarded by the
+// owning sessionMgr's mutex except pusher and dead, which are safe to use
+// outside it (the pusher is internally synchronized; dead is only closed
+// once, under the mutex, via killLocked).
+type serverSession struct {
+	id      uint64
+	pusher  *transport.Pusher
+	expires time.Time
+	// seq numbers this session's acknowledged events (evInval/evFlush). It
+	// increments under the manager mutex, so the sequence a GetLease
+	// snapshot observes and the sequence an invalidation issues are totally
+	// ordered.
+	seq      uint64
+	interest map[string]struct{}
+	topics   map[string]struct{}
+	acks     map[uint64]chan struct{}
+	dead     chan struct{}
+}
+
+// sessionMgr tracks every live session of one Server: who caches which key,
+// who watches which topic, and the write fence. One invalidation may be
+// outstanding per key per session — interest is dropped at issue time, so a
+// later write to the same key finds no interest and pushes nothing until
+// the client re-leases the key.
+type sessionMgr struct {
+	clock simclock.Clock
+
+	mu          sync.Mutex
+	ttl         time.Duration
+	maxInterest int
+	nextID      uint64
+	sessions    map[uint64]*serverSession
+	byKey       map[string]map[*serverSession]struct{}
+	watches     map[string]map[*serverSession]struct{}
+	// fence is the instant before which no write may be acknowledged (see
+	// Server.FenceWrites). Zero when no fence is active.
+	fence time.Time
+}
+
+func newSessionMgr(clock simclock.Clock) *sessionMgr {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &sessionMgr{
+		clock:       clock,
+		ttl:         DefaultSessionTTL,
+		maxInterest: defaultMaxInterest,
+		sessions:    make(map[uint64]*serverSession),
+		byKey:       make(map[string]map[*serverSession]struct{}),
+		watches:     make(map[string]map[*serverSession]struct{}),
+	}
+}
+
+// setTTL changes the lease granted to future keepalives (test/deployment
+// tuning; existing sessions converge on their next keepalive).
+func (m *sessionMgr) setTTL(d time.Duration) {
+	m.mu.Lock()
+	m.ttl = d
+	m.mu.Unlock()
+}
+
+// open creates a session bound to the connection behind p.
+func (m *sessionMgr) open(p *transport.Pusher) (id uint64, ttl time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	sess := &serverSession{
+		id:       m.nextID,
+		pusher:   p,
+		expires:  m.clock.Now().Add(m.ttl),
+		interest: make(map[string]struct{}),
+		topics:   make(map[string]struct{}),
+		acks:     make(map[uint64]chan struct{}),
+		dead:     make(chan struct{}),
+	}
+	m.sessions[sess.id] = sess
+	return sess.id, m.ttl
+}
+
+// liveLocked returns the session if it exists and its lease has not
+// expired; an expired or connection-dead session is reaped on sight.
+func (m *sessionMgr) liveLocked(id uint64) *serverSession {
+	sess := m.sessions[id]
+	if sess == nil {
+		return nil
+	}
+	if !sess.expires.After(m.clock.Now()) || sess.pusher.Closed() {
+		m.killLocked(sess)
+		return nil
+	}
+	return sess
+}
+
+// keepalive extends the session's lease and reports its event sequence for
+// the client's lease-advance gate. processed is the client's applied-event
+// watermark and acknowledges cumulatively, exactly like ack.
+func (m *sessionMgr) keepalive(id, processed uint64) (eventSeq uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sess := m.liveLocked(id)
+	if sess == nil {
+		return 0, ErrNoSession
+	}
+	sess.expires = m.clock.Now().Add(m.ttl)
+	for q, ch := range sess.acks {
+		if q <= processed {
+			close(ch)
+			delete(sess.acks, q)
+		}
+	}
+	return sess.seq, nil
+}
+
+// close tears the session down: interest and watches dropped, writers
+// waiting on its acks released.
+func (m *sessionMgr) close(id uint64) {
+	m.mu.Lock()
+	if sess := m.sessions[id]; sess != nil {
+		m.killLocked(sess)
+	}
+	m.mu.Unlock()
+}
+
+// killLocked removes the session and wakes every writer waiting on one of
+// its acknowledgments (they select on dead).
+func (m *sessionMgr) killLocked(sess *serverSession) {
+	if _, live := m.sessions[sess.id]; !live {
+		return
+	}
+	delete(m.sessions, sess.id)
+	for k := range sess.interest {
+		m.dropIndexLocked(m.byKey, k, sess)
+	}
+	for t := range sess.topics {
+		m.dropIndexLocked(m.watches, t, sess)
+	}
+	close(sess.dead)
+}
+
+func (m *sessionMgr) kill(sess *serverSession) {
+	m.mu.Lock()
+	m.killLocked(sess)
+	m.mu.Unlock()
+}
+
+func (m *sessionMgr) dropIndexLocked(idx map[string]map[*serverSession]struct{}, key string, sess *serverSession) {
+	if set := idx[key]; set != nil {
+		delete(set, sess)
+		if len(set) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+// lease registers the session's interest in key and returns the event-
+// sequence snapshot the client's install guard needs. It MUST be called
+// before the store read it covers: registration and invalidation issue are
+// ordered by the manager mutex, so a write applied after the read is
+// guaranteed to find the interest (sequence > snapshot), and any event with
+// sequence <= snapshot belongs to a write the read already observed.
+func (m *sessionMgr) lease(id uint64, key string) (snapshot uint64, noCache bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sess := m.liveLocked(id)
+	if sess == nil {
+		return 0, false, ErrNoSession
+	}
+	if _, have := sess.interest[key]; !have {
+		if len(sess.interest) >= m.maxInterest {
+			return sess.seq, true, nil
+		}
+		sess.interest[key] = struct{}{}
+		set := m.byKey[key]
+		if set == nil {
+			set = make(map[*serverSession]struct{})
+			m.byKey[key] = set
+		}
+		set[sess] = struct{}{}
+	}
+	return sess.seq, false, nil
+}
+
+// forget drops the session's interest in key (client-side eviction). The
+// client keeps its install guard, so a forget racing an in-flight
+// invalidation is harmless on both sides.
+func (m *sessionMgr) forget(id uint64, key string) {
+	m.mu.Lock()
+	if sess := m.sessions[id]; sess != nil {
+		delete(sess.interest, key)
+		m.dropIndexLocked(m.byKey, key, sess)
+	}
+	m.mu.Unlock()
+}
+
+// ack acknowledges every outstanding invalidation of the session with
+// sequence <= upTo.
+func (m *sessionMgr) ack(id, upTo uint64) {
+	m.mu.Lock()
+	if sess := m.sessions[id]; sess != nil {
+		for q, ch := range sess.acks {
+			if q <= upTo {
+				close(ch)
+				delete(sess.acks, q)
+			}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// watch registers (or, with on=false, removes) the session's interest in
+// lossy change notifications on topic.
+func (m *sessionMgr) watch(id uint64, topic string, on bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sess := m.liveLocked(id)
+	if sess == nil {
+		return ErrNoSession
+	}
+	if !on {
+		delete(sess.topics, topic)
+		m.dropIndexLocked(m.watches, topic, sess)
+		return nil
+	}
+	sess.topics[topic] = struct{}{}
+	set := m.watches[topic]
+	if set == nil {
+		set = make(map[*serverSession]struct{})
+		m.watches[topic] = set
+	}
+	set[sess] = struct{}{}
+	return nil
+}
+
+// pendingAck is one issued invalidation awaiting its client ack.
+type pendingAck struct {
+	sess *serverSession
+	seq  uint64
+	// deadline is the session's lease end captured at issue time. Later
+	// keepalives never extend the wait: the client's own lease anchor is at
+	// or before the server's, so once deadline passes the client has
+	// provably stopped serving the revoked entry.
+	deadline time.Time
+	ch       chan struct{}
+}
+
+// invalidate revokes key from every session caching it and blocks until
+// each has acknowledged or provably expired — the write that triggered it
+// must not be acknowledged before cached copies are gone. Interest is
+// dropped at issue, so at most one invalidation per key per session is ever
+// outstanding. Watchers of the key get a (non-blocking) notification.
+func (m *sessionMgr) invalidate(key string) {
+	m.mu.Lock()
+	var pend []pendingAck
+	if set := m.byKey[key]; len(set) > 0 {
+		now := m.clock.Now()
+		for sess := range set {
+			delete(sess.interest, key)
+			if !sess.expires.After(now) || sess.pusher.Closed() {
+				m.killLocked(sess)
+				continue
+			}
+			sess.seq++
+			ch := make(chan struct{})
+			sess.acks[sess.seq] = ch
+			pend = append(pend, pendingAck{sess: sess, seq: sess.seq, deadline: sess.expires, ch: ch})
+		}
+		delete(m.byKey, key)
+	}
+	watchers := m.watchersLocked(key)
+	m.mu.Unlock()
+	for _, p := range pend {
+		if err := p.sess.pusher.Send(evInval, p.seq, key, nil); err != nil {
+			m.kill(p.sess)
+		}
+	}
+	m.sendNotify(watchers, key)
+	m.await(pend)
+}
+
+// flushAll revokes every cached entry of every session and waits for the
+// acks — the coherence hammer membership changes swing: after a view
+// change, lock migration, or rebalance, no pre-change cache entry survives.
+func (m *sessionMgr) flushAll() {
+	m.mu.Lock()
+	var pend []pendingAck
+	now := m.clock.Now()
+	for _, sess := range m.sessions {
+		if !sess.expires.After(now) || sess.pusher.Closed() {
+			m.killLocked(sess)
+			continue
+		}
+		for k := range sess.interest {
+			m.dropIndexLocked(m.byKey, k, sess)
+		}
+		sess.interest = make(map[string]struct{})
+		sess.seq++
+		ch := make(chan struct{})
+		sess.acks[sess.seq] = ch
+		pend = append(pend, pendingAck{sess: sess, seq: sess.seq, deadline: sess.expires, ch: ch})
+	}
+	m.mu.Unlock()
+	for _, p := range pend {
+		if err := p.sess.pusher.Send(evFlush, p.seq, "", nil); err != nil {
+			m.kill(p.sess)
+		}
+	}
+	m.await(pend)
+}
+
+// await blocks until every pending invalidation is acknowledged, its
+// session dies, or its lease deadline passes. Whichever fires, the entry
+// under revocation is provably no longer served — past the deadline the
+// client either never processed the event (then its own lease, anchored at
+// or before ours, has ended) or processed it (the keepalive gate admits no
+// other renewal), so the entry is gone from its cache either way.
+func (m *sessionMgr) await(pend []pendingAck) {
+	for _, p := range pend {
+		d := p.deadline.Sub(m.clock.Now())
+		if d < 0 {
+			d = 0
+		}
+		select {
+		case <-p.ch:
+		case <-p.sess.dead:
+		case <-m.clock.After(d):
+			m.resolveOverdue(p)
+		}
+	}
+}
+
+// resolveOverdue settles an invalidation whose ack missed the lease
+// deadline captured at issue. The session is killed ONLY if its lease
+// really lapsed: a renewal since issue passes the client's EventSeq gate
+// only after this event was applied, so the entry is already dropped and
+// merely the ack is slow or lost — killing such a session would silently
+// drop its other interests while the client, holding a valid lease, keeps
+// serving them with nobody left to invalidate (a coherence hole, not a
+// cleanup).
+func (m *sessionMgr) resolveOverdue(p pendingAck) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, live := m.sessions[p.sess.id]; !live {
+		return
+	}
+	if p.sess.expires.After(m.clock.Now()) {
+		delete(p.sess.acks, p.seq)
+		return
+	}
+	m.killLocked(p.sess)
+}
+
+// watchersLocked snapshots the sessions watching topic.
+func (m *sessionMgr) watchersLocked(topic string) []*serverSession {
+	set := m.watches[topic]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]*serverSession, 0, len(set))
+	for sess := range set {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// notify pushes a lossy change notification to every watcher of topic.
+func (m *sessionMgr) notify(topic string) {
+	m.mu.Lock()
+	watchers := m.watchersLocked(topic)
+	m.mu.Unlock()
+	m.sendNotify(watchers, topic)
+}
+
+func (m *sessionMgr) sendNotify(watchers []*serverSession, topic string) {
+	for _, sess := range watchers {
+		if err := sess.pusher.Send(evNotify, 0, topic, nil); err != nil {
+			m.kill(sess)
+		}
+	}
+}
+
+// fenceWrites forbids write acknowledgments before until (monotone: an
+// earlier fence never shortens a later one).
+func (m *sessionMgr) fenceWrites(until time.Time) {
+	m.mu.Lock()
+	if until.After(m.fence) {
+		m.fence = until
+	}
+	m.mu.Unlock()
+}
+
+// barrier delays the calling write handler until any active fence has
+// passed. The write is already applied (and replicated) when the barrier
+// runs — only its acknowledgment waits, so a reader can observe the new
+// value early but no writer can claim success while a dead primary's
+// leases might still be serving the old one.
+func (m *sessionMgr) barrier() {
+	m.mu.Lock()
+	until := m.fence
+	m.mu.Unlock()
+	if d := until.Sub(m.clock.Now()); d > 0 {
+		m.clock.Sleep(d)
+	}
+}
+
+// closeAll kills every session (server shutdown), releasing any writer
+// still waiting on an acknowledgment.
+func (m *sessionMgr) closeAll() {
+	m.mu.Lock()
+	for _, sess := range m.sessions {
+		m.killLocked(sess)
+	}
+	m.mu.Unlock()
+}
+
+// Test hooks (in-package tests only).
+
+// sessionCount reports the number of live sessions.
+func (m *sessionMgr) sessionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// interestCount reports how many sessions hold a lease on key.
+func (m *sessionMgr) interestCount(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byKey[key])
+}

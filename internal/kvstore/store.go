@@ -33,6 +33,45 @@
 // lost, and operations retry transparently (bounded, surfacing
 // ErrUnavailable only when every replica of a key is gone).
 //
+// # Sessions and client caching
+//
+// A client may open a Session (or a ClusterSession spanning all shards):
+// reads then install lease-stamped entries in a bounded local cache, and
+// repeated reads of an unchanged key cost no round trip. Coherence is
+// server-pushed, Chubby-style: before acknowledging any conflicting write
+// (Put/Delete/CAS/AddInt64, or a lock transition for watched locks), the
+// key's primary pushes an invalidation event to every session holding that
+// key and waits for the acks — so by the time a writer's ack returns, no
+// live cache anywhere still holds the old value. A session that does not
+// ack within its lease is killed instead of waited on forever, which bounds
+// write latency at one session TTL in the worst case.
+//
+// The lease is session-wide and renewed by keepalives. The client anchors
+// each lease extension at the time it SENT the keepalive on its own clock,
+// which is necessarily earlier than the server's receipt anchor — so the
+// client always expires its cache before the server believes the session
+// could still be serving it, and clock skew can only shorten the effective
+// lease, never stretch it. A keepalive advances the lease only if the
+// client has already processed every invalidation the server had issued at
+// reply time (the EventSeq gate), closing the race where a renewal
+// overtakes an in-flight invalidation. Install is snapshot-guarded: the
+// server registers interest and snapshots its event sequence before the
+// read, and the client installs the entry only if no invalidation at or
+// below that snapshot touched the key — a write that raced the read can
+// never leave a stale entry behind.
+//
+// Failures: when a node crashes, the leases it granted cannot be revoked,
+// so the cluster fences — survivors delay conflicting write acks until one
+// full session TTL has passed since the failure, by which point every
+// orphaned cache entry has expired on its own clock. View changes
+// (AddNode/RemoveNode/failover promotion) flush all session caches, since
+// key ownership may have moved. One documented hole remains: a
+// whole-cluster halt and disk restart (Halt + NewDurable) within a single
+// TTL restores no fence, so a client of the previous generation could in
+// principle serve one cached read against a write acked by the rebooted
+// cluster; restart paths that care should wait one TTL before accepting
+// writes.
+//
 // # Durability contract
 //
 // A store created with NewStoreDur additionally writes every mutation to a

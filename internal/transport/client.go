@@ -23,6 +23,7 @@ type Client struct {
 	batch   *batcher            // nil unless batching is enabled
 	epochFn func() uint64       // nil: requests stamped with epoch 0
 	onRoute func(t route.Table) // nil: piggybacked route updates dropped
+	onEvent atomic.Pointer[func(Event)]
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -269,6 +270,12 @@ type DialOptions struct {
 	// on a response, before the response is delivered to its caller. It
 	// runs on the read loop and must not block.
 	OnRouteUpdate func(t route.Table)
+	// OnEvent, when non-nil, receives every server-push event frame (see
+	// Event). It runs on the read loop — it must not block, and the event's
+	// Payload is only valid for the duration of the call (copy what
+	// outlives it). A client without a handler drops events silently. The
+	// handler can also be (re)installed after dial with SetEventHandler.
+	OnEvent func(ev Event)
 }
 
 // DialOpts connects with the full option surface.
@@ -293,6 +300,10 @@ func DialOpts(addr string, opts DialOptions) (*Client, error) {
 		pending: make(map[uint64]*Call),
 		done:    make(chan struct{}),
 	}
+	if opts.OnEvent != nil {
+		fn := opts.OnEvent
+		c.onEvent.Store(&fn)
+	}
 	if opts.Batch.MaxDelay > 0 {
 		c.batch = newBatcher(c, opts.Batch)
 	}
@@ -314,6 +325,18 @@ func (c *Client) epoch() uint64 {
 // Addr returns the remote address this client is connected to.
 func (c *Client) Addr() string { return c.addr }
 
+// SetEventHandler installs (or, with nil, removes) the server-push event
+// handler. Safe to call while the client runs; the same contract as
+// DialOptions.OnEvent applies (runs on the read loop, must not block,
+// Payload valid only during the call).
+func (c *Client) SetEventHandler(fn func(Event)) {
+	if fn == nil {
+		c.onEvent.Store(nil)
+		return
+	}
+	c.onEvent.Store(&fn)
+}
+
 func (c *Client) readLoop() {
 	defer close(c.done)
 	br := bufio.NewReaderSize(c.conn, connBufSize)
@@ -322,6 +345,23 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.failAll(err)
 			return
+		}
+		if kind == frameEvent {
+			var ev Event
+			perr := parseEvent(meta, payload, &ev)
+			arenaPut(meta)
+			if perr != nil {
+				arenaPut(payload)
+				c.failAll(perr)
+				return
+			}
+			if fn := c.onEvent.Load(); fn != nil {
+				(*fn)(ev)
+			}
+			// The payload slab is done once the handler returns (it copies
+			// what it keeps); a handlerless client just drops the event.
+			arenaPut(payload)
+			continue
 		}
 		if kind != frameResponse {
 			arenaPut(meta)

@@ -5,7 +5,7 @@
 // client connection multiplexes concurrent calls; responses are matched to
 // requests by sequence number.
 //
-// # Wire format (version 4)
+// # Wire format (version 5)
 //
 // Framing is a hand-rolled binary codec: no reflection runs on the hot path.
 // Application payloads — the opaque []byte a Request or Response carries —
@@ -19,11 +19,12 @@
 //	| 'e' | 'R' | 'M' | 'I' | version |
 //	+-----+-----+-----+-----+---------+
 //
-// The current protocol version is 4 (version 1 lacked the request epoch and
+// The current protocol version is 5 (version 1 lacked the request epoch and
 // piggybacked route updates and carried a redirect list on responses;
 // version 2 lacked the request budget and the response status; version 3
 // carried the payload inline in the body rather than in a separately-sized
-// section). A server that reads a bad magic or an unknown version closes the
+// section; version 4 lacked the event frame). A server that reads a bad
+// magic or an unknown version closes the
 // connection before parsing any frame; mismatched peers fail fast at
 // connection start rather than mid-stream. The preamble is buffered with the
 // first request frame, costing no extra syscall.
@@ -38,7 +39,8 @@
 // must not exceed MaxFrame (64 MiB); oversized frames are rejected by the
 // reader (killing the connection) and refused by the writer before any byte
 // is written (failing only that call). kind is 1 for a request, 2 for a
-// response, 3 for a one-way request, 4 for a batch of requests. plen is the
+// response, 3 for a one-way request, 4 for a batch of requests, 5 for a
+// server-pushed event. plen is the
 // size of the trailing payload section; the metadata section (the body
 // fields below, minus the payload) fills the bytes in between. Carrying
 // plen in the fixed header lets the reader land the payload directly in an
@@ -132,6 +134,28 @@
 // arrived in its own frame; responses for the two-way entries travel as
 // ordinary response frames (kind 2), in completion order, coalesced by the
 // writer's flush elision. There is no batch-response frame kind.
+//
+// Event metadata (kind 5; the event payload is the frame's payload
+// section): a server-initiated message on an established connection — the
+// push half of a lease/invalidation protocol layered above the transport
+// (e.g. the kvstore session layer's cache invalidations and watch
+// notifications). Events flow server→client only; a client-sent event frame
+// is a protocol violation that closes the connection. The server obtains a
+// push handle from any request on the connection (Request.Pusher) and may
+// hold it for the connection's lifetime:
+//
+//	seq      uvarint   // application-assigned token (e.g. echoed on an ack call)
+//	kind     uvarint   // application-defined event discriminator
+//	topic    uvarint n, then n bytes   // n <= 4096; e.g. the key being invalidated
+//
+// The transport assigns no meaning to any event field and promises only
+// what TCP does: events written on one connection arrive in write order,
+// but concurrent Pusher.Sends may interleave arbitrarily, so cross-event
+// ordering is the application's problem (the session layer makes it a
+// non-problem by allowing at most one outstanding invalidation per key per
+// session). Events bypass admission control — they are server output, not
+// inbound work — and the client dispatches them on its read loop to the
+// DialOptions.OnEvent callback, which therefore must not block.
 //
 // A frame whose body is shorter or longer than its declared fields is a
 // protocol violation and closes the connection. Unknown flag bits in a

@@ -420,10 +420,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		return // wrong magic or unsupported protocol version
 	}
 	st := &connState{conn: conn, w: newConnWriter(conn)}
+	pusher := &Pusher{st: st}
 	s.mu.Lock()
 	s.states[st] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
+		st.closed.Store(true)
 		s.mu.Lock()
 		delete(s.states, st)
 		s.mu.Unlock()
@@ -453,6 +455,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				req.fb.refs.Store(1)
 				req.frame = &req.fb
 			}
+			req.pusher = pusher
 			if kind == frameRequest {
 				s.ingestRequest(st, req, arrival)
 			} else {
@@ -477,6 +480,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the outstanding-count flush elision.
 			for _, it := range items {
 				it.req.frame = fb
+				it.req.pusher = pusher
 				if it.oneway {
 					s.ingestOneWay(it.req, arrival)
 				} else {
@@ -532,12 +536,45 @@ func (s *Server) Quiesce(timeout time.Duration) bool {
 	}
 }
 
+// Pusher pushes event frames to the client side of one server connection.
+// Handlers obtain it via Request.Pusher and may hold it beyond the request:
+// it stays valid for the connection's lifetime, and once the connection is
+// gone every Send fails with ErrClosed — the holder's signal to drop
+// whatever state (a session, a watch registration) the handle anchored.
+// Safe for concurrent use; concurrent Sends serialize on the connection
+// writer.
+type Pusher struct {
+	st *connState
+}
+
+// Send writes one event frame (kind, seq, topic, payload) to the client.
+// The payload is copied onto the wire before Send returns; the caller keeps
+// ownership of the slice. Events are never held for flush coalescing — a
+// pushed invalidation is on its way to the kernel when Send returns.
+func (p *Pusher) Send(kind, seq uint64, topic string, payload []byte) error {
+	if p == nil || p.st.closed.Load() {
+		return ErrClosed
+	}
+	if err := p.st.w.writeEvent(seq, kind, topic, payload); err != nil {
+		return fmt.Errorf("transport: push event: %w", err)
+	}
+	return nil
+}
+
+// Closed reports whether the connection behind this pusher is gone (every
+// further Send would fail).
+func (p *Pusher) Closed() bool { return p == nil || p.st.closed.Load() }
+
 // connState is the per-connection server state shared by the reader and the
 // response writers: the writer itself plus the outstanding-request count
 // driving response flush coalescing.
 type connState struct {
 	conn net.Conn
 	w    *connWriter
+	// closed is set when the connection's read loop exits; it fails event
+	// pushes fast (response writes discover the death through their own
+	// write errors).
+	closed atomic.Bool
 	// outstanding counts requests read but not yet answered. A responder
 	// that is not the last one holds its flush — more responses are
 	// imminent — so a wave of completions reaches the kernel in one

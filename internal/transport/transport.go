@@ -87,6 +87,11 @@ type Request struct {
 	// buffer — must leave it false.
 	ReleaseReply bool
 
+	// pusher is the event-push handle of the connection this request arrived
+	// on (nil for requests constructed outside a server connection). See
+	// Pusher.
+	pusher *Pusher
+
 	// frame is the refcounted arena slab backing Payload (nil once released
 	// or retained). See Retain.
 	frame *frameBuf
@@ -112,9 +117,29 @@ func getRequest() *Request {
 	r.Payload = nil
 	r.Budget, r.Deadline = 0, time.Time{}
 	r.OneWay, r.ReleaseReply, r.retained = false, false, false
+	r.pusher = nil
 	r.frame = nil
 	r.fb.buf = nil
 	return r
+}
+
+// Pusher returns the server-push handle of the connection this request
+// arrived on, or nil when the request did not arrive over a server
+// connection. The handle outlives the request (and may be stored by the
+// handler — e.g. in a session table): it stays valid for the connection's
+// lifetime and fails every Send once the connection is gone.
+func (r *Request) Pusher() *Pusher { return r.pusher }
+
+// Event is a server-initiated message pushed on an established connection
+// (see the event frame in doc.go). Kind, Topic and Seq address the event at
+// the application layer — the transport assigns no meaning to any of them
+// (Seq is typically an acknowledgment token: the session layer above
+// assigns it and the client echoes it back on its ack call).
+type Event struct {
+	Seq     uint64
+	Kind    uint64
+	Topic   string
+	Payload []byte
 }
 
 // Retain detaches the request's payload from the transport's arena

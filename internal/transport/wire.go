@@ -30,7 +30,10 @@ const MaxFrame = 64 << 20
 // whose length travels in the fixed header, so readers place the payload in
 // an exactly-sized arena slab and writers emit large payloads by
 // scatter-gather without copying them through the connection buffer.
-const protoVersion = 4
+// Version 5 added the event frame: a server-initiated message pushed on an
+// established connection (session invalidations and watch notifications),
+// reusing the metadata/payload split of version 4.
+const protoVersion = 5
 
 var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
 
@@ -49,6 +52,12 @@ const (
 	// frames carry their entries' payloads inline in the metadata section
 	// (plen = 0); the entries share the frame's buffer by refcount.
 	frameBatch frameKind = 4
+	// frameEvent is a server-initiated message on an established connection:
+	// it answers no request and carries its own (kind, topic, seq) addressing
+	// instead of a response seq. Clients dispatch events to the handler
+	// installed at dial time; servers never accept one (events flow
+	// server→client only).
+	frameEvent frameKind = 5
 )
 
 // frameHeaderSize is the fixed per-frame header after the u32 length field:
@@ -332,6 +341,71 @@ func (w *connWriter) writeBatch(entries []batchEntry) error {
 	_, err := w.bw.Write(hm)
 	arenaPut(hm)
 	return w.finish(err)
+}
+
+// maxEventTopic bounds the topic string of an event frame; writers refuse
+// longer topics and readers treat them as malformed. Topics are keys or
+// lock names — far shorter in practice.
+const maxEventTopic = 4096
+
+// eventMetaSize returns the metadata-section size of an event frame.
+func eventMetaSize(seq, kind uint64, topic string) int {
+	return uvarintLen(seq) + uvarintLen(kind) +
+		uvarintLen(uint64(len(topic))) + len(topic)
+}
+
+// writeEvent emits one server-push event frame. Events are latency-critical
+// (a write somewhere is blocked until the event's effect is acknowledged),
+// so the frame is flushed under the ordinary coalescing discipline — never
+// held for stragglers.
+func (w *connWriter) writeEvent(seq, kind uint64, topic string, payload []byte) error {
+	if len(topic) > maxEventTopic {
+		return fmt.Errorf("%w: event topic of %d bytes", ErrFrameTooLarge, len(topic))
+	}
+	metaSize := eventMetaSize(seq, kind, topic)
+	size := frameHeaderSize + metaSize + len(payload)
+	if size > MaxFrame {
+		return fmt.Errorf("%w: event frame of %d bytes", ErrFrameTooLarge, size)
+	}
+	hm := arenaGet(9 + metaSize)
+	putFrameHeader(hm, size, frameEvent, len(payload))
+	b := hm[:9]
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, kind)
+	_ = appendWireString(b, topic)
+	if err := w.lock(); err != nil {
+		w.mu.Unlock()
+		arenaPut(hm)
+		return err
+	}
+	err := w.writeFrame(hm, payload)
+	arenaPut(hm)
+	return w.finish(err)
+}
+
+// parseEvent decodes an event's metadata section into ev and attaches the
+// payload section. The topic is copied out of meta (it outlives the frame);
+// ev.Payload is the arena slab readFrame produced. Like every parser it is
+// total on hostile input: malformed metadata returns errMalformed and
+// never panics.
+func parseEvent(meta, payload []byte, ev *Event) error {
+	seq, rest, ok := takeUvarint(meta)
+	if !ok {
+		return errMalformed
+	}
+	kind, rest, ok := takeUvarint(rest)
+	if !ok {
+		return errMalformed
+	}
+	topic, rest, ok := takeBytes(rest)
+	if !ok || len(rest) != 0 || len(topic) > maxEventTopic {
+		return errMalformed
+	}
+	ev.Seq = seq
+	ev.Kind = kind
+	ev.Topic = string(topic)
+	ev.Payload = payload
+	return nil
 }
 
 // drainingFlag marks a draining member inside a route-update entry.

@@ -226,19 +226,30 @@ cat BENCH_overload.json
 # The durability rows compare the same parallel put stream against the
 # in-memory store, a WAL fsyncing every write, and a group-committed WAL;
 # fsync_cost_recovered_pct is how much of the naive-WAL overhead group
-# commit wins back.
+# commit wins back. The sessions rows are the client-cache figure: the same
+# 16-client read stream through lease-backed session caches vs plain
+# per-call clients, and the invalidation storm — 16 caching subscribers of
+# one hot key while a writer updates it, reporting the writer's ack latency
+# (every Put must push 16 invalidations and collect the acks before its own
+# ack; fixed iteration count for a stable percentile sample).
 KV=$(go test -run '^$' -bench '^BenchmarkClusterR[12]' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
 printf '%s\n' "$KV"
 DUR=$(go test -run '^$' -bench '^BenchmarkStorePut(NoWAL|WALSync|WALGroup)$' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
 printf '%s\n' "$DUR"
+SESS=$(go test -run '^$' -bench '^BenchmarkSessionGet(Cached|Uncached)$' -benchtime "${KV_BENCHTIME:-1s}" ./internal/kvstore/)
+printf '%s\n' "$SESS"
+STORM=$(go test -run '^$' -bench '^BenchmarkSessionInvalidationStorm$' -benchtime "${STORM_BENCHTIME:-200x}" ./internal/kvstore/)
+printf '%s\n' "$STORM"
 BLIP=$(go test -run '^$' -bench '^BenchmarkClusterFailoverBlip$' -benchtime 1x ./internal/kvstore/)
 printf '%s\n' "$BLIP"
 
-{ printf '%s\n' "$KV"; printf '%s\n' "$DUR"; printf '%s\n' "$BLIP"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+{ printf '%s\n' "$KV"; printf '%s\n' "$DUR"; printf '%s\n' "$SESS"; printf '%s\n' "$STORM"; printf '%s\n' "$BLIP"; } | awk -v gen="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op")      ns[name] = $(i-1)
+      if ($i == "p50-us")     p50[name] = $(i-1)
+      if ($i == "p99-us")     p99[name] = $(i-1)
       if ($i == "blip-ms")    blip     = $(i-1)
       if ($i == "failed-ops") failedop = $(i-1)
       if ($i == "acked-ops")  ackedop  = $(i-1)
@@ -264,6 +275,14 @@ printf '%s\n' "$BLIP"
     printf "    \"wal_fsync_per_write_put_ns\": %s,\n", ws
     printf "    \"wal_group_commit_put_ns\": %s,\n", wg
     printf "    \"fsync_cost_recovered_pct\": %.1f\n", (ws - wg) * 100.0 / (ws - nw)
+    printf "  },\n"
+    ca = ns["BenchmarkSessionGetCached"]; un = ns["BenchmarkSessionGetUncached"]; st = "BenchmarkSessionInvalidationStorm"
+    printf "  \"sessions\": {\n"
+    printf "    \"workload\": \"16 clients reading a 64-key-per-client working set through lease-backed session caches vs plain per-call clients; storm = 16 caching subscribers of one hot key, writer latency includes the invalidate-before-ack round\",\n"
+    printf "    \"cached_get\": {\"ns_per_op\": %s, \"ops_per_s\": %.0f},\n", ca, 1e9 / ca
+    printf "    \"uncached_get\": {\"ns_per_op\": %s, \"ops_per_s\": %.0f},\n", un, 1e9 / un
+    printf "    \"cached_speedup_x\": %.1f,\n", un / ca
+    printf "    \"invalidation_storm_put\": {\"ns_per_op\": %s, \"p50_us\": %s, \"p99_us\": %s}\n", ns[st], p50[st], p99[st]
     printf "  },\n"
     printf "  \"failover\": {\"blip_ms\": %s, \"failed_ops\": %s, \"acked_ops\": %s}\n", blip, failedop, ackedop
     printf "}\n"
