@@ -215,13 +215,33 @@ func NewServerDur(addr string, clock simclock.Clock, opts DurOptions) (*Server, 
 		return nil, fmt.Errorf("kvstore server: %w", err)
 	}
 	s := &Server{store: store, sessions: newSessionMgr(clock)}
-	srv, err := transport.Serve(addr, s.handle)
+	srv, err := transport.ServeOpts(addr, s.handle, transport.ServerOptions{Express: sessionControlExpress})
 	if err != nil {
 		store.Close()
 		return nil, fmt.Errorf("kvstore server: %w", err)
 	}
 	s.srv = srv
 	return s, nil
+}
+
+// sessionControlExpress puts the session control plane (keepalives,
+// invalidation acks, interest drops, teardown) on the transport's express
+// lane, outside the bounded worker pool. Write handlers park IN that pool
+// waiting for exactly these calls: admitted through the same pool, a burst
+// of writes blocked in invalidate could occupy every worker and shed the
+// acks that would release them — each write would then degrade to a full
+// lease-deadline wait, and keepalives shed past their retry budget would
+// kill healthy sessions. All four handlers are sub-microsecond map updates
+// that never block, as the lane requires.
+func sessionControlExpress(service, method string) bool {
+	if service != ServiceName {
+		return false
+	}
+	switch method {
+	case "SessKeep", "SessAck", "SessForget", "SessClose":
+		return true
+	}
+	return false
 }
 
 // Addr returns the server's listen address.
@@ -567,11 +587,11 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		if err := transport.Decode(req.Payload, &r); err != nil {
 			return nil, err
 		}
-		seq, err := s.sessions.keepalive(r.ID, r.Processed)
+		seq, ttl, err := s.sessions.keepalive(r.ID, r.Processed)
 		if err != nil {
 			return nil, wireError(err)
 		}
-		return transport.Encode(&sessKeepReply{EventSeq: seq})
+		return transport.Encode(&sessKeepReply{EventSeq: seq, TTL: ttl})
 	case "SessClose":
 		var r sessCloseReq
 		if err := transport.Decode(req.Payload, &r); err != nil {

@@ -54,10 +54,13 @@ type Session struct {
 	conn       *transport.Client
 	clock      simclock.Clock
 	id         uint64
-	ttl        time.Duration
 	maxEntries int
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// ttl is the lease duration of the most recent grant. It starts at the
+	// open reply's value and tracks each keepalive reply thereafter, so the
+	// serving window follows the server's current setting.
+	ttl     time.Duration
 	entries map[string]*list.Element
 	lru     list.List
 	// lastInval[k] is the newest invalidation sequence seen for k;
@@ -245,14 +248,20 @@ func (s *Session) acker() {
 // keepaliveLoop renews the lease at ttl/3. The lease anchor is the
 // keepalive's send instant on the client's own clock: the send happens
 // before the server's receipt, so the client-side window always ends at or
-// before the server-side one no matter how the two clocks are offset.
+// before the server-side one no matter how the two clocks are offset. Each
+// reply carries the server's current TTL and the client adopts it — the
+// server extends by that value, so extending by the open-time TTL after
+// SetSessionTTL lowered it would leave the client window ending after the
+// server's (and after every invalidation deadline captured from it).
 func (s *Session) keepaliveLoop() {
 	defer s.wg.Done()
-	interval := s.ttl / 3
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
 	for {
+		s.mu.Lock()
+		interval := s.ttl / 3
+		s.mu.Unlock()
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
 		select {
 		case <-s.done:
 			return
@@ -271,14 +280,20 @@ func (s *Session) keepaliveLoop() {
 			return
 		}
 		s.mu.Lock()
+		if rep.TTL > 0 {
+			s.ttl = rep.TTL
+		}
 		// Advance only when every event up to the server's sequence at
 		// keepalive time has been applied: a keepalive reply that raced
 		// past an in-flight invalidation must not extend the serving
-		// window of the entry it revokes.
-		if s.processedSeq >= rep.EventSeq {
-			if nu := t0.Add(s.ttl); nu.After(s.leaseUntil) {
-				s.leaseUntil = nu
-			}
+		// window of the entry it revokes. A window that SHRANK (the server
+		// lowered the TTL) takes effect unconditionally — the server-side
+		// lease now ends at receipt+TTL, and serving past the client-side
+		// image of that bound would outlive the deadlines invalidations
+		// capture from it.
+		nu := t0.Add(s.ttl)
+		if s.processedSeq >= rep.EventSeq || nu.Before(s.leaseUntil) {
+			s.leaseUntil = nu
 		}
 		s.mu.Unlock()
 	}
@@ -492,6 +507,10 @@ func (c *Cluster) NewSession(opts SessionOptions) *ClusterSession {
 	return cs
 }
 
+// dialSession is NewSession behind a test seam (dial-stall isolation tests
+// substitute a delaying dialer).
+var dialSession = NewSession
+
 // sessionForKey returns a live session with key's current primary, opening
 // one if needed. Returns nil when no session can be established (caller
 // falls back to the uncached path, which drives failover).
@@ -508,22 +527,44 @@ func (cs *ClusterSession) sessionForKey(key string) *Session {
 		return nil
 	}
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	if cs.closed {
+		cs.mu.Unlock()
 		return nil
 	}
 	if sess := cs.sessions[addr]; sess != nil {
 		if sess.Live() {
+			cs.mu.Unlock()
 			return sess
 		}
 		delete(cs.sessions, addr)
 		go sess.Close()
 	}
-	sess, err := NewSession(addr, cs.opts)
+	cs.mu.Unlock()
+	// Dial outside cs.mu: opening a session blocks on a dial plus the
+	// SessOpen round trip, and one slow or unresponsive node must not stall
+	// cached reads for keys on every other shard. Concurrent misses on the
+	// same address may race duplicate dials; the loser is closed below.
+	sess, err := dialSession(addr, cs.opts)
 	if err != nil {
 		return nil
 	}
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		go sess.Close()
+		return nil
+	}
+	if cur := cs.sessions[addr]; cur != nil {
+		if cur.Live() {
+			cs.mu.Unlock()
+			go sess.Close()
+			return cur
+		}
+		delete(cs.sessions, addr)
+		go cur.Close()
+	}
 	cs.sessions[addr] = sess
+	cs.mu.Unlock()
 	return sess
 }
 

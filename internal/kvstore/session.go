@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"elasticrmi/internal/simclock"
-	"elasticrmi/internal/transport"
 )
 
 // This file is the server half of the session layer: Chubby-style
@@ -83,6 +82,14 @@ type (
 		// otherwise a keepalive racing an unprocessed invalidation could
 		// extend the serving window of an entry the server believes revoked.
 		EventSeq uint64
+		// TTL is the lease duration this keepalive granted — the server's
+		// current setting, not the one the session opened with. The client
+		// adopts it: the server extends by its *current* TTL, so a client
+		// still extending by the open-time value after SetSessionTTL lowered
+		// it would hold a window ending after the server's, and every
+		// invalidation deadline captured from that server window would pass
+		// while the client kept serving.
+		TTL time.Duration
 	}
 	sessCloseReq   struct{ ID uint64 }
 	sessCloseReply struct{}
@@ -122,13 +129,28 @@ type (
 	sessWatchReply struct{}
 )
 
+// eventPusher is the slice of transport.Pusher the session layer uses —
+// an interface so ordering tests can put a recorder on the wire.
+type eventPusher interface {
+	Send(kind, seq uint64, topic string, payload []byte) error
+	Closed() bool
+}
+
+// outEvent is one queued server-push event awaiting transmission by its
+// session's sender goroutine.
+type outEvent struct {
+	kind  uint64
+	seq   uint64
+	topic string
+}
+
 // serverSession is one client session. All fields are guarded by the
 // owning sessionMgr's mutex except pusher and dead, which are safe to use
 // outside it (the pusher is internally synchronized; dead is only closed
 // once, under the mutex, via killLocked).
 type serverSession struct {
 	id      uint64
-	pusher  *transport.Pusher
+	pusher  eventPusher
 	expires time.Time
 	// seq numbers this session's acknowledged events (evInval/evFlush). It
 	// increments under the manager mutex, so the sequence a GetLease
@@ -139,6 +161,17 @@ type serverSession struct {
 	topics   map[string]struct{}
 	acks     map[uint64]chan struct{}
 	dead     chan struct{}
+	// outbox holds queued events in seq-assignment order; sendSig (capacity
+	// 1) wakes the session's sender goroutine. Events are appended under
+	// the manager mutex and drained by that single goroutine, so they reach
+	// the wire in exactly seq order. Pushing from the issuing goroutine
+	// after releasing the mutex — the obvious alternative — reorders: two
+	// concurrent writes could put their events on the wire newest-first,
+	// and because acks are cumulative, the ack for the newer sequence would
+	// release the older write's waiter while the client still holds the
+	// stale entry that write was supposed to revoke.
+	outbox  []outEvent
+	sendSig chan struct{}
 }
 
 // sessionMgr tracks every live session of one Server: who caches which key,
@@ -176,17 +209,19 @@ func newSessionMgr(clock simclock.Clock) *sessionMgr {
 }
 
 // setTTL changes the lease granted to future keepalives (test/deployment
-// tuning; existing sessions converge on their next keepalive).
+// tuning; existing sessions adopt the new duration — shrinking their
+// serving window if it shortened — on their next keepalive, whose reply
+// carries it).
 func (m *sessionMgr) setTTL(d time.Duration) {
 	m.mu.Lock()
 	m.ttl = d
 	m.mu.Unlock()
 }
 
-// open creates a session bound to the connection behind p.
-func (m *sessionMgr) open(p *transport.Pusher) (id uint64, ttl time.Duration) {
+// open creates a session bound to the connection behind p and starts its
+// sender goroutine (retired when the session dies).
+func (m *sessionMgr) open(p eventPusher) (id uint64, ttl time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.nextID++
 	sess := &serverSession{
 		id:       m.nextID,
@@ -196,9 +231,53 @@ func (m *sessionMgr) open(p *transport.Pusher) (id uint64, ttl time.Duration) {
 		topics:   make(map[string]struct{}),
 		acks:     make(map[uint64]chan struct{}),
 		dead:     make(chan struct{}),
+		sendSig:  make(chan struct{}, 1),
 	}
 	m.sessions[sess.id] = sess
-	return sess.id, m.ttl
+	ttl = m.ttl
+	m.mu.Unlock()
+	go m.sender(sess)
+	return sess.id, ttl
+}
+
+// queueEventLocked appends one event to the session's outbox and wakes its
+// sender. Callers hold m.mu, so outbox order is exactly the order sequences
+// were assigned — the invariant the cumulative-ack protocol stands on.
+func (m *sessionMgr) queueEventLocked(sess *serverSession, kind, seq uint64, topic string) {
+	sess.outbox = append(sess.outbox, outEvent{kind: kind, seq: seq, topic: topic})
+	select {
+	case sess.sendSig <- struct{}{}:
+	default: // a wake-up is already pending; the sender re-drains
+	}
+}
+
+// sender is the session's single transmission goroutine: it drains the
+// outbox in FIFO order so events hit the wire in seq order, and kills the
+// session on the first failed push (the connection is gone; writers
+// waiting on its acks are released through dead).
+func (m *sessionMgr) sender(sess *serverSession) {
+	for {
+		select {
+		case <-sess.sendSig:
+		case <-sess.dead:
+			return
+		}
+		for {
+			m.mu.Lock()
+			evs := sess.outbox
+			sess.outbox = nil
+			m.mu.Unlock()
+			if len(evs) == 0 {
+				break
+			}
+			for _, ev := range evs {
+				if err := sess.pusher.Send(ev.kind, ev.seq, ev.topic, nil); err != nil {
+					m.kill(sess)
+					return
+				}
+			}
+		}
+	}
 }
 
 // liveLocked returns the session if it exists and its lease has not
@@ -216,14 +295,15 @@ func (m *sessionMgr) liveLocked(id uint64) *serverSession {
 }
 
 // keepalive extends the session's lease and reports its event sequence for
-// the client's lease-advance gate. processed is the client's applied-event
-// watermark and acknowledges cumulatively, exactly like ack.
-func (m *sessionMgr) keepalive(id, processed uint64) (eventSeq uint64, err error) {
+// the client's lease-advance gate, plus the granted TTL so the client's
+// window tracks the server's current setting. processed is the client's
+// applied-event watermark and acknowledges cumulatively, exactly like ack.
+func (m *sessionMgr) keepalive(id, processed uint64) (eventSeq uint64, ttl time.Duration, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sess := m.liveLocked(id)
 	if sess == nil {
-		return 0, ErrNoSession
+		return 0, 0, ErrNoSession
 	}
 	sess.expires = m.clock.Now().Add(m.ttl)
 	for q, ch := range sess.acks {
@@ -232,7 +312,7 @@ func (m *sessionMgr) keepalive(id, processed uint64) (eventSeq uint64, err error
 			delete(sess.acks, q)
 		}
 	}
-	return sess.seq, nil
+	return sess.seq, m.ttl, nil
 }
 
 // close tears the session down: interest and watches dropped, writers
@@ -387,17 +467,14 @@ func (m *sessionMgr) invalidate(key string) {
 			ch := make(chan struct{})
 			sess.acks[sess.seq] = ch
 			pend = append(pend, pendingAck{sess: sess, seq: sess.seq, deadline: sess.expires, ch: ch})
+			m.queueEventLocked(sess, evInval, sess.seq, key)
 		}
 		delete(m.byKey, key)
 	}
-	watchers := m.watchersLocked(key)
-	m.mu.Unlock()
-	for _, p := range pend {
-		if err := p.sess.pusher.Send(evInval, p.seq, key, nil); err != nil {
-			m.kill(p.sess)
-		}
+	for _, sess := range m.watchersLocked(key) {
+		m.queueEventLocked(sess, evNotify, 0, key)
 	}
-	m.sendNotify(watchers, key)
+	m.mu.Unlock()
 	m.await(pend)
 }
 
@@ -421,13 +498,9 @@ func (m *sessionMgr) flushAll() {
 		ch := make(chan struct{})
 		sess.acks[sess.seq] = ch
 		pend = append(pend, pendingAck{sess: sess, seq: sess.seq, deadline: sess.expires, ch: ch})
+		m.queueEventLocked(sess, evFlush, sess.seq, "")
 	}
 	m.mu.Unlock()
-	for _, p := range pend {
-		if err := p.sess.pusher.Send(evFlush, p.seq, "", nil); err != nil {
-			m.kill(p.sess)
-		}
-	}
 	m.await(pend)
 }
 
@@ -489,17 +562,10 @@ func (m *sessionMgr) watchersLocked(topic string) []*serverSession {
 // notify pushes a lossy change notification to every watcher of topic.
 func (m *sessionMgr) notify(topic string) {
 	m.mu.Lock()
-	watchers := m.watchersLocked(topic)
-	m.mu.Unlock()
-	m.sendNotify(watchers, topic)
-}
-
-func (m *sessionMgr) sendNotify(watchers []*serverSession, topic string) {
-	for _, sess := range watchers {
-		if err := sess.pusher.Send(evNotify, 0, topic, nil); err != nil {
-			m.kill(sess)
-		}
+	for _, sess := range m.watchersLocked(topic) {
+		m.queueEventLocked(sess, evNotify, 0, topic)
 	}
+	m.mu.Unlock()
 }
 
 // fenceWrites forbids write acknowledgments before until (monotone: an

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -554,5 +555,281 @@ func TestClientRidesOutShed(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Get never completed")
+	}
+}
+
+// recordingPusher plays a well-behaved client against the sessionMgr
+// directly: it records the sequence order in which events actually reach
+// the "wire" and acknowledges each immediately, the way the real client's
+// acker would.
+type recordingPusher struct {
+	mgr *sessionMgr
+	id  uint64
+
+	mu   sync.Mutex
+	seqs []uint64
+}
+
+func (p *recordingPusher) Send(kind, seq uint64, topic string, payload []byte) error {
+	if kind == evNotify {
+		return nil
+	}
+	// Stagger odd sequences, standing in for network-send jitter: an
+	// implementation that pushes from the issuing goroutines concurrently
+	// (instead of through the per-session FIFO sender) then reliably lands
+	// an even sequence on the wire before its odd predecessor.
+	if seq%2 == 1 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	p.mu.Lock()
+	p.seqs = append(p.seqs, seq)
+	p.mu.Unlock()
+	p.mgr.ack(p.id, seq)
+	return nil
+}
+
+func (p *recordingPusher) Closed() bool { return false }
+
+// TestSessionEventOrderUnderConcurrentWrites pins the wire order of
+// invalidation pushes to their sequence order. Events used to be pushed
+// after the manager mutex was released, so two concurrent writes to
+// different keys could land newest-sequence-first — and with cumulative
+// acks, the client's ack for the newer event released the older write's
+// waiter before that write's invalidation was even sent, acknowledging a
+// write while its stale cached copy was still being served.
+func TestSessionEventOrderUnderConcurrentWrites(t *testing.T) {
+	m := newSessionMgr(nil)
+	defer m.closeAll()
+	m.setTTL(time.Minute) // no keepalives run here; keep the session live throughout
+	p := &recordingPusher{mgr: m}
+	id, _ := m.open(p)
+	p.id = id
+
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		for _, k := range keys {
+			if _, _, err := m.lease(id, k); err != nil {
+				t.Fatalf("lease round %d: %v", round, err)
+			}
+		}
+		var wg sync.WaitGroup
+		for _, k := range keys {
+			wg.Add(1)
+			go func(k string) {
+				defer wg.Done()
+				m.invalidate(k)
+			}(k)
+		}
+		wg.Wait()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.seqs) != rounds*len(keys) {
+		t.Fatalf("pushed %d events, want %d", len(p.seqs), rounds*len(keys))
+	}
+	for i := 1; i < len(p.seqs); i++ {
+		if p.seqs[i] <= p.seqs[i-1] {
+			t.Fatalf("event pushed out of order: seq %d after seq %d (index %d)",
+				p.seqs[i], p.seqs[i-1], i)
+		}
+	}
+}
+
+// TestSessionAdoptsLoweredTTL: lowering the server's session TTL while
+// sessions are open must shrink the client's serving window on its next
+// keepalive. The server extends leases by its *current* TTL, so a client
+// still extending by the open-time value would hold a window ending after
+// the server's — and after every invalidation deadline captured from it —
+// serving stale entries past the point where a blocked write gets acked.
+func TestSessionAdoptsLoweredTTL(t *testing.T) {
+	srv, cli := newSessionNode(t)
+	if _, err := cli.Put("k", []byte("cached")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	sess := openSession(t, srv.Addr(), SessionOptions{})
+	if _, err := sess.Get("k"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	const shortTTL = 150 * time.Millisecond
+	srv.SetSessionTTL(shortTTL)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sess.mu.Lock()
+		ttl := sess.ttl
+		sess.mu.Unlock()
+		if ttl == shortTTL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never adopted the lowered TTL from a keepalive reply")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// With keepalives now suppressed, the client must stop serving within
+	// the NEW window, not the one it opened with.
+	sess.noKeepalive.Store(true)
+	time.Sleep(2 * shortTTL)
+	hitsBefore := sess.Stats().Hits
+	if _, err := sess.Get("k"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Get past shortened lease: %v, want ErrNoSession", err)
+	}
+	if hits := sess.Stats().Hits; hits != hitsBefore {
+		t.Fatalf("cache served %d hits past the shortened lease", hits-hitsBefore)
+	}
+}
+
+// newTinyPoolServer boots a store server whose transport pool is small
+// enough for a handful of blocked writers to saturate — the scenario in
+// which session-control calls must ride the express lane or starve.
+func newTinyPoolServer(t *testing.T) *Server {
+	t.Helper()
+	store, err := NewStoreDur(nil, DurOptions{})
+	if err != nil {
+		t.Fatalf("NewStoreDur: %v", err)
+	}
+	s := &Server{store: store, sessions: newSessionMgr(nil)}
+	srv, err := transport.ServeOpts("127.0.0.1:0", s.handle,
+		transport.ServerOptions{MaxConcurrent: 2, MaxQueue: 2, Express: sessionControlExpress})
+	if err != nil {
+		store.Close()
+		t.Fatalf("ServeOpts: %v", err)
+	}
+	s.srv = srv
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSessionControlRidesExpressLane: a burst of writes wider than the
+// worker pool, every one parked in an invalidation wait, must not starve
+// the acks and keepalives that would release them. Routed through the same
+// admission pool those calls were shed past the client's retry budget, the
+// acker marked the session dead, and every write degraded to a full
+// lease-deadline wait.
+func TestSessionControlRidesExpressLane(t *testing.T) {
+	srv := newTinyPoolServer(t)
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cli.Close()
+	sess := openSession(t, srv.Addr(), SessionOptions{})
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		if _, err := cli.Put(k, []byte("v1")); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+		if _, err := sess.Get(k); err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(keys))
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			if _, err := cli.Put(k, []byte("v2")); err != nil {
+				errs <- fmt.Errorf("Put %s under saturation: %w", k, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The writers must have been released by acks, not by lease timeouts,
+	// and the acking session must have survived the burst.
+	if elapsed := time.Since(start); elapsed > DefaultSessionTTL {
+		t.Fatalf("write burst took %v — writers waited out lease deadlines", elapsed)
+	}
+	if !sess.Live() || srv.sessions.sessionCount() != 1 {
+		t.Fatalf("session did not survive the write burst (live=%v, sessions=%d)",
+			sess.Live(), srv.sessions.sessionCount())
+	}
+	for _, k := range keys {
+		if v, err := sess.Get(k); err != nil || string(v.Value) != "v2" {
+			t.Fatalf("read after burst (%s): %q, %v", k, v.Value, err)
+		}
+	}
+}
+
+// TestClusterSessionDialStallIsolation: opening a session blocks on a dial
+// plus a SessOpen round trip; one stalled node must not hold the
+// ClusterSession lock and freeze cached reads for keys on healthy shards.
+func TestClusterSessionDialStallIsolation(t *testing.T) {
+	c, err := NewCluster(2, nil)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	cs := c.NewSession(SessionOptions{})
+	defer cs.Close()
+
+	ownerOf := func(key string) string {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.nodes[c.ring.Owner(key)].addr
+	}
+	addrs := c.Addrs()
+	keyFor := func(addr string) string {
+		for i := 0; i < 10000; i++ {
+			k := fmt.Sprintf("iso/%d", i)
+			if ownerOf(k) == addr {
+				return k
+			}
+		}
+		t.Fatalf("no key routed to %s", addr)
+		return ""
+	}
+	stalled, healthy := addrs[0], addrs[1]
+	kStall, kOK := keyFor(stalled), keyFor(healthy)
+	if err := c.PutString(kOK, "v"); err != nil {
+		t.Fatalf("PutString: %v", err)
+	}
+
+	gate := make(chan struct{})
+	var entered sync.Once
+	enteredCh := make(chan struct{})
+	orig := dialSession
+	dialSession = func(addr string, opts SessionOptions) (*Session, error) {
+		if addr == stalled {
+			entered.Do(func() { close(enteredCh) })
+			<-gate
+		}
+		return orig(addr, opts)
+	}
+	defer func() { dialSession = orig }()
+
+	stallDone := make(chan struct{})
+	go func() {
+		defer close(stallDone)
+		_, _ = cs.Get(kStall) // parks inside the stalled dial
+	}()
+	<-enteredCh
+
+	got := make(chan error, 1)
+	go func() {
+		s, err := cs.GetString(kOK)
+		if err == nil && s != "v" {
+			err = fmt.Errorf("wrong value %q", s)
+		}
+		got <- err
+	}()
+	var failure string
+	select {
+	case err := <-got:
+		if err != nil {
+			failure = fmt.Sprintf("healthy-shard read: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		failure = "healthy-shard read stalled behind another shard's dialing session"
+	}
+	close(gate)
+	<-stallDone
+	if failure != "" {
+		t.Fatal(failure)
 	}
 }

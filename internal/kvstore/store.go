@@ -54,7 +54,11 @@
 // lease, never stretch it. A keepalive advances the lease only if the
 // client has already processed every invalidation the server had issued at
 // reply time (the EventSeq gate), closing the race where a renewal
-// overtakes an in-flight invalidation. Install is snapshot-guarded: the
+// overtakes an in-flight invalidation. Each keepalive reply also carries
+// the server's current session TTL and the client adopts it: a shrunken
+// window takes effect immediately (unconditionally pulling the lease in),
+// so lowering the TTL mid-flight (SetSessionTTL) never leaves a client
+// whose lease outruns the server's. Install is snapshot-guarded: the
 // server registers interest and snapshots its event sequence before the
 // read, and the client installs the entry only if no invalidation at or
 // below that snapshot touched the key — a write that raced the read can

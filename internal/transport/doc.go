@@ -177,6 +177,16 @@
 // where they act as the scale-out signal that fires before utilization
 // averages cross their thresholds.
 //
+// Methods matched by ServerOptions.Express bypass the admission controller
+// entirely and run on their own goroutines — never queued, never shed, not
+// counted against MaxConcurrent. The lane exists for cheap control-plane
+// calls whose completion is what lets pool workers finish: the kvstore
+// session layer routes its keepalives and invalidation acks here, since a
+// write handler occupying a worker slot blocks exactly until the ack it is
+// waiting for gets through. Express handlers must therefore be fast and
+// non-blocking; routing a slow method here trades a bounded queue for
+// unbounded goroutines.
+//
 // # Graceful shutdown
 //
 // Server.Quiesce prepares a member for removal: newly arriving requests are

@@ -227,3 +227,58 @@ func TestBudgetReachesHandler(t *testing.T) {
 	t.Cleanup(func() { batched.Close() })
 	check(batched, "batched")
 }
+
+// TestExpressBypassesSaturatedAdmission: a method on the express lane runs
+// even when the gate and the queue are both full of parked work — the lane
+// exists for cheap control calls that unblock those very workers — while
+// ordinary methods still shed. Without the bypass, a handler waiting on a
+// peer's follow-up call deadlocks against the pool it is clogging.
+func TestExpressBypassesSaturatedAdmission(t *testing.T) {
+	executed := new(atomic.Int64)
+	release := make(chan struct{})
+	srv, err := ServeOpts("127.0.0.1:0", func(req *Request) ([]byte, error) {
+		executed.Add(1)
+		if req.Method == "Hold" {
+			<-release
+		}
+		return req.Payload, nil
+	}, ServerOptions{MaxConcurrent: 1, MaxQueue: 1, Express: func(service, method string) bool {
+		return method == "Ping"
+	}})
+	if err != nil {
+		t.Fatalf("ServeOpts: %v", err)
+	}
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		srv.Close()
+	})
+	c := dial(t, srv.Addr())
+
+	blocker := blockWorker(t, c, executed)
+	// Second Hold fills the queue (requests on one connection are ingested
+	// in order, so it is parked before anything sent after it).
+	queued := c.Go("svc", "Hold", nil)
+	// An ordinary method is refused — proof the admission path is saturated.
+	if _, err := c.Call("svc", "Probe", nil, 2*time.Second); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("probe through full admission: %v, want ErrOverloaded", err)
+	}
+	// The express method sails past the jam.
+	out, err := c.Call("svc", "Ping", []byte("pong"), 2*time.Second)
+	if err != nil {
+		t.Fatalf("express call under saturation: %v", err)
+	}
+	if string(out) != "pong" {
+		t.Fatalf("express reply drifted: %q", out)
+	}
+	close(release)
+	if _, err := blocker.Wait(5 * time.Second); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if _, err := queued.Wait(5 * time.Second); err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+}

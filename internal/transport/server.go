@@ -34,6 +34,16 @@ type ServerOptions struct {
 	// less-loaded member) and one-way requests are dropped silently (the
 	// caller awaits no reply). <= 0 selects DefaultMaxQueue.
 	MaxQueue int
+	// Express selects requests that bypass the admission controller: a
+	// matching request runs immediately in its own goroutine instead of
+	// waiting for — or being shed by — the worker pool. It exists for cheap
+	// control-plane methods that UNBLOCK pool workers: a handler parked in
+	// the pool waiting for a peer's follow-up call deadlocks (until its own
+	// timeout) if that follow-up must be admitted through the pool it is
+	// clogging. Express handlers must be fast and must never block; they
+	// are exempt from MaxConcurrent/MaxQueue, so a method routed here gains
+	// no overload protection. Nil disables the lane.
+	Express func(service, method string) bool
 }
 
 // Default admission bounds: generous enough that well-provisioned workloads
@@ -380,12 +390,25 @@ func (s *Server) ingestRequest(st *connState, req *Request, arrival time.Time) {
 	if req.Budget > 0 {
 		req.Deadline = arrival.Add(req.Budget)
 	}
+	if s.express(req) {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.process(workItem{st: st, req: req})
+		}()
+		return
+	}
 	if !s.admit(workItem{st: st, req: req}) {
 		// Gate and queue full: shed. The distinct status (not a RemoteError)
 		// tells the stub the member is loaded, not broken.
 		s.shed.Add(1)
 		s.reply(st, req, statusOverload, nil, "")
 	}
+}
+
+// express reports whether req takes the admission bypass lane.
+func (s *Server) express(req *Request) bool {
+	return s.opts.Express != nil && s.opts.Express(req.Service, req.Method)
 }
 
 // ingestOneWay routes a one-way invocation through the same admission gate.
@@ -399,6 +422,14 @@ func (s *Server) ingestOneWay(req *Request, arrival time.Time) {
 	req.OneWay = true
 	if req.Budget > 0 {
 		req.Deadline = arrival.Add(req.Budget)
+	}
+	if s.express(req) {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.process(workItem{req: req, oneway: true})
+		}()
+		return
 	}
 	if !s.admit(workItem{req: req, oneway: true}) {
 		s.shed.Add(1)
