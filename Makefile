@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench ci fuzz-smoke kv-chaos kv-restart kv-sessions generate-check
+.PHONY: all build vet lint fmt-check test race bench ci fuzz-smoke kv-chaos kv-restart kv-sessions generate-check
 
 all: vet test
 
 # ci is the full gate (run by .github/workflows/ci.yml): formatting, build,
-# vet, codegen freshness, the whole test suite under the race detector, then
-# a short fuzz smoke over the wire codec and the generated payload codecs.
-# The explicit -timeout makes a deadlocked test (e.g. an overload/quiesce
-# scenario wedging on a blocked handler) fail the job in minutes instead of
-# hanging the workflow until its global limit.
-ci: fmt-check build vet generate-check
+# vet (stock + the ermi-vet invariant suite), codegen freshness, the whole
+# test suite under the race detector, then a short fuzz smoke over the wire
+# codec and the generated payload codecs. The explicit -timeout makes a
+# deadlocked test (e.g. an overload/quiesce scenario wedging on a blocked
+# handler) fail the job in minutes instead of hanging the workflow until
+# its global limit.
+ci: fmt-check build lint generate-check
 	$(GO) test -race -timeout 300s ./...
 	$(MAKE) kv-chaos
 	$(MAKE) kv-restart
@@ -80,6 +81,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs stock go vet first (the standard analyzers keep their gate),
+# then the project's own invariant suite — payload ownership, lock
+# discipline, codec strictness, budget propagation — as a vettool, so it
+# gets go vet's per-package scheduling and result caching for free. See
+# internal/lint.
+lint: vet
+	$(GO) build -o bin/ermi-vet ./cmd/ermi-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/ermi-vet ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,17 @@
+// Command ermi-vet is the project's own vet tool: four analyzers that
+// mechanically enforce the cross-cutting invariants the hot path depends
+// on (payload ownership, lock ordering, codec strictness, budget
+// propagation). It speaks the `go vet -vettool=` protocol:
+//
+//	go build -o bin/ermi-vet ./cmd/ermi-vet
+//	go vet -vettool=bin/ermi-vet ./...
+//
+// `make lint` does exactly that, after a stock `go vet` pass so the
+// standard analyzers keep running too. See internal/lint for the
+// analyzers, the invariants they guard, and the //ermi:ignore
+// suppression syntax.
+package main
+
+import "elasticrmi/internal/lint"
+
+func main() { lint.Main() }

@@ -62,6 +62,11 @@ func (r *RegistryServer) handle(req *transport.Request) ([]byte, error) {
 	if req.Service != registryService {
 		return nil, fmt.Errorf("unknown service %q", req.Service)
 	}
+	// Every successful reply below is transport.Encode output handed over
+	// outright, so the transport releases the slab back to the arena after
+	// the write. Without this every registry operation leaked its reply
+	// slab out of the arena.
+	req.ReleaseReply = true
 	switch req.Method {
 	case "Bind":
 		var b bindReq

@@ -1,0 +1,56 @@
+package gen
+
+// CheckCodecs is the lint-facing entry point into codec resolution: where
+// ParseFiles fails fast on the first unsupported field (the right behavior
+// for the generator), the checker resolves every marked type independently
+// and reports all of the rejections, so ermi-vet can surface each one at
+// its declaration.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// CodecCheck is the result of checking one //ermi:codec-marked type.
+type CodecCheck struct {
+	Name  string
+	Pos   token.Pos // position of the type declaration
+	Viewy bool      // resolved, and the decoded form aliases the payload buffer
+	Err   string    // non-empty: why the generator would reject the type
+}
+
+// CheckCodecs resolves every //ermi:codec-marked type declared in files
+// (all from one package) against the same rules the generator applies,
+// returning one CodecCheck per marked type in declaration-name order.
+// Files may include generated siblings; their declarations participate in
+// resolution like any other.
+func CheckCodecs(files []*ast.File) []CodecCheck {
+	decls := typeDecls{}
+	marked := map[string]bool{}
+	for _, f := range files {
+		collectCodecs(f, decls, marked)
+	}
+	names := make([]string, 0, len(marked))
+	for name := range marked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]CodecCheck, 0, len(names))
+	for _, name := range names {
+		// A fresh resolver per type so one rejected type does not poison
+		// the resolution of the others (nested codecs resolve repeatedly;
+		// the type graphs here are tiny).
+		r := &codecResolver{decls: decls, marked: marked, resolving: map[string]bool{}}
+		cc := CodecCheck{Name: name, Pos: decls[name].Pos()}
+		c, err := r.codec(name)
+		if err != nil {
+			cc.Err = strings.TrimPrefix(err.Error(), "gen: ")
+		} else {
+			cc.Viewy = c.Viewy
+		}
+		out = append(out, cc)
+	}
+	return out
+}

@@ -319,7 +319,6 @@ func (s *Server) installView(t route.Table, rf int) {
 		ring = route.BuildRing(t)
 	}
 	s.viewMu.Lock()
-	defer s.viewMu.Unlock()
 	if s.links == nil {
 		s.links = make(map[string]*Client)
 	}
@@ -327,31 +326,68 @@ func (s *Server) installView(t route.Table, rf int) {
 	s.ring = ring
 	s.members = t.Members
 	s.suspects = make(map[string]bool)
-	// Drop links to departed members, dial links to new ones.
+	// Drop links to departed members; collect the peers that still need a
+	// link. The dials themselves happen after the unlock: forward() takes
+	// viewMu to pick its targets on every replicated write, so one
+	// unreachable new member dialed under the lock would stall every write
+	// on the node for a full dial timeout.
 	current := make(map[string]bool, len(t.Members))
 	for _, m := range t.Members {
 		current[m.Addr] = true
 	}
+	var stale []*Client
 	for addr, cli := range s.links {
 		if !current[addr] {
-			cli.Close()
+			stale = append(stale, cli)
 			delete(s.links, addr)
 		}
 	}
-	if rf <= 1 {
+	var missing []string
+	if rf > 1 {
+		self := s.Addr()
+		for _, m := range t.Members {
+			if m.Addr != self && s.links[m.Addr] == nil {
+				missing = append(missing, m.Addr)
+			}
+		}
+	}
+	s.viewMu.Unlock()
+
+	for _, cli := range stale {
+		cli.Close()
+	}
+	if len(missing) == 0 {
 		return
 	}
-	self := s.Addr()
-	for _, m := range t.Members {
-		if m.Addr == self || s.links[m.Addr] != nil {
-			continue
+	dialed := make(map[string]*Client, len(missing))
+	var failed []string
+	for _, addr := range missing {
+		if cli, err := NewClient(addr); err == nil {
+			dialed[addr] = cli
+		} else {
+			failed = append(failed, addr)
 		}
-		cli, err := NewClient(m.Addr)
-		if err != nil {
-			s.suspects[m.Addr] = true
-			continue
+	}
+	// Re-acquire to install the links. A concurrent installView (or Crash,
+	// which nils the link map) may have superseded this view while dialing,
+	// so every link is re-validated against the state now present.
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	member := make(map[string]bool, len(s.members))
+	for _, m := range s.members {
+		member[m.Addr] = true
+	}
+	for addr, cli := range dialed {
+		if s.links != nil && s.rf > 1 && member[addr] && s.links[addr] == nil {
+			s.links[addr] = cli
+		} else {
+			cli.Close()
 		}
-		s.links[m.Addr] = cli
+	}
+	for _, addr := range failed {
+		if member[addr] {
+			s.suspects[addr] = true
+		}
 	}
 }
 

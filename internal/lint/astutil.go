@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Source-order dominance approximation shared by the analyzers.
+//
+// A guard statement (req.Retain(), req.ReleaseReply = true, mu.Unlock())
+// "covers" a later use if it textually precedes the use AND every
+// conditional region the guard sits in also encloses the use: a guard
+// buried in one switch case does not cover a return in the next case,
+// and a guard inside a closure covers nothing outside it. This is a
+// dominator check degraded to syntax — no CFG — which is exactly wrong
+// for code that jumps backwards (goto, loop retries), and those are rare
+// enough in this codebase to accept.
+
+// pathTo returns the chain of nodes in root that contain pos, outermost
+// first. root itself is included when it contains pos.
+func pathTo(root ast.Node, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	return path
+}
+
+// covers reports whether a guard at guardPos covers a use at usePos
+// within the function body root.
+func covers(root ast.Node, guardPos, usePos token.Pos) bool {
+	if guardPos >= usePos {
+		return false
+	}
+	path := pathTo(root, guardPos)
+	contains := func(n ast.Node) bool { return n.Pos() <= usePos && usePos < n.End() }
+	for i, n := range path {
+		switch t := n.(type) {
+		case *ast.CaseClause, *ast.CommClause, *ast.FuncLit:
+			if !contains(n) {
+				return false
+			}
+		case *ast.ForStmt:
+			// The body may run zero times; a guard inside it only covers
+			// uses inside the same loop.
+			if t.Body != nil && i+1 < len(path) && path[i+1] == ast.Node(t.Body) && !contains(t.Body) {
+				return false
+			}
+		case *ast.RangeStmt:
+			if t.Body != nil && i+1 < len(path) && path[i+1] == ast.Node(t.Body) && !contains(t.Body) {
+				return false
+			}
+		case *ast.IfStmt:
+			// Guard in the then-block covers only uses in the then-block;
+			// guard in the else covers only the else.
+			if i+1 < len(path) {
+				child := path[i+1]
+				if child == ast.Node(t.Body) && !(t.Body.Pos() <= usePos && usePos < t.Body.End()) {
+					return false
+				}
+				if t.Else != nil && child == t.Else && !(t.Else.Pos() <= usePos && usePos < t.Else.End()) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// anyCovers reports whether any guard position covers usePos.
+func anyCovers(root ast.Node, guards []token.Pos, usePos token.Pos) bool {
+	for _, g := range guards {
+		if covers(root, g, usePos) {
+			return true
+		}
+	}
+	return false
+}

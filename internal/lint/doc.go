@@ -1,0 +1,77 @@
+// Package lint is the ermi-vet analysis suite: mechanical enforcement of
+// the invariants this codebase relies on but the compiler cannot see. It
+// runs as a vettool (make lint, or directly:
+//
+//	go build -o bin/ermi-vet ./cmd/ermi-vet
+//	go vet -vettool=$PWD/bin/ermi-vet ./...
+//
+// so it inherits go vet's per-package scheduling and build-cache result
+// caching), and as a library through Analyze for the golden tests under
+// testdata/src.
+//
+// # Analyzers
+//
+// payloadown enforces the arena ownership contract from the transport's
+// memory pipeline: a handler that lets payload-derived memory (the raw
+// Request.Payload or a zero-copy view decoded from it) escape its own
+// lifetime — stored into a receiver, sent on a channel, captured by a
+// spawned goroutine — must call req.Retain() first, because the arena
+// recycles the slab when the call completes. It also checks the reply
+// side: transport.Encode output returned without req.ReleaseReply = true
+// leaks the reply slab out of the arena (the registry shipped exactly
+// this leak until this suite caught it), and conversely payload-derived
+// returns with ReleaseReply set would have the transport recycle a
+// buffer the handler never owned.
+//
+// lockorder targets the blocking-under-mutex class found in the session
+// layer (a network dial inside a mutex that every cached read takes,
+// stalling the node for a full dial timeout): for a flagged set of
+// hot-path mutexes it reports blocking operations — dials, RPC calls and
+// waits, sleeps, file syncs, unguarded channel operations — reachable
+// while the lock is held, including through same-package callees, plus
+// re-acquisition self-deadlocks and inconsistent acquisition orders
+// between flagged mutex pairs. Read-locked (RLock) regions are exempt
+// from the blocking check: shared holders don't serialize each other.
+//
+// codecstrict re-runs the ermi-gen resolver over every //ermi:codec type
+// so a shape the generator would reject (embedded fields, fixed-size
+// arrays, foreign named types) is reported where the type is declared
+// rather than at the next make generate; it flags annotated types whose
+// generated SizeERMI/MarshalERMI/UnmarshalERMI methods are missing
+// (stale or never-run generation); and it reports decoded view values
+// stored into long-lived memory without the sanctioned copy idiom
+// (append([]byte(nil), v...)) — the aliasing bug the ERMIViews marker
+// exists to make visible.
+//
+// budgetprop checks that handlers thread the caller's budget through:
+// a function taking a *transport.Request that issues a downstream
+// Call/CallDecode/GoBudget must derive the budget or timeout argument
+// from req.Budget or req.Deadline, and plain Go (no budget at all) is
+// reported outright. Without propagation a chain of hops can outlive
+// the deadline the original caller is still waiting on. OneWay sends
+// are exempt (nothing upstream is waiting).
+//
+// # Suppression
+//
+// A finding that is intentional is silenced in place:
+//
+//	//ermi:ignore <analyzer> <reason>
+//
+// on the offending line or the line above. The reason is mandatory —
+// a directive without one (or naming an unknown analyzer) is itself
+// reported — so every suppression documents why the invariant does not
+// apply at that site.
+//
+// # Adding an analyzer
+//
+// Declare a *Analyzer (Name, Doc, Run), register it in All, and add a
+// fixture package under testdata/src/<name> with `// want "regexp"`
+// comments pinning each diagnostic; linttest.Run fails on both missed
+// wants and unexpected findings, so every fixture carries the mutant and
+// the fixed form of its invariant. The framework is self-contained
+// (stdlib only — the build environment pins the module graph, so the
+// golang.org/x/tools/go/analysis machinery is reimplemented in the few
+// hundred lines this suite needs), but the Analyzer/Pass/Diagnostic
+// shapes mirror go/analysis closely enough that porting an analyzer
+// over is mechanical if the dependency ever lands.
+package lint

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A diagnostic can be silenced — for an invariant violation that is
+// deliberate and understood — with
+//
+//	//ermi:ignore <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on its own line
+// directly above it. The reason is mandatory: a suppression is a claim
+// that a human weighed the invariant and decided the code is right, and
+// the claim must carry its argument. A directive with a missing or
+// unknown analyzer name, or no reason, is itself reported (under the
+// pseudo-analyzer "ignore") and suppresses nothing.
+
+const ignorePrefix = "//ermi:ignore"
+
+type ignoreDirective struct {
+	analyzer string
+	pos      token.Pos
+	bad      string // non-empty: why the directive is malformed
+}
+
+type ignoreIndex struct {
+	// byLine maps filename:line → directives attached to that line.
+	byLine map[string]map[int][]ignoreDirective
+	bad    []ignoreDirective
+}
+
+// collectIgnores scans every comment in files for ermi:ignore directives.
+// A directive is indexed both at its own line and (when it is the only
+// thing on its line) it naturally guards the following line via the
+// line+1 lookup in suppressed.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{byLine: make(map[string]map[int][]ignoreDirective)}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				d := ignoreDirective{pos: c.Pos()}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "ermi:ignore needs an analyzer name and a reason: //ermi:ignore <analyzer> <reason>"
+				case !known[fields[0]]:
+					d.bad = "ermi:ignore names unknown analyzer " + quote(fields[0])
+				case len(fields) == 1:
+					d.analyzer = fields[0]
+					d.bad = "ermi:ignore " + fields[0] + " needs a reason: a suppression must say why the code is right"
+				default:
+					d.analyzer = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]ignoreDirective)
+					ix.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				if d.bad != "" {
+					ix.bad = append(ix.bad, d)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// quote is %q-lite.
+func quote(s string) string { return `"` + s + `"` }
+
+// suppressed reports whether d is covered by a well-formed directive on
+// its own line or the line above.
+func (ix *ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := ix.byLine[d.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		for _, dir := range lines[ln] {
+			if dir.bad == "" && dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// malformed returns one diagnostic per malformed directive.
+func (ix *ignoreIndex) malformed(fset *token.FileSet) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ix.bad {
+		out = append(out, Diagnostic{
+			Analyzer: "ignore",
+			Pos:      d.pos,
+			Position: fset.Position(d.pos),
+			Message:  d.bad,
+		})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// Malformed //ermi:ignore directives are reported and suppress nothing.
+// (These cases live here rather than in a fixture: a line comment cannot
+// share its line with a separate `// want` comment.)
+func TestMalformedIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+//ermi:ignore
+var a int
+
+//ermi:ignore bogus some reason
+var b int
+
+//ermi:ignore payloadown
+var c int
+`
+	fset, files := parseOne(t, src)
+	ix := collectIgnores(fset, files)
+	diags := ix.malformed(fset)
+	if len(diags) != 3 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 3: %+v", len(diags), diags)
+	}
+	wants := []string{
+		"needs an analyzer name and a reason",
+		`unknown analyzer "bogus"`,
+		"needs a reason",
+	}
+	for i, want := range wants {
+		if d := diags[i]; d.Analyzer != "ignore" || !strings.Contains(d.Message, want) {
+			t.Errorf("diag %d = [%s] %q, want substring %q", i, d.Analyzer, d.Message, want)
+		}
+	}
+	// None of the malformed directives suppresses anything on its line or
+	// the one below.
+	for _, d := range diags {
+		probe := Diagnostic{Analyzer: "payloadown", Position: token.Position{
+			Filename: d.Position.Filename, Line: d.Position.Line + 1,
+		}}
+		if ix.suppressed(probe) {
+			t.Errorf("malformed directive at line %d suppressed a diagnostic", d.Position.Line)
+		}
+	}
+}
+
+// A well-formed directive suppresses only its named analyzer, on its own
+// line and the line below.
+func TestIgnoreScope(t *testing.T) {
+	const src = `package p
+
+//ermi:ignore lockorder held across the probe by design
+var a int
+`
+	fset, files := parseOne(t, src)
+	ix := collectIgnores(fset, files)
+	mk := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Position: token.Position{Filename: "p.go", Line: line}}
+	}
+	if !ix.suppressed(mk("lockorder", 3)) || !ix.suppressed(mk("lockorder", 4)) {
+		t.Error("directive did not cover its own line and the next")
+	}
+	if ix.suppressed(mk("lockorder", 5)) {
+		t.Error("directive leaked past the line below it")
+	}
+	if ix.suppressed(mk("payloadown", 4)) {
+		t.Error("directive suppressed a different analyzer")
+	}
+}

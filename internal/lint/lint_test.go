@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"elasticrmi/internal/lint"
+	"elasticrmi/internal/lint/linttest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Each fixture package carries mutant/fixed pairs of one invariant: the
+// `// want` comments pin the mutants, and any diagnostic on a fixed form
+// fails the run. Together they are the mutation check the issue asks for
+// — in particular the PR 8 dial-under-mutex shape (kvstore fixture) and
+// the dropped-ReleaseReply shape (payloadown fixture).
+
+func TestPayloadown(t *testing.T) {
+	linttest.Run(t, testdata(t), "payloadown", lint.Payloadown)
+}
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, testdata(t), "kvstore", lint.Lockorder)
+}
+
+func TestCodecstrict(t *testing.T) {
+	linttest.Run(t, testdata(t), "codecstrict", lint.Codecstrict)
+}
+
+func TestBudgetprop(t *testing.T) {
+	linttest.Run(t, testdata(t), "budgetprop", lint.Budgetprop)
+}
+
+func TestSuppression(t *testing.T) {
+	linttest.Run(t, testdata(t), "ignoresup", lint.Budgetprop)
+}

@@ -1,0 +1,238 @@
+// Package linttest runs lint analyzers over golden fixture packages, in
+// the style of x/tools' analysistest (reimplemented here: the repo takes
+// no dependencies). Fixtures live under internal/lint/testdata/src/<pkg>;
+// expected diagnostics are `// want "regexp"` comments on the offending
+// line. Every diagnostic must be wanted and every want must fire — a
+// fixture is simultaneously the positive (mutant) and negative (fixed)
+// form of an invariant.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"elasticrmi/internal/lint"
+)
+
+// Run loads testdata/src/<pkgPath> relative to srcRoot, analyzes it with
+// the given analyzers, and matches diagnostics against the fixture's
+// `// want` comments.
+func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	imp := &fixtureImporter{
+		fset: token.NewFileSet(),
+		root: srcRoot,
+		pkgs: map[string]*pkgResult{},
+	}
+	imp.gc = importer.ForCompiler(imp.fset, "gc", stdlibExport)
+	res, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags := lint.Analyze(&lint.Package{
+		Fset:  imp.fset,
+		Files: res.files,
+		Types: res.pkg,
+		Info:  res.info,
+	}, analyzers)
+
+	wants := collectWants(t, imp.fset, res.files)
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		key := posKey{d.Position.Filename, d.Position.Line}
+		var hit *want
+		for _, w := range wants[key] {
+			if !matched[w] && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", d.Position, d.Analyzer, d.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	var missed []*want
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				missed = append(missed, w)
+			}
+		}
+	}
+	sort.Slice(missed, func(i, j int) bool {
+		if missed[i].file != missed[j].file {
+			return missed[i].file < missed[j].file
+		}
+		return missed[i].line < missed[j].line
+	})
+	for _, w := range missed {
+		t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRe extracts the quoted patterns of one `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					quote := rest[0]
+					if quote != '"' && quote != '`' {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					end := 1
+					for end < len(rest) && (rest[end] != quote || (quote == '"' && rest[end-1] == '\\')) {
+						end++
+					}
+					if end == len(rest) {
+						t.Fatalf("%s: unterminated want pattern in %q", pos, c.Text)
+					}
+					pat, err := strconv.Unquote(rest[:end+1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, rest[:end+1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[end+1:])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureImporter resolves fixture-local import paths from source under
+// root and everything else from the installed toolchain's export data.
+type fixtureImporter struct {
+	fset *token.FileSet
+	root string
+	gc   types.Importer
+	pkgs map[string]*pkgResult
+}
+
+type pkgResult struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(imp.root, path)); err == nil {
+		res, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return imp.gc.Import(path)
+}
+
+func (imp *fixtureImporter) load(path string) (*pkgResult, error) {
+	if res, ok := imp.pkgs[path]; ok {
+		return res, nil
+	}
+	dir := filepath.Join(imp.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	res := &pkgResult{files: files, pkg: pkg, info: info}
+	imp.pkgs[path] = res
+	return res, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+// stdlibExport locates the toolchain's export data for a standard-library
+// package via `go list -export` (works offline; the files ship with the
+// toolchain or sit in the build cache).
+func stdlibExport(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	file, ok := exportFiles[path]
+	exportMu.Unlock()
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+		exportMu.Lock()
+		exportFiles[path] = file
+		exportMu.Unlock()
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,35 @@
+// Budget-propagation fixtures: downstream calls inside request handlers
+// must carry the caller's remaining budget.
+package budgetprop
+
+import (
+	"time"
+
+	"transport"
+)
+
+func relay(req *transport.Request, c *transport.Client) ([]byte, error) {
+	_, _ = c.Call("kv", "Get", req.Payload, time.Second) // want `does not propagate the request budget`
+	_, _ = c.Call("kv", "Get", req.Payload, req.Budget)
+
+	budget := req.Budget / 2
+	_, _ = c.Call("kv", "Get", nil, budget)
+
+	_ = c.Go("kv", "Prefetch", nil) // want `Client\.Go without a budget`
+	_ = c.GoBudget("kv", "Prefetch", nil, req.Budget)
+	_ = c.GoBudget("kv", "Prefetch", nil, time.Second) // want `does not propagate the request budget`
+
+	_ = c.CallDecode("kv", "Get", nil, nil, time.Until(req.Deadline))
+	_ = c.CallDecode("kv", "Get", nil, nil, 5*time.Second) // want `does not propagate the request budget`
+
+	// Fire-and-forget carries no reply deadline: exempt.
+	_ = c.OneWay("kv", "Evict", nil)
+
+	req.ReleaseReply = true
+	return transport.Encode(struct{}{})
+}
+
+// notHandler takes no request: constant timeouts are its own business.
+func notHandler(c *transport.Client) {
+	_, _ = c.Call("kv", "Get", nil, time.Second)
+}

@@ -220,6 +220,11 @@
 // client, reply types whose codecs mark them as view-holding, via the
 // ERMIViews marker, skip the release and leave the slab to the GC).
 //
+// These ownership rules are checked mechanically: the ermi-vet suite
+// (internal/lint, run by make lint) flags payload views escaping a handler
+// without Retain, Encode output returned without ReleaseReply, and decoded
+// views stored into long-lived memory without copying.
+//
 // Decoding through a generated codec is zero-copy for []byte fields: the
 // field aliases the payload slab rather than copying out of it. Strings are
 // copied (they routinely outlive the frame); integers travel as varints;
