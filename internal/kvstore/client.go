@@ -32,11 +32,16 @@ func NewClient(addr string) (*Client, error) {
 // Addr returns the node address this client talks to.
 func (c *Client) Addr() string { return c.addr }
 
-// Close releases the connection.
+// Close releases the connection. The handle lock is not held across the
+// close: transport.Client.Close waits for the reader goroutine to drain
+// (a blocking receive) and is itself idempotent, so holding mu here
+// would only let a slow drain stall every caller snapshotting the
+// connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
 }
 
 // shedRetries bounds how many times a call the server provably never

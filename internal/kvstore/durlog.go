@@ -51,7 +51,17 @@ type durability struct {
 	snapMu    sync.Mutex // serializes snapshotting against clean Close
 	snapping  atomic.Bool
 	sinceSnap atomic.Uint64
+
+	// Background snapshot failures: silently losing one would leave the
+	// log growing unbounded with nothing ever saying why. The last error
+	// (cleared on the next success) and a cumulative count are surfaced
+	// through Store.SnapshotStats.
+	snapErr   atomic.Value // errBox
+	snapFails atomic.Uint64
 }
+
+// errBox wraps an error for atomic.Value (which cannot hold a bare nil).
+type errBox struct{ err error }
 
 // NewStoreDur creates a store persisted under opts.Dir, recovering any
 // existing state there first: newest intact snapshot, then the log tail
@@ -173,8 +183,32 @@ func (s *Store) maybeSnapshot() {
 	}
 	go func() {
 		defer d.snapping.Store(false)
-		s.snapshotNow()
+		err := s.snapshotNow()
+		if err != nil && errors.Is(err, wal.ErrClosed) {
+			// Lost the race with a clean Close: nothing was lost, the
+			// final snapshot happens (or already happened) under snapMu.
+			err = nil
+		}
+		if err != nil {
+			d.snapFails.Add(1)
+		}
+		d.snapErr.Store(errBox{err})
 	}()
+}
+
+// SnapshotStats reports background compaction health: how many background
+// snapshots have failed since the store opened, and the most recent
+// failure (nil after a succeeding attempt). A persistent error here means
+// the log is growing without compaction even though writes still commit.
+func (s *Store) SnapshotStats() (fails uint64, last error) {
+	d := s.dur
+	if d == nil {
+		return 0, nil
+	}
+	if box, ok := d.snapErr.Load().(errBox); ok {
+		last = box.err
+	}
+	return d.snapFails.Load(), last
 }
 
 // snapshotNow writes a compacted snapshot and drops covered log segments.

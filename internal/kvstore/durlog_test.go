@@ -3,6 +3,8 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -368,5 +370,62 @@ func TestDurServerCrashRestart(t *testing.T) {
 	}
 	if err := cli2.TryLock("l", "intruder", time.Minute); !errors.Is(err, ErrLockHeld) {
 		t.Fatalf("recovered lock not held: %v", err)
+	}
+}
+
+// TestSnapshotStatsSurfacesBackgroundFailure: a background snapshot that
+// fails must not vanish silently — SnapshotStats reports the error and a
+// cumulative count, and a later succeeding snapshot clears the error while
+// the count sticks. (Regression: the background goroutine used to discard
+// snapshotNow's error entirely.)
+func TestSnapshotStatsSurfacesBackgroundFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := mustStoreDur(t, nil, DurOptions{Dir: dir, SnapshotEvery: 2})
+	defer s.Close()
+
+	// Yank the directory out from under the snapshot writer: the WAL's
+	// open segment descriptors keep commits working, but SaveSnapshot's
+	// temp-file creation fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2")) // crosses SnapshotEvery: background snapshot fires
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if fails, last := s.SnapshotStats(); fails >= 1 && last != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fails, last := s.SnapshotStats()
+			t.Fatalf("snapshot failure never surfaced: fails=%d last=%v", fails, last)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Restore the directory; the next triggered snapshot succeeds and
+	// clears the error, while the failure count remains as history.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		s.Put("c", []byte("3"))
+		s.Put("d", []byte("4"))
+		if fails, last := s.SnapshotStats(); last == nil && fails >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fails, last := s.SnapshotStats()
+			t.Fatalf("succeeding snapshot never cleared the error: fails=%d last=%v", fails, last)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Drain any snapshot still in flight: a late SaveSnapshot would
+	// recreate files under the TempDir while the harness removes it.
+	for s.dur.snapping.Load() {
+		time.Sleep(time.Millisecond)
 	}
 }

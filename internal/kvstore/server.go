@@ -371,23 +371,30 @@ func (s *Server) installView(t route.Table, rf int) {
 	// Re-acquire to install the links. A concurrent installView (or Crash,
 	// which nils the link map) may have superseded this view while dialing,
 	// so every link is re-validated against the state now present.
+	// Superseded dials are only collected here and closed after the unlock:
+	// Close waits for the connection's reader to drain, and forward() takes
+	// viewMu on every replicated write.
 	s.viewMu.Lock()
-	defer s.viewMu.Unlock()
 	member := make(map[string]bool, len(s.members))
 	for _, m := range s.members {
 		member[m.Addr] = true
 	}
+	var discard []*Client
 	for addr, cli := range dialed {
 		if s.links != nil && s.rf > 1 && member[addr] && s.links[addr] == nil {
 			s.links[addr] = cli
 		} else {
-			cli.Close()
+			discard = append(discard, cli)
 		}
 	}
 	for _, addr := range failed {
 		if member[addr] {
 			s.suspects[addr] = true
 		}
+	}
+	s.viewMu.Unlock()
+	for _, cli := range discard {
+		cli.Close()
 	}
 }
 
@@ -507,6 +514,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		}
 		unlock := s.stripeFor(r.Key)
 		ver := s.store.Put(r.Key, r.Val)
+		//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 		s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
 		unlock()
 		// Coherence: revoke cached copies (and wait for the acks), then
@@ -521,6 +529,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		}
 		unlock := s.stripeFor(r.Key)
 		if tomb, ok := s.store.DeleteV(r.Key); ok {
+			//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 			s.forward(r.Key, map[string]Versioned{r.Key: tomb}, nil)
 		}
 		unlock()
@@ -535,6 +544,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		unlock := s.stripeFor(r.Key)
 		ver, _, err := s.store.CompareAndSwap(r.Key, r.Val, r.ExpectVersion)
 		if err == nil {
+			//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 			s.forward(r.Key, map[string]Versioned{r.Key: {Value: r.Val, Version: ver}}, nil)
 		}
 		unlock()
@@ -553,6 +563,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		v, err := s.store.AddInt64(r.Key, r.Delta)
 		if err == nil {
 			if cur, gerr := s.store.Get(r.Key); gerr == nil {
+				//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 				s.forward(r.Key, map[string]Versioned{r.Key: cur}, nil)
 			}
 		}
@@ -578,6 +589,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		err := s.store.TryLock(r.Name, r.Owner, r.Lease)
 		if err == nil {
 			if snap, ok := s.store.LockSnapshot(r.Name); ok {
+				//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 				s.forward(lockRouteKey(r.Name), nil, map[string]LockInfo{r.Name: snap})
 			}
 		}
@@ -597,6 +609,7 @@ func (s *Server) handle(req *transport.Request) ([]byte, error) {
 		err := s.store.Unlock(r.Name, r.Owner)
 		if err == nil {
 			if snap, ok := s.store.LockSnapshot(r.Name); ok {
+				//ermi:ignore budgetprop replication deliberately runs under its own replicateTimeout: the write is already applied locally, and backup health must not depend on the caller's remaining budget
 				s.forward(lockRouteKey(r.Name), nil, map[string]LockInfo{r.Name: snap})
 			}
 		}

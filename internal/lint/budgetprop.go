@@ -24,6 +24,14 @@ import (
 // request variable (req.Budget, time.Until(req.Deadline),
 // remaining(req), ...) or a local previously assigned from one that does.
 // Fire-and-forget sends (OneWay*) carry no reply deadline and are exempt.
+//
+// The check sees through calls: the fact table (factbuild.go) records, for
+// every function in this package and its imports, which parameters flow
+// into a downstream transport budget slot (those arguments must derive
+// from the request here) and whether the function issues a transport call
+// whose budget derives from nothing the caller controls (calling it from a
+// handler breaks the deadline chain outright, however many packages deep
+// the actual Call is).
 var Budgetprop = &Analyzer{
 	Name: "budgetprop",
 	Doc:  "check that request handlers thread the caller's budget into downstream transport calls",
@@ -114,7 +122,11 @@ func checkBudgets(pass *Pass, body *ast.BlockStmt, req *types.Var) {
 			}
 		case *ast.CallExpr:
 			pkgBase, recv, name, ok := calleeName(pass.TypesInfo, t)
-			if !ok || pkgBase != "transport" || recv != "Client" {
+			if !ok {
+				return true
+			}
+			if pkgBase != "transport" || recv != "Client" {
+				checkBudgetFacts(pass, t, mentionsReq)
 				return true
 			}
 			slot, checked := budgetArg[name]
@@ -134,6 +146,33 @@ func checkBudgets(pass *Pass, body *ast.BlockStmt, req *types.Var) {
 		}
 		return true
 	})
+}
+
+// checkBudgetFacts applies the fact table to a non-transport call inside a
+// handler: arguments the callee feeds into a downstream budget slot must
+// derive from the request, and a callee that hardcodes a downstream budget
+// is reported at the call site.
+func checkBudgetFacts(pass *Pass, call *ast.CallExpr, mentionsReq func(ast.Expr) bool) {
+	key := calleeFactKey(pass.TypesInfo, call)
+	if key == "" {
+		return
+	}
+	fact := pass.Facts.Fn(key)
+	if fact == nil {
+		return
+	}
+	short := shortFactKey(key)
+	if fact.Unbudgeted {
+		pass.Reportf(call.Pos(), "handler calls %s, which issues a downstream transport call whose budget does not derive from this request: thread req.Budget through or bound the chain explicitly", short)
+	}
+	for _, j := range fact.BudgetParams {
+		if j >= len(call.Args) {
+			continue
+		}
+		if !mentionsReq(call.Args[j]) {
+			pass.Reportf(call.Pos(), "argument %d of %s flows into a downstream transport budget: derive it from req.Budget or req.Deadline", j+1, short)
+		}
+	}
 }
 
 func argNoun(method string) string {

@@ -51,6 +51,55 @@
 // the deadline the original caller is still waiting on. OneWay sends
 // are exempt (nothing upstream is waiting).
 //
+// goroleak reports two goroutine shapes that can never terminate: a
+// spawned loop that blocks on channel operations but contains no exit at
+// all — no return, no break out of the loop, no stop-channel select case
+// — and a spawned send on a provably unbuffered local channel whose only
+// receiver selects it against other cases, so losing the race once parks
+// the sender forever (the classic leaked-timeout-goroutine bug). Both
+// are reported at the go statement, where the fix (a done case, a
+// one-slot buffer) belongs.
+//
+// errdrop flags discarded errors from a curated list of calls whose
+// failure silently voids a durability guarantee: wal.Log.Append and
+// Commit, wal.SaveSnapshot, os.File.Sync and the store's snapshotNow.
+// Dropping an ordinary error is style; dropping one of these means an
+// acked write may not survive a crash. All discard forms are caught —
+// bare call statement, blank assignment, defer and go — and the
+// suppression directive is the sanctioned way to mark a deliberate
+// best-effort site.
+//
+// exhaustive enforces closed enums across package boundaries: a constant
+// set whose type declaration carries an //ermi:exhaustive marker (the
+// transport's frameKind and respStatus) exports an enum fact, and every
+// switch over such a type — in any package that imports it — must either
+// name every member (by value, so aliases count) or carry an explicit
+// default clause as the reader's signed statement that the remainder is
+// handled. Adding a wire enum member without updating each reader is
+// thereby a red build instead of a silently dropped frame.
+//
+// # Facts
+//
+// The suite is whole-program: each package's vet run exports a fact file
+// (the .vetx path the go command hands dependents via PackageVetx) with
+// per-function summaries — does it block, which flagged mutexes does it
+// acquire, which parameter flows into a downstream budget, does it retain
+// or release payload memory — plus the //ermi:exhaustive enum tables.
+// Importing packages merge these facts before analysis, so lockorder sees
+// a dial three calls deep in another package, budgetprop follows a budget
+// through a cross-package helper, and exhaustive checks switches far from
+// the enum's declaration. Every exported file embeds its own imports'
+// facts, so direct-import files carry the transitive closure.
+//
+// The codec (facts.go) is versioned and total on hostile input: a fact
+// file that is missing, truncated, bit-flipped or written by a different
+// tool version decodes to an error, and the importer simply drops it —
+// analysis degrades to package-local, losing cross-package findings but
+// never inventing one. Encoding is deterministic (sorted keys), which the
+// go command's content-addressed build cache turns into stable cache
+// hits; `make lint` prints the resulting hit rate and `make
+// lint-cache-check` gates it.
+//
 // # Suppression
 //
 // A finding that is intentional is silenced in place:
@@ -66,7 +115,9 @@
 //
 // Declare a *Analyzer (Name, Doc, Run), register it in All, and add a
 // fixture package under testdata/src/<name> with `// want "regexp"`
-// comments pinning each diagnostic; linttest.Run fails on both missed
+// comments pinning each diagnostic; fixtures may import each other, and
+// linttest builds facts for a fixture's dependencies in load order, so
+// cross-package behavior is testable (see testdata/src/cross); linttest.Run fails on both missed
 // wants and unexpected findings, so every fixture carries the mutant and
 // the fixed form of its invariant. The framework is self-contained
 // (stdlib only — the build environment pins the module graph, so the

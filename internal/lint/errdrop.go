@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop finds discarded errors from the APIs whose failure silently
+// voids a durability or ordering promise. Dropping the error from a
+// logging call is noise; dropping the error from wal.Commit means the
+// server acknowledges a write that never reached the disk, and nothing
+// anywhere will ever say so. The flagged set is deliberately small — only
+// calls where "ignore the error" and "lie to the caller" are the same
+// thing:
+//
+//   - wal.Log.Append / wal.Log.Commit — group-committed write-ahead
+//     durability; an unchecked Commit un-promises every write in the batch
+//   - wal.SaveSnapshot — compaction; a failed snapshot plus a truncated
+//     log is data loss
+//   - os.File.Sync — the fsync under all of the above
+//   - kvstore.Store.snapshotNow — the store-level compaction entry point
+//
+// Reported forms: the call as a bare statement, the error position
+// assigned to blank, `defer` of the call, and `go` of the call (the last
+// two discard the result by construction). Errors must be handled or
+// explicitly suppressed with //ermi:ignore errdrop <why losing this error
+// is sound>.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "check that errors from durability-critical calls (WAL append/commit, snapshot, fsync) are not discarded",
+	Run:  runErrdrop,
+}
+
+// errdropFlagged maps package basename → receiver type name ("" for
+// package-level functions) → flagged function names. Matching is
+// structural, by basename, so fixture stubs of these packages bind too.
+var errdropFlagged = map[string]map[string]map[string]bool{
+	"wal": {
+		"Log": {"Append": true, "Commit": true},
+		"":    {"SaveSnapshot": true},
+	},
+	"os": {
+		"File": {"Sync": true},
+	},
+	"kvstore": {
+		"Store": {"snapshotNow": true},
+	},
+}
+
+func runErrdrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := t.X.(*ast.CallExpr); ok {
+					reportDroppedErr(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				reportDroppedErr(pass, t.Call, "discarded by defer")
+			case *ast.GoStmt:
+				// `go f()` discards f's result; a spawned literal's own
+				// statements are still walked below.
+				if _, isLit := ast.Unparen(t.Call.Fun).(*ast.FuncLit); !isLit {
+					reportDroppedErr(pass, t.Call, "discarded by go")
+				}
+			case *ast.AssignStmt:
+				checkBlankErr(pass, t)
+			}
+			return true
+		})
+	}
+}
+
+// reportDroppedErr reports call if it is a flagged call whose final result
+// is an error and that error is being thrown away (how says how).
+func reportDroppedErr(pass *Pass, call *ast.CallExpr, how string) {
+	name, ok := flaggedErrCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s %s: a failure here silently voids a durability guarantee — handle it, surface it, or suppress with //ermi:ignore errdrop <reason>", name, how)
+}
+
+// checkBlankErr reports flagged calls whose error result lands in the
+// blank identifier: `_ = f()` and `v, _ := f()`.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	// Only the multi-value form `a, b = f()` or single `_ = f()`; the
+	// error is by convention the last result, so the last LHS must be _.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	name, ok := flaggedErrCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s assigned to _: a failure here silently voids a durability guarantee — handle it, surface it, or suppress with //ermi:ignore errdrop <reason>", name)
+}
+
+// flaggedErrCall reports whether call targets a flagged function whose
+// last result is an error, returning a printable name.
+func flaggedErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	pkgBase, recv, name, ok := calleeName(info, call)
+	if !ok {
+		return "", false
+	}
+	byRecv, ok := errdropFlagged[pkgBase]
+	if !ok {
+		return "", false
+	}
+	if !byRecv[recv][name] {
+		return "", false
+	}
+	if !lastResultIsError(info, call) {
+		return "", false
+	}
+	if recv != "" {
+		return pkgBase + "." + recv + "." + name, true
+	}
+	return pkgBase + "." + name, true
+}
+
+// lastResultIsError reports whether the callee's final result has type
+// error.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Exhaustive enforces full coverage of switches over marked enums. A
+// const enum whose type carries the marker
+//
+//	//ermi:exhaustive
+//
+// on its type declaration promises: every switch over a value of this
+// type names every member, or carries an explicit default saying what
+// happens to the ones it doesn't. With the marker, adding an enum member
+// (a new wire frame kind, a new status code) turns every reader that
+// hasn't decided what to do with it into a lint finding instead of a
+// silent drop at runtime.
+//
+// Membership travels through the fact table, so a switch in one package
+// over an enum declared in another is checked against the declaring
+// package's members. Comparison is by constant value: aliases with equal
+// values count as covering each other. Switches with no tag, over
+// unmarked types, or listing every member are clean; an explicit
+// `default:` clause satisfies the check by fiat — it is the reader's
+// signed statement that unknown members are handled.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "check that switches over //ermi:exhaustive enum types handle every member or carry an explicit default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	named := namedOf(tagType)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	enum := pass.Facts.Enum(key)
+	if enum == nil {
+		return
+	}
+	covered := map[int64]bool{}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the reader owns the remainder
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range enum.Members {
+		if !covered[m.Val] {
+			missing = append(missing, m.Name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch over %s (//ermi:exhaustive) does not handle %s: add the missing cases or an explicit default deciding what happens to them", shortFactKey(key), strings.Join(missing, ", "))
+}

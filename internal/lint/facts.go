@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"elasticrmi/internal/ermic"
+)
+
+// Cross-package facts.
+//
+// Each package analysis exports a summary of every function it declares —
+// whether it may block, which flagged mutexes it may acquire, how budgets
+// flow through its parameters, whether it retains or releases its request's
+// payload — plus the member sets of its //ermi:exhaustive enums. The
+// summaries ride the `.vetx` channel of the go vet protocol: the go command
+// schedules a facts-only run over every dependency, hands each package the
+// vetx files of its imports (PackageVetx), and caches the outputs in the
+// build cache, so a warm `make lint` re-derives facts only for packages
+// whose inputs changed.
+//
+// Facts are exported transitively: a package's vetx embeds everything it
+// learned from its own imports, so consumers only need their direct
+// dependencies' files to see through arbitrarily deep call chains
+// (kvstore → core → transport).
+//
+// Staleness and hostility: a vetx file that is missing, truncated, from a
+// different codec version, or otherwise undecodable is treated as absent —
+// the importing analysis degrades to package-local reasoning for those
+// callees, which can only lose findings, never invent them. The go command
+// hashes the tool binary into the cache key, so a rebuilt ermi-vet never
+// reads its predecessor's files in practice; the version gate is the
+// defense for everything else (hand-edited caches, future format changes).
+
+// factVersion is bumped on any change to the encoded layout. Decoders
+// reject other versions wholesale.
+const factVersion = 2
+
+// factMagic opens every vetx file.
+var factMagic = []byte("ermivetx")
+
+// ErrFactVersion reports a well-formed fact file of a different version.
+var ErrFactVersion = errors.New("lint: fact codec version mismatch")
+
+// ErrFactMalformed reports bytes that are not a fact file.
+var ErrFactMalformed = errors.New("lint: malformed fact file")
+
+// A FuncFact is one function's exported summary. Keys in Facts.Fns are
+// fully qualified: "import/path.Recv.Name" for methods, "import/path.Name"
+// for functions.
+type FuncFact struct {
+	// Blocks is non-empty when the function may block — dial, synchronous
+	// transport call, sleep, fsync, unguarded channel operation — directly
+	// or through any callee, and says why. Goroutines the function spawns
+	// are not charged to it.
+	Blocks string
+	// Acquires lists the flagged mutex keys ("kvstore.Server.viewMu") the
+	// function may lock, shared or exclusive, directly or transitively.
+	Acquires []string
+	// BudgetParams are the indexes of parameters that flow into the
+	// budget/timeout slot of a downstream transport call: callers must
+	// derive those arguments from their own request budget.
+	BudgetParams []int
+	// Unbudgeted marks a function that issues a downstream transport call
+	// whose budget derives from neither a parameter nor a
+	// *transport.Request in scope — from inside a request handler, calling
+	// it breaks deadline propagation.
+	Unbudgeted bool
+	// RetainsReq marks a function that calls Retain on its
+	// *transport.Request parameter; passing a request to it counts as a
+	// retain guard at the call site.
+	RetainsReq bool
+	// ReleasesReply marks a function that sets ReleaseReply = true on its
+	// *transport.Request parameter.
+	ReleasesReply bool
+}
+
+// An EnumMember is one declared constant of an //ermi:exhaustive enum.
+type EnumMember struct {
+	Name string
+	Val  int64
+}
+
+// An EnumFact is the member set of one //ermi:exhaustive enum type, keyed
+// in Facts.Enums by "import/path.TypeName".
+type EnumFact struct {
+	Members []EnumMember
+}
+
+// Facts is the cross-package knowledge available to one analysis run.
+type Facts struct {
+	Fns   map[string]*FuncFact
+	Enums map[string]*EnumFact
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts {
+	return &Facts{Fns: map[string]*FuncFact{}, Enums: map[string]*EnumFact{}}
+}
+
+// Fn returns the fact for key, or nil. Safe on a nil receiver.
+func (f *Facts) Fn(key string) *FuncFact {
+	if f == nil {
+		return nil
+	}
+	return f.Fns[key]
+}
+
+// Enum returns the enum fact for key, or nil. Safe on a nil receiver.
+func (f *Facts) Enum(key string) *EnumFact {
+	if f == nil {
+		return nil
+	}
+	return f.Enums[key]
+}
+
+// Merge copies every entry of src into f (last write wins; duplicate keys
+// across sources describe the same source package, so the contents agree).
+func (f *Facts) Merge(src *Facts) {
+	if src == nil {
+		return
+	}
+	for k, v := range src.Fns {
+		f.Fns[k] = v
+	}
+	for k, v := range src.Enums {
+		f.Enums[k] = v
+	}
+}
+
+// flag bits of the FuncFact flags byte.
+const (
+	factUnbudgeted = 1 << iota
+	factRetainsReq
+	factReleasesReply
+)
+
+// Encode serializes f. Layout (all integers ermic varints, strings
+// length-prefixed):
+//
+//	magic "ermivetx" | version | nFns | fn... | nEnums | enum...
+//	fn:   key | blocks | nAcquires | acquire... | nBudgetParams | idx... | flags
+//	enum: key | nMembers | (name | zigzag val)...
+//
+// Entries are emitted in sorted key order so identical fact sets encode
+// identically (the build cache hashes outputs).
+func (f *Facts) Encode() []byte {
+	b := append([]byte{}, factMagic...)
+	b = ermic.AppendUvarint(b, factVersion)
+	fnKeys := make([]string, 0, len(f.Fns))
+	for k := range f.Fns {
+		fnKeys = append(fnKeys, k)
+	}
+	sort.Strings(fnKeys)
+	b = ermic.AppendUvarint(b, uint64(len(fnKeys)))
+	for _, k := range fnKeys {
+		fn := f.Fns[k]
+		b = ermic.AppendString(b, k)
+		b = ermic.AppendString(b, fn.Blocks)
+		b = ermic.AppendUvarint(b, uint64(len(fn.Acquires)))
+		for _, a := range fn.Acquires {
+			b = ermic.AppendString(b, a)
+		}
+		b = ermic.AppendUvarint(b, uint64(len(fn.BudgetParams)))
+		for _, i := range fn.BudgetParams {
+			b = ermic.AppendUvarint(b, uint64(i))
+		}
+		var flags uint64
+		if fn.Unbudgeted {
+			flags |= factUnbudgeted
+		}
+		if fn.RetainsReq {
+			flags |= factRetainsReq
+		}
+		if fn.ReleasesReply {
+			flags |= factReleasesReply
+		}
+		b = ermic.AppendUvarint(b, flags)
+	}
+	enumKeys := make([]string, 0, len(f.Enums))
+	for k := range f.Enums {
+		enumKeys = append(enumKeys, k)
+	}
+	sort.Strings(enumKeys)
+	b = ermic.AppendUvarint(b, uint64(len(enumKeys)))
+	for _, k := range enumKeys {
+		e := f.Enums[k]
+		b = ermic.AppendString(b, k)
+		b = ermic.AppendUvarint(b, uint64(len(e.Members)))
+		for _, m := range e.Members {
+			b = ermic.AppendString(b, m.Name)
+			b = ermic.AppendVarint(b, m.Val)
+		}
+	}
+	return b
+}
+
+// DecodeFacts parses an encoded fact set. It is total on hostile input:
+// truncated, oversized-count, or trailing-garbage bytes return
+// ErrFactMalformed; a valid file of another codec version returns
+// ErrFactVersion. Callers treat any error as "no facts".
+func DecodeFacts(b []byte) (*Facts, error) {
+	if len(b) < len(factMagic) || string(b[:len(factMagic)]) != string(factMagic) {
+		return nil, ErrFactMalformed
+	}
+	b = b[len(factMagic):]
+	ver, b, err := ermic.ConsumeUvarint(b)
+	if err != nil {
+		return nil, ErrFactMalformed
+	}
+	if ver != factVersion {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrFactVersion, ver, factVersion)
+	}
+	f := NewFacts()
+	nFns, b, err := ermic.ConsumeCount(b)
+	if err != nil {
+		return nil, ErrFactMalformed
+	}
+	for i := 0; i < nFns; i++ {
+		var key string
+		key, b, err = ermic.ConsumeString(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		fn := &FuncFact{}
+		fn.Blocks, b, err = ermic.ConsumeString(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		var n int
+		n, b, err = ermic.ConsumeCount(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		for j := 0; j < n; j++ {
+			var a string
+			a, b, err = ermic.ConsumeString(b)
+			if err != nil {
+				return nil, ErrFactMalformed
+			}
+			fn.Acquires = append(fn.Acquires, a)
+		}
+		n, b, err = ermic.ConsumeCount(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		for j := 0; j < n; j++ {
+			var idx uint64
+			idx, b, err = ermic.ConsumeUvarint(b)
+			if err != nil || idx > 1<<20 {
+				return nil, ErrFactMalformed
+			}
+			fn.BudgetParams = append(fn.BudgetParams, int(idx))
+		}
+		var flags uint64
+		flags, b, err = ermic.ConsumeUvarint(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		fn.Unbudgeted = flags&factUnbudgeted != 0
+		fn.RetainsReq = flags&factRetainsReq != 0
+		fn.ReleasesReply = flags&factReleasesReply != 0
+		f.Fns[key] = fn
+	}
+	nEnums, b, err := ermic.ConsumeCount(b)
+	if err != nil {
+		return nil, ErrFactMalformed
+	}
+	for i := 0; i < nEnums; i++ {
+		var key string
+		key, b, err = ermic.ConsumeString(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		var n int
+		n, b, err = ermic.ConsumeCount(b)
+		if err != nil {
+			return nil, ErrFactMalformed
+		}
+		e := &EnumFact{}
+		for j := 0; j < n; j++ {
+			var m EnumMember
+			m.Name, b, err = ermic.ConsumeString(b)
+			if err != nil {
+				return nil, ErrFactMalformed
+			}
+			m.Val, b, err = ermic.ConsumeVarint(b)
+			if err != nil {
+				return nil, ErrFactMalformed
+			}
+			e.Members = append(e.Members, m)
+		}
+		f.Enums[key] = e
+	}
+	if len(b) != 0 {
+		return nil, ErrFactMalformed
+	}
+	return f, nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"elasticrmi/internal/ermic"
+)
+
+func sampleFacts() *Facts {
+	f := NewFacts()
+	f.Fns["elasticrmi/internal/core.Stub.Invoke"] = &FuncFact{
+		Blocks:       "transport call Call",
+		Acquires:     []string{"kvstore.Server.viewMu", "transport.Client.mu"},
+		BudgetParams: []int{0, 3},
+		Unbudgeted:   true,
+	}
+	f.Fns["elasticrmi/internal/kvstore.handlePut"] = &FuncFact{
+		RetainsReq:    true,
+		ReleasesReply: true,
+	}
+	f.Fns["elasticrmi/internal/wal.syncDir"] = &FuncFact{Blocks: "os.File.Sync (fsync)"}
+	f.Enums["elasticrmi/internal/transport.frameKind"] = &EnumFact{
+		Members: []EnumMember{
+			{Name: "frameRequest", Val: 1},
+			{Name: "frameResponse", Val: 2},
+			{Name: "frameNegative", Val: -7}, // zigzag path
+		},
+	}
+	return f
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	f := sampleFacts()
+	enc := f.Encode()
+	got, err := DecodeFacts(enc)
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	if !reflect.DeepEqual(f.Fns, got.Fns) {
+		t.Errorf("Fns round-trip mismatch:\n  in  %+v\n  out %+v", f.Fns, got.Fns)
+	}
+	if !reflect.DeepEqual(f.Enums, got.Enums) {
+		t.Errorf("Enums round-trip mismatch:\n  in  %+v\n  out %+v", f.Enums, got.Enums)
+	}
+}
+
+func TestFactsEmptyRoundTrip(t *testing.T) {
+	got, err := DecodeFacts(NewFacts().Encode())
+	if err != nil {
+		t.Fatalf("DecodeFacts(empty): %v", err)
+	}
+	if len(got.Fns) != 0 || len(got.Enums) != 0 {
+		t.Errorf("empty set decoded non-empty: %+v", got)
+	}
+}
+
+// Encoding is deterministic regardless of map iteration order: the build
+// cache hashes vetx outputs, so equal fact sets must encode equal bytes.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	a := sampleFacts().Encode()
+	for i := 0; i < 16; i++ {
+		if b := sampleFacts().Encode(); string(a) != string(b) {
+			t.Fatalf("iteration %d produced different bytes", i)
+		}
+	}
+}
+
+func TestFactsVersionGate(t *testing.T) {
+	b := append([]byte{}, factMagic...)
+	b = ermic.AppendUvarint(b, factVersion+1)
+	b = ermic.AppendUvarint(b, 0) // nFns
+	b = ermic.AppendUvarint(b, 0) // nEnums
+	if _, err := DecodeFacts(b); !errors.Is(err, ErrFactVersion) {
+		t.Errorf("future version decoded with err=%v, want ErrFactVersion", err)
+	}
+}
+
+// DecodeFacts must be total on hostile input: any mutilation yields an
+// error (never a panic, never an allocation explosion), and truncation at
+// every prefix length is rejected cleanly.
+func TestFactsHostileInput(t *testing.T) {
+	enc := sampleFacts().Encode()
+
+	t.Run("truncation", func(t *testing.T) {
+		for i := 0; i < len(enc); i++ {
+			if _, err := DecodeFacts(enc[:i]); err == nil {
+				t.Errorf("prefix of length %d decoded cleanly", i)
+			}
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := DecodeFacts(append(append([]byte{}, enc...), 0xFF)); !errors.Is(err, ErrFactMalformed) {
+			t.Errorf("trailing byte decoded with err=%v, want ErrFactMalformed", err)
+		}
+	})
+
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := append([]byte{}, enc...)
+		bad[0] ^= 0x20
+		if _, err := DecodeFacts(bad); !errors.Is(err, ErrFactMalformed) {
+			t.Errorf("bad magic decoded with err=%v, want ErrFactMalformed", err)
+		}
+	})
+
+	t.Run("oversized count", func(t *testing.T) {
+		// A count far beyond the remaining bytes must not preallocate.
+		b := append([]byte{}, factMagic...)
+		b = ermic.AppendUvarint(b, factVersion)
+		b = ermic.AppendUvarint(b, 1<<40) // nFns
+		if _, err := DecodeFacts(b); !errors.Is(err, ErrFactMalformed) {
+			t.Errorf("oversized count decoded with err=%v, want ErrFactMalformed", err)
+		}
+	})
+
+	t.Run("oversized budget index", func(t *testing.T) {
+		f := NewFacts()
+		f.Fns["p.f"] = &FuncFact{BudgetParams: []int{1 << 21}}
+		if _, err := DecodeFacts(f.Encode()); !errors.Is(err, ErrFactMalformed) {
+			t.Errorf("oversized budget index decoded with err=%v, want ErrFactMalformed", err)
+		}
+	})
+
+	t.Run("bit flips", func(t *testing.T) {
+		// Every single-bit corruption either decodes to *some* valid fact
+		// set or errors — it must never panic. (Run the whole corpus; the
+		// file is small.)
+		for i := range enc {
+			for bit := 0; bit < 8; bit++ {
+				bad := append([]byte{}, enc...)
+				bad[i] ^= 1 << bit
+				_, _ = DecodeFacts(bad)
+			}
+		}
+	})
+
+	t.Run("empty and tiny", func(t *testing.T) {
+		for _, b := range [][]byte{nil, {}, {0x00}, factMagic[:4], factMagic} {
+			if _, err := DecodeFacts(b); err == nil {
+				t.Errorf("input %v decoded cleanly", b)
+			}
+		}
+	})
+}
+
+func TestFactsMergeAndNilSafety(t *testing.T) {
+	var nilFacts *Facts
+	if nilFacts.Fn("x") != nil || nilFacts.Enum("x") != nil {
+		t.Error("nil Facts lookups must return nil")
+	}
+	dst := NewFacts()
+	dst.Merge(nil) // must not panic
+	dst.Merge(sampleFacts())
+	if dst.Fn("elasticrmi/internal/wal.syncDir") == nil {
+		t.Error("Merge dropped a function fact")
+	}
+	if dst.Enum("elasticrmi/internal/transport.frameKind") == nil {
+		t.Error("Merge dropped an enum fact")
+	}
+}

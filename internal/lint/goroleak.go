@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroleak finds spawned goroutines that can never exit — the leak class
+// the race detector cannot see and long-lived servers accumulate until the
+// scheduler drowns. Two shapes are reported:
+//
+//   - An infinite loop (`for { ... }`) inside a goroutine that blocks on
+//     channel operations but contains no return, no break out of the loop,
+//     and no terminating construct at all: nothing can ever stop it. The
+//     fixed forms are a stop/done channel case that returns, or ranging
+//     over a channel the producer closes.
+//
+//   - The abandoned sender: `go func() { ch <- result }()` on an
+//     unbuffered channel whose receiver sits in a multi-case select (a
+//     timeout, a cancellation) — if the other case fires first, nobody
+//     ever receives and the goroutine blocks forever. The fixed forms are
+//     a buffered channel (`make(chan T, 1)`; the send completes and the
+//     value is garbage-collected with the channel) or a select with a stop
+//     case in the sender.
+//
+// The analysis is syntactic and deliberately narrow: loops with any exit
+// path, selects with defaults, range-over-channel loops, and sends whose
+// receiver is unconditional are all clean. What it does flag has no path
+// to termination by construction.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "check that spawned goroutines have a reachable exit: no channel-blocked infinite loops without a stop path, no unbuffered sends a selecting receiver can abandon",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *Pass) {
+	// Named package functions a `go` statement may target.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		// Track the function enclosing each go statement: the abandoned-
+		// sender check needs the spawner's view of the channel.
+		var walkFn func(encl *ast.BlockStmt, n ast.Node)
+		walkFn = func(encl *ast.BlockStmt, n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.FuncDecl:
+					if t.Body != nil {
+						walkFn(t.Body, t.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					walkFn(t.Body, t.Body)
+					return false
+				case *ast.GoStmt:
+					checkGoStmt(pass, t, encl, decls)
+					// Descend for nested spawns: the spawned body is the
+					// enclosing function of anything it spawns itself.
+					if lit, ok := ast.Unparen(t.Call.Fun).(*ast.FuncLit); ok {
+						walkFn(lit.Body, lit.Body)
+						return false
+					}
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkFn(fd.Body, fd.Body)
+			}
+		}
+	}
+}
+
+// checkGoStmt analyzes one spawn site. encl is the body of the function
+// containing the go statement.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, encl *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fn := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fn].(*types.Func); ok {
+			if fd, ok := decls[obj]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return
+	}
+	checkNoExitLoops(pass, body)
+	checkAbandonedSender(pass, g, body, encl)
+}
+
+// checkNoExitLoops reports infinite for-loops in a goroutine body that
+// block on channels and contain no way out.
+func checkNoExitLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // someone else's control flow
+		case *ast.ForStmt:
+			if t.Cond != nil {
+				return true // conditional loop: the condition is the exit
+			}
+			if loopCanExit(t) || !loopBlocksOnChannel(t) {
+				return true
+			}
+			pass.Reportf(t.Pos(), "goroutine never exits: this loop blocks on channel operations but has no return, break, or stop-channel case — add a done/stop select case that returns, or range over a channel the producer closes")
+			return false // inner loops of a reported loop share its fate
+		}
+		return true
+	})
+}
+
+// loopCanExit reports whether the infinite loop has any terminating path:
+// a return, a break that exits it, a goto, or a call that never returns.
+func loopCanExit(loop *ast.ForStmt) bool {
+	exits := false
+	// breakDepth counts the breakable constructs between a break statement
+	// and our loop: 0 means an unlabeled break leaves the loop itself.
+	var walk func(n ast.Node, breakDepth int)
+	walk = func(n ast.Node, breakDepth int) {
+		if exits || n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if exits {
+				return false
+			}
+			switch t := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+				return false
+			case *ast.BranchStmt:
+				if t.Tok == token.GOTO {
+					// A goto may jump out of the loop; assume it does —
+					// over-assuming an exit only loses a finding.
+					exits = true
+					return false
+				}
+				if t.Tok == token.BREAK && (breakDepth == 0 || t.Label != nil) {
+					// An unlabeled break at depth 0 exits our loop; a
+					// labeled break is assumed to (the label may name an
+					// outer statement, and over-assuming an exit only
+					// loses a finding).
+					exits = true
+					return false
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if n != ast.Node(loop) {
+					walkChildren(t, func(c ast.Node) { walk(c, breakDepth+1) })
+					return false
+				}
+			case *ast.CallExpr:
+				if neverReturns(t) {
+					exits = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(loop.Body, 0)
+	return exits
+}
+
+// walkChildren applies fn to the immediate bodies of a nested breakable
+// construct.
+func walkChildren(n ast.Node, fn func(ast.Node)) {
+	switch t := n.(type) {
+	case *ast.ForStmt:
+		fn(t.Body)
+	case *ast.RangeStmt:
+		fn(t.Body)
+	case *ast.SwitchStmt:
+		fn(t.Body)
+	case *ast.TypeSwitchStmt:
+		fn(t.Body)
+	case *ast.SelectStmt:
+		fn(t.Body)
+	}
+}
+
+// neverReturns reports calls that terminate the goroutine: panic,
+// os.Exit, log.Fatal*, runtime.Goexit.
+func neverReturns(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fn.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopBlocksOnChannel reports whether the loop contains an unguarded
+// channel operation — the blocked-forever ingredient of the leak.
+func loopBlocksOnChannel(loop *ast.ForStmt) bool {
+	blocks := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(t) {
+				blocks = true
+			}
+			return false
+		}
+		return true
+	})
+	return blocks
+}
+
+// checkAbandonedSender reports `go func() { ch <- v }()` where ch is an
+// unbuffered channel made in the spawning function whose receiver sits in
+// a multi-case select: if another case fires first, the send blocks
+// forever.
+func checkAbandonedSender(pass *Pass, g *ast.GoStmt, body, encl *ast.BlockStmt) {
+	if encl == nil || body == encl {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.ForStmt, *ast.RangeStmt:
+			// A send inside a loop is the infinite-loop check's business;
+			// a send under someone else's control flow is theirs.
+			return false
+		case *ast.SelectStmt:
+			return false // a selecting sender can bail out on its own
+		case *ast.SendStmt:
+			ch := chanVar(pass.TypesInfo, t.Chan)
+			if ch == nil {
+				return true
+			}
+			if !madeUnbuffered(pass.TypesInfo, encl, ch) {
+				return true
+			}
+			if receiverMayAbandon(pass.TypesInfo, encl, ch) {
+				pass.Reportf(t.Pos(), "goroutine sends on unbuffered channel %s whose receiver selects against other cases: if the other case fires first this goroutine blocks forever — buffer the channel (make(chan T, 1)) or select on a stop channel here", ch.Name())
+			}
+		}
+		return true
+	})
+}
+
+// chanVar resolves a channel expression to its variable, or nil.
+func chanVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// madeUnbuffered reports whether ch is assigned from a make(chan T) with
+// no capacity (or constant zero capacity) within fn. Unresolvable
+// channels — parameters, fields, non-constant capacities — are not
+// reported against.
+func madeUnbuffered(info *types.Info, fn *ast.BlockStmt, ch *types.Var) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != ch {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "make" {
+				if _, builtin := info.Uses[fid].(*types.Builtin); builtin {
+					if len(call.Args) < 2 {
+						found = true
+					} else if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverMayAbandon reports whether fn receives from ch inside a select
+// with more than one comm case — the receiver has another way out, so the
+// send is not guaranteed a partner.
+func receiverMayAbandon(info *types.Info, fn *ast.BlockStmt, ch *types.Var) bool {
+	abandons := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if abandons {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		cases := 0
+		receives := false
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cases++
+			if cc.Comm == nil {
+				continue // default counts as a way out via the case count
+			}
+			var recv ast.Expr
+			switch c := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				recv = c.X
+			case *ast.AssignStmt:
+				if len(c.Rhs) == 1 {
+					recv = c.Rhs[0]
+				}
+			}
+			if un, ok := ast.Unparen(recv).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				if chanVar(info, un.X) == ch {
+					receives = true
+				}
+			}
+		}
+		if receives && cases > 1 {
+			abandons = true
+			return false
+		}
+		return true
+	})
+	return abandons
+}

@@ -24,6 +24,7 @@ const ignorePrefix = "//ermi:ignore"
 
 type ignoreDirective struct {
 	analyzer string
+	reason   string
 	pos      token.Pos
 	bad      string // non-empty: why the directive is malformed
 }
@@ -63,6 +64,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 					d.bad = "ermi:ignore " + fields[0] + " needs a reason: a suppression must say why the code is right"
 				default:
 					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
 				}
 				pos := fset.Position(c.Pos())
 				lines := ix.byLine[pos.Filename]
@@ -83,21 +85,21 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 // quote is %q-lite.
 func quote(s string) string { return `"` + s + `"` }
 
-// suppressed reports whether d is covered by a well-formed directive on
-// its own line or the line above.
-func (ix *ignoreIndex) suppressed(d Diagnostic) bool {
+// suppressedReason reports whether d is covered by a well-formed directive
+// on its own line or the line above, and with what reason.
+func (ix *ignoreIndex) suppressedReason(d Diagnostic) (string, bool) {
 	lines := ix.byLine[d.Position.Filename]
 	if lines == nil {
-		return false
+		return "", false
 	}
 	for _, ln := range [2]int{d.Position.Line, d.Position.Line - 1} {
 		for _, dir := range lines[ln] {
 			if dir.bad == "" && dir.analyzer == d.Analyzer {
-				return true
+				return dir.reason, true
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // malformed returns one diagnostic per malformed directive.

@@ -55,7 +55,7 @@ var c int
 		probe := Diagnostic{Analyzer: "payloadown", Position: token.Position{
 			Filename: d.Position.Filename, Line: d.Position.Line + 1,
 		}}
-		if ix.suppressed(probe) {
+		if _, ok := ix.suppressedReason(probe); ok {
 			t.Errorf("malformed directive at line %d suppressed a diagnostic", d.Position.Line)
 		}
 	}
@@ -74,13 +74,16 @@ var a int
 	mk := func(analyzer string, line int) Diagnostic {
 		return Diagnostic{Analyzer: analyzer, Position: token.Position{Filename: "p.go", Line: line}}
 	}
-	if !ix.suppressed(mk("lockorder", 3)) || !ix.suppressed(mk("lockorder", 4)) {
-		t.Error("directive did not cover its own line and the next")
+	if _, ok := ix.suppressedReason(mk("lockorder", 3)); !ok {
+		t.Error("directive did not cover its own line")
 	}
-	if ix.suppressed(mk("lockorder", 5)) {
+	if reason, ok := ix.suppressedReason(mk("lockorder", 4)); !ok || reason != "held across the probe by design" {
+		t.Errorf("directive did not cover the next line with its reason (got %q, %v)", reason, ok)
+	}
+	if _, ok := ix.suppressedReason(mk("lockorder", 5)); ok {
 		t.Error("directive leaked past the line below it")
 	}
-	if ix.suppressed(mk("payloadown", 4)) {
+	if _, ok := ix.suppressedReason(mk("payloadown", 4)); ok {
 		t.Error("directive suppressed a different analyzer")
 	}
 }

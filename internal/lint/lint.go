@@ -12,6 +12,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one named invariant check over a typed package.
@@ -26,7 +27,7 @@ type Analyzer struct {
 }
 
 // A Pass is one analyzer's view of one package: the syntax, the type
-// information, and the report sink.
+// information, the fact table, and the report sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -38,6 +39,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the merged fact table: every function and enum of this
+	// package plus everything imported from dependency vetx files (see
+	// facts.go). Analyzers look through calls into other packages with it.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -52,12 +57,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// A Diagnostic is one reported violation.
+// A Diagnostic is one reported violation. Suppressed and Reason are set
+// only on the suppressed list returned by AnalyzeAll (the machine-readable
+// output includes silenced findings with the reason that silenced them).
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Pos
-	Position token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Pos
+	Position   token.Position
+	Message    string
+	Suppressed bool
+	Reason     string
 }
 
 // Package bundles what the runner needs to analyze one package. Both
@@ -70,12 +79,49 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyze runs the given analyzers over pkg and returns the surviving
-// diagnostics: suppressed ones (see ignore.go) are dropped, malformed
-// suppression comments are reported under the pseudo-analyzer "ignore",
-// and anything positioned in a *_test.go file is discarded. Diagnostics
-// come back sorted by position.
-func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// Analyze runs the given analyzers over pkg with the imported fact set
+// (nil is fine: analysis degrades to package-local) and returns the
+// surviving diagnostics: suppressed ones (see ignore.go) are dropped,
+// malformed suppression comments are reported under the pseudo-analyzer
+// "ignore", and anything positioned in a *_test.go file is discarded.
+// Diagnostics come back sorted by position.
+func Analyze(pkg *Package, analyzers []*Analyzer, imported *Facts) []Diagnostic {
+	return RunAnalyzers(pkg, analyzers, imported).Kept
+}
+
+// AnalyzeAll is Analyze plus the findings a well-formed //ermi:ignore
+// directive silenced, each carrying its suppression reason — the
+// machine-readable mode reports those too, so a dashboard can audit what
+// the tree has chosen to live with.
+func AnalyzeAll(pkg *Package, analyzers []*Analyzer, imported *Facts) (kept, suppressed []Diagnostic) {
+	r := RunAnalyzers(pkg, analyzers, imported)
+	return r.Kept, r.Suppressed
+}
+
+// An AnalyzerTiming is the wall-clock cost of one analyzer (or of the
+// fact-table build, under the pseudo-name "facts") over one package.
+type AnalyzerTiming struct {
+	Name string
+	D    time.Duration
+}
+
+// A UnitResult is everything one package's analysis produced: surviving
+// and suppressed diagnostics, the merged fact table (which the vet driver
+// serializes for dependents), and per-analyzer timing.
+type UnitResult struct {
+	Kept       []Diagnostic
+	Suppressed []Diagnostic
+	Facts      *Facts
+	Timing     []AnalyzerTiming
+}
+
+// RunAnalyzers is the full runner under Analyze/AnalyzeAll.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, imported *Facts) *UnitResult {
+	res := &UnitResult{}
+	start := time.Now()
+	facts := BuildFacts(pkg, imported)
+	res.Facts = facts
+	res.Timing = append(res.Timing, AnalyzerTiming{Name: "facts", D: time.Since(start)})
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -84,39 +130,56 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			diags:     &diags,
 		}
+		start = time.Now()
 		a.Run(pass)
+		res.Timing = append(res.Timing, AnalyzerTiming{Name: a.Name, D: time.Since(start)})
 	}
+	kept, suppressed := splitSuppressed(pkg, diags)
+	res.Kept, res.Suppressed = kept, suppressed
+	return res
+}
+
+// splitSuppressed applies the suppression and test-file filters and sorts
+// both diagnostic lists by position.
+func splitSuppressed(pkg *Package, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	ig := collectIgnores(pkg.Fset, pkg.Files)
-	kept := diags[:0]
 	for _, d := range diags {
 		if strings.HasSuffix(d.Position.Filename, "_test.go") {
 			continue
 		}
-		if ig.suppressed(d) {
+		if reason, ok := ig.suppressedReason(d); ok {
+			d.Suppressed = true
+			d.Reason = reason
+			suppressed = append(suppressed, d)
 			continue
 		}
 		kept = append(kept, d)
 	}
-	diags = append(kept, ig.malformed(pkg.Fset)...)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Position, diags[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	kept = append(kept, ig.malformed(pkg.Fset)...)
+	byPos := func(ds []Diagnostic) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := ds[i].Position, ds[j].Position
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return ds[i].Message < ds[j].Message
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return diags[i].Message < diags[j].Message
-	})
-	return diags
+	}
+	sort.Slice(kept, byPos(kept))
+	sort.Slice(suppressed, byPos(suppressed))
+	return kept, suppressed
 }
 
 // All returns the full analyzer suite in reporting order. cmd/ermi-vet
 // runs exactly this set.
 func All() []*Analyzer {
-	return []*Analyzer{Payloadown, Lockorder, Codecstrict, Budgetprop}
+	return []*Analyzer{Payloadown, Lockorder, Codecstrict, Budgetprop, Goroleak, Errdrop, Exhaustive}
 }
 
 // ---- shared type queries ----

@@ -42,3 +42,23 @@ func TestBudgetprop(t *testing.T) {
 func TestSuppression(t *testing.T) {
 	linttest.Run(t, testdata(t), "ignoresup", lint.Budgetprop)
 }
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, testdata(t), "goroleak", lint.Goroleak)
+}
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, testdata(t), "errdrop", lint.Errdrop)
+}
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, testdata(t), "exhaustive", lint.Exhaustive)
+}
+
+// The cross fixture splits each invariant across two packages: the
+// blocking/budget/enum source lives in cross/helper, the violation in
+// cross/kvstore. Every finding here exists only because facts flow
+// through the package boundary.
+func TestCrossPackageFacts(t *testing.T) {
+	linttest.Run(t, testdata(t), "cross/kvstore", lint.Lockorder, lint.Budgetprop, lint.Exhaustive)
+}

@@ -43,12 +43,30 @@ func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*lint.Analyzer) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
+	// Build facts for fixture dependencies the way the vet driver does for
+	// real packages. load records packages in completion order, which is
+	// topological (a package's imports finish loading before it does), so
+	// folding BuildFacts over it accumulates each dependency's table with
+	// its own imports already visible.
+	imported := lint.NewFacts()
+	for _, dep := range imp.order {
+		if dep == pkgPath {
+			continue
+		}
+		d := imp.pkgs[dep]
+		imported = lint.BuildFacts(&lint.Package{
+			Fset:  imp.fset,
+			Files: d.files,
+			Types: d.pkg,
+			Info:  d.info,
+		}, imported)
+	}
 	diags := lint.Analyze(&lint.Package{
 		Fset:  imp.fset,
 		Files: res.files,
 		Types: res.pkg,
 		Info:  res.info,
-	}, analyzers)
+	}, analyzers, imported)
 
 	wants := collectWants(t, imp.fset, res.files)
 	matched := map[*want]bool{}
@@ -149,6 +167,9 @@ type fixtureImporter struct {
 	root string
 	gc   types.Importer
 	pkgs map[string]*pkgResult
+	// order lists fixture packages in load-completion order — imports
+	// before importers — for topological fact building in Run.
+	order []string
 }
 
 type pkgResult struct {
@@ -206,6 +227,7 @@ func (imp *fixtureImporter) load(path string) (*pkgResult, error) {
 	}
 	res := &pkgResult{files: files, pkg: pkg, info: info}
 	imp.pkgs[path] = res
+	imp.order = append(imp.order, path)
 	return res, nil
 }
 

@@ -13,26 +13,30 @@ import (
 // mutexes (the ones that serialize hot-path state):
 //
 //   - No blocking operation — dialing, a synchronous transport call,
-//     sleeping, fsync, an unguarded channel operation, or a call to a
-//     same-package function that does any of those — may run while one of
+//     sleeping, fsync, an unguarded channel operation, or a call to ANY
+//     function that transitively does one of those — may run while one of
 //     the flagged mutexes is held exclusively. PR 8 shipped exactly this
 //     bug: ClusterSession dialed a new shard session under cs.mu, so one
 //     unreachable shard stalled every cached read.
 //
 //   - Flagged mutexes must be acquired in a consistent order: the
 //     analyzer builds an acquisition graph (edges from each held mutex to
-//     each newly acquired one, including acquisitions made by
-//     same-package callees) and reports cycles, plus direct re-entry
-//     (locking a mutex the function may already hold).
+//     each newly acquired one, including acquisitions made by callees)
+//     and reports cycles, plus direct re-entry (locking a mutex the
+//     function may already hold).
 //
 // Read-held (RLock) regions are exempt from the blocking check: the
 // cluster read gate deliberately spans RPCs so membership changes
 // serialize against in-flight operations. They still contribute
 // acquisition-order edges.
 //
-// The analysis is per-package and syntax-directed (no SSA, no cross-
-// package facts): straight-line lock regions with branch-local cloning,
-// which matches how this codebase writes critical sections.
+// Callee behavior comes from the pass's fact table (factbuild.go): local
+// functions and imported packages alike, so a kvstore method that calls a
+// core helper that calls transport.Client.Call is a blocking op under
+// viewMu even though no blocking primitive appears in kvstore. The
+// per-function walk stays syntax-directed (straight-line lock regions with
+// branch-local cloning), which matches how this codebase writes critical
+// sections.
 var Lockorder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "check that no blocking operation runs under a flagged mutex and that flagged mutexes are acquired in a consistent order",
@@ -136,14 +140,7 @@ func blockingCall(pkgBase, recv, name string) (string, bool) {
 	return "", false
 }
 
-// funcSummary is the per-function result of the package pre-pass.
-type funcSummary struct {
-	blocks   string     // non-empty: why the function may block
-	acquires []mutexKey // flagged mutexes the function may lock (exclusively or shared)
-}
-
 func runLockorder(pass *Pass) {
-	sums := buildSummaries(pass)
 	g := &lockGraph{edges: map[mutexKey]map[mutexKey]token.Pos{}}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -151,148 +148,11 @@ func runLockorder(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			lc := &lockCheck{pass: pass, sums: sums, graph: g}
+			lc := &lockCheck{pass: pass, graph: g}
 			lc.block(fd.Body.List, map[mutexKey]*holdInfo{})
 		}
 	}
 	g.reportCycles(pass)
-}
-
-// funcKeyOf names a declared function for the summary table:
-// "Type.method" or "fn".
-func funcKeyOf(fd *ast.FuncDecl) string {
-	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		t := fd.Recv.List[0].Type
-		if se, ok := t.(*ast.StarExpr); ok {
-			t = se.X
-		}
-		if id, ok := t.(*ast.Ident); ok {
-			return id.Name + "." + fd.Name.Name
-		}
-		if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
-			if id, ok := ix.X.(*ast.Ident); ok {
-				return id.Name + "." + fd.Name.Name
-			}
-		}
-	}
-	return fd.Name.Name
-}
-
-// calleeKey resolves a call to a same-package function's summary key, or
-// "".
-func calleeKey(pass *Pass, call *ast.CallExpr) string {
-	pkgBase, recv, name, ok := calleeName(pass.TypesInfo, call)
-	if !ok || pkgBase != pkgElem(pass.Pkg) {
-		return ""
-	}
-	if recv != "" {
-		return recv + "." + name
-	}
-	return name
-}
-
-// buildSummaries computes, for every function declared in the package,
-// whether it may block and which flagged mutexes it may acquire —
-// propagated through same-package calls to a fixed point. Goroutine
-// bodies are excluded: what a spawned goroutine does is not charged to
-// its spawner.
-func buildSummaries(pass *Pass) map[string]*funcSummary {
-	sums := map[string]*funcSummary{}
-	calls := map[string]map[string]bool{} // caller → same-package callees
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			key := funcKeyOf(fd)
-			sum := &funcSummary{}
-			callees := map[string]bool{}
-			var inspect func(n ast.Node) bool
-			inspect = func(n ast.Node) bool {
-				switch t := n.(type) {
-				case *ast.GoStmt:
-					return false
-				case *ast.SelectStmt:
-					// A select with a default never blocks on its comm ops.
-					if selectHasDefault(t) {
-						for _, cl := range t.Body.List {
-							if cc, ok := cl.(*ast.CommClause); ok {
-								for _, s := range cc.Body {
-									ast.Inspect(s, inspect)
-								}
-							}
-						}
-						return false
-					}
-					if sum.blocks == "" {
-						sum.blocks = "a select with no default"
-					}
-					return true
-				case *ast.SendStmt:
-					if sum.blocks == "" {
-						sum.blocks = "a channel send"
-					}
-				case *ast.UnaryExpr:
-					if t.Op == token.ARROW && sum.blocks == "" {
-						sum.blocks = "a channel receive"
-					}
-				case *ast.CallExpr:
-					if op, ok := mutexOp(pass.TypesInfo, t); ok {
-						if op.op == "Lock" || op.op == "RLock" || op.op == "TryLock" {
-							sum.acquires = append(sum.acquires, op.key)
-						}
-						return true
-					}
-					if pkgBase, recv, name, ok := calleeName(pass.TypesInfo, t); ok {
-						if why, bad := blockingCall(pkgBase, recv, name); bad && sum.blocks == "" {
-							sum.blocks = why
-						}
-					}
-					if ck := calleeKey(pass, t); ck != "" {
-						callees[ck] = true
-					}
-				}
-				return true
-			}
-			ast.Inspect(fd.Body, inspect)
-			sums[key] = sum
-			calls[key] = callees
-		}
-	}
-	// Propagate blocking and acquisitions through same-package calls.
-	for changed := true; changed; {
-		changed = false
-		for caller, callees := range calls {
-			cs := sums[caller]
-			for callee := range callees {
-				sub, ok := sums[callee]
-				if !ok {
-					continue
-				}
-				if cs.blocks == "" && sub.blocks != "" {
-					cs.blocks = "a call to " + callee + " (" + sub.blocks + ")"
-					changed = true
-				}
-				for _, k := range sub.acquires {
-					if !containsKey(cs.acquires, k) {
-						cs.acquires = append(cs.acquires, k)
-						changed = true
-					}
-				}
-			}
-		}
-	}
-	return sums
-}
-
-func containsKey(keys []mutexKey, k mutexKey) bool {
-	for _, have := range keys {
-		if have == k {
-			return true
-		}
-	}
-	return false
 }
 
 func selectHasDefault(sel *ast.SelectStmt) bool {
@@ -397,10 +257,12 @@ func cycleString(cyc []mutexKey) string {
 	return strings.Join(parts, " → ")
 }
 
-// lockCheck walks one function, tracking held flagged mutexes.
+// lockCheck walks one function, tracking held flagged mutexes. Callee
+// behavior — blocking, acquisitions — comes from the pass's fact table,
+// which covers this package and everything imported, so a kvstore method
+// that calls a core helper that dials is a blocking op here.
 type lockCheck struct {
 	pass  *Pass
-	sums  map[string]*funcSummary
 	graph *lockGraph
 }
 
@@ -579,9 +441,9 @@ func (lc *lockCheck) applyLock(op lockOp, pos token.Pos, held map[mutexKey]*hold
 	}
 }
 
-// checkCall reports call if it blocks (directly or via a same-package
-// callee) while any flagged mutex is write-held, and records acquisition
-// edges for mutexes the callee takes.
+// checkCall reports call if it blocks (directly or via any callee chain,
+// same-package or imported) while any flagged mutex is write-held, and
+// records acquisition edges for mutexes the callee takes.
 func (lc *lockCheck) checkCall(call *ast.CallExpr, held map[mutexKey]*holdInfo) {
 	if len(held) == 0 {
 		return
@@ -596,16 +458,18 @@ func (lc *lockCheck) checkCall(call *ast.CallExpr, held map[mutexKey]*holdInfo) 
 		}
 		return
 	}
-	if key := calleeKey(lc.pass, call); key != "" {
-		if sum, ok := lc.sums[key]; ok {
-			if sum.blocks != "" {
+	if key := calleeFactKey(lc.pass.TypesInfo, call); key != "" {
+		if fact := lc.pass.Facts.Fn(key); fact != nil {
+			short := shortFactKey(key)
+			if fact.Blocks != "" {
 				if w := heldWrite(held); len(w) > 0 {
-					lc.reportBlocked(call.Pos(), "a call to "+key+" ("+sum.blocks+")", held)
+					lc.reportBlocked(call.Pos(), "a call to "+short+" ("+fact.Blocks+")", held)
 				}
 			}
-			for _, acq := range sum.acquires {
+			for _, acqs := range fact.Acquires {
+				acq := mutexKey(acqs)
 				if _, already := held[acq]; already {
-					lc.pass.Reportf(call.Pos(), "call to %s acquires %s while the function may already hold it (self-deadlock)", key, acq)
+					lc.pass.Reportf(call.Pos(), "call to %s acquires %s while the function may already hold it (self-deadlock)", short, acq)
 					continue
 				}
 				for from := range held {

@@ -299,6 +299,26 @@ func (ck *payloadCheck) call(call *ast.CallExpr) {
 		}
 		return
 	}
+	// helper(req, ...) where the helper's fact says it retains the request
+	// or sets ReleaseReply counts as that guard happening here: the fact
+	// table sees through the call, wherever the helper lives.
+	if fact := ck.pass.Facts.Fn(calleeFactKey(ck.pass.TypesInfo, call)); fact != nil && (fact.RetainsReq || fact.ReleasesReply) {
+		passesReq := false
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && ck.pass.TypesInfo.Uses[id] == ck.req {
+				passesReq = true
+				break
+			}
+		}
+		if passesReq {
+			if fact.RetainsReq {
+				ck.retains = append(ck.retains, call.Pos())
+			}
+			if fact.ReleasesReply {
+				ck.releases = append(ck.releases, call.Pos())
+			}
+		}
+	}
 	// transport.Decode(req.Payload, &v) with a view-holding target type
 	// makes v an alias of the payload slab.
 	if pkgBase == "transport" && recv == "" && name == "Decode" && len(call.Args) == 2 {

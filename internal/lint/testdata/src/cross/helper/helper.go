@@ -1,0 +1,39 @@
+// Package helper is the dependency side of the cross-package fact
+// fixture: it wraps transport primitives behind plain functions so the
+// importing package (cross/kvstore) can only be checked correctly if
+// facts flow across the package boundary.
+package helper
+
+import (
+	"time"
+
+	"transport"
+)
+
+// Refresh dials — a blocking operation — without saying so in its name.
+func Refresh(addr string) (*transport.Client, error) {
+	return transport.Dial(addr)
+}
+
+// Fetch forwards with the caller's timeout: its second parameter flows
+// into a downstream transport budget slot.
+func Fetch(c *transport.Client, timeout time.Duration) ([]byte, error) {
+	return c.Call("svc", "m", nil, timeout)
+}
+
+// Hardcoded issues a downstream call whose budget derives from nothing
+// the caller controls.
+func Hardcoded(c *transport.Client) ([]byte, error) {
+	return c.Call("svc", "m", nil, 2*time.Second)
+}
+
+// Mode is a marked enum declared here, switched over in cross/kvstore.
+//
+//ermi:exhaustive
+type Mode int
+
+const (
+	ModeFast Mode = iota
+	ModeSafe
+	ModeParanoid
+)

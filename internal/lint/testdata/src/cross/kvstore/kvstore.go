@@ -1,0 +1,96 @@
+// Package kvstore is the importing side of the cross-package fact
+// fixture (the basename makes the flagged-mutex table bind): every
+// mutant here is only visible through facts exported by cross/helper.
+package kvstore
+
+import (
+	"sync"
+	"time"
+
+	"cross/helper"
+	"transport"
+)
+
+// Server mirrors the real kvstore.Server: viewMu is a flagged mutex.
+type Server struct {
+	viewMu sync.Mutex
+	cl     *transport.Client
+}
+
+// Mutant: helper.Refresh dials, and the dial runs under viewMu — the
+// blocking primitive is two packages away from the lock.
+func (s *Server) RefreshLocked(addr string) {
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	c, err := helper.Refresh(addr) // want `blocking operation \(a call to helper\.Refresh \(transport\.Dial \(connection setup\)\)\) while kvstore\.Server\.viewMu is held`
+	if err == nil {
+		s.cl = c
+	}
+}
+
+// refresh is a local intermediate: its blocking nature comes entirely
+// from the imported fact.
+func (s *Server) refresh(addr string) {
+	c, err := helper.Refresh(addr)
+	if err == nil {
+		s.cl = c
+	}
+}
+
+// Mutant: the same dial, three hops deep (method → local helper →
+// imported helper → transport).
+func (s *Server) RefreshIndirect(addr string) {
+	s.viewMu.Lock()
+	s.refresh(addr) // want `blocking operation \(a call to kvstore\.Server\.refresh \(a call to helper\.Refresh \(transport\.Dial \(connection setup\)\)\)\) while kvstore\.Server\.viewMu is held`
+	s.viewMu.Unlock()
+}
+
+// Fixed: drop the lock before the dial, retake it to install.
+func (s *Server) RefreshUnlocked(addr string) {
+	s.viewMu.Lock()
+	s.viewMu.Unlock()
+	c, err := helper.Refresh(addr)
+	if err != nil {
+		return
+	}
+	s.viewMu.Lock()
+	s.cl = c
+	s.viewMu.Unlock()
+}
+
+// Handle is a request handler; budget discipline must see through the
+// helper package.
+func (s *Server) Handle(req *transport.Request) ([]byte, error) {
+	if _, err := helper.Hardcoded(s.cl); err != nil { // want `handler calls helper\.Hardcoded, which issues a downstream transport call whose budget does not derive from this request`
+		return nil, err
+	}
+	if _, err := helper.Fetch(s.cl, 2*time.Second); err != nil { // want `argument 2 of helper\.Fetch flows into a downstream transport budget`
+		return nil, err
+	}
+	// Fixed: the budget threads through the helper's parameter.
+	return helper.Fetch(s.cl, req.Budget)
+}
+
+// Mutant: a switch over the imported marked enum missing a member.
+func describe(m helper.Mode) string {
+	switch m { // want `switch over helper\.Mode \(//ermi:exhaustive\) does not handle ModeParanoid`
+	case helper.ModeFast:
+		return "fast"
+	case helper.ModeSafe:
+		return "safe"
+	}
+	return ""
+}
+
+// Fixed: all members handled.
+func describeAll(m helper.Mode) string {
+	switch m {
+	case helper.ModeFast:
+		return "fast"
+	case helper.ModeSafe:
+		return "safe"
+	case helper.ModeParanoid:
+		return "paranoid"
+	}
+	return ""
+}

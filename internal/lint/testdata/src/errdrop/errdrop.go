@@ -1,0 +1,46 @@
+// Package errdrop carries mutant/fixed pairs for the dropped-error
+// analyzer: discarded results from durability-critical calls.
+package errdrop
+
+import (
+	"os"
+
+	"wal"
+)
+
+// Mutant: every discard form on the flagged surface.
+func discards(l *wal.Log, f *os.File, rec []byte) {
+	l.Commit()                          // want `error from wal\.Log\.Commit discarded`
+	_ = l.Commit()                      // want `error from wal\.Log\.Commit assigned to _`
+	defer l.Commit()                    // want `error from wal\.Log\.Commit discarded by defer`
+	go l.Commit()                       // want `error from wal\.Log\.Commit discarded by go`
+	f.Sync()                            // want `error from os\.File\.Sync discarded`
+	wal.SaveSnapshot("dir", 1, nil)     // want `error from wal\.SaveSnapshot discarded`
+	_, _ = l.Append(rec)                // want `error from wal\.Log\.Append assigned to _`
+	_ = wal.SaveSnapshot("dir", 2, nil) // want `error from wal\.SaveSnapshot assigned to _`
+}
+
+// Fixed: handled errors are clean, as is discarding a non-error result
+// while keeping the error.
+func handled(l *wal.Log, f *os.File, rec []byte) error {
+	if _, err := l.Append(rec); err != nil {
+		return err
+	}
+	if err := l.Commit(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := wal.SaveSnapshot("dir", 3, nil); err != nil {
+		return err
+	}
+	// Unflagged calls may discard freely.
+	l.Close()
+	return nil
+}
+
+// Fixed: returning the error delegates the decision to the caller.
+func delegated(l *wal.Log) error {
+	return l.Commit()
+}

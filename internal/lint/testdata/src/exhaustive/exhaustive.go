@@ -1,0 +1,99 @@
+// Package exhaustive carries mutant/fixed pairs for the marked-enum
+// switch analyzer.
+package exhaustive
+
+// frameKind mirrors the wire frame discriminator.
+//
+//ermi:exhaustive
+type frameKind byte
+
+const (
+	frameRequest  frameKind = 1
+	frameResponse frameKind = 2
+	frameOneWay   frameKind = 3
+)
+
+// aliasOneWay covers frameOneWay by value.
+const aliasOneWay = frameOneWay
+
+// color is an unmarked enum: switches over it owe nothing.
+type color int
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// Mutant: a reader that silently drops frameOneWay.
+func partial(k frameKind) string {
+	switch k { // want `switch over exhaustive\.frameKind \(//ermi:exhaustive\) does not handle aliasOneWay, frameOneWay`
+	case frameRequest:
+		return "req"
+	case frameResponse:
+		return "resp"
+	}
+	return ""
+}
+
+// Fixed: every member named.
+func full(k frameKind) string {
+	switch k {
+	case frameRequest:
+		return "req"
+	case frameResponse:
+		return "resp"
+	case frameOneWay:
+		return "oneway"
+	}
+	return ""
+}
+
+// Fixed: an explicit default is the reader's signed statement that the
+// remainder is handled.
+func defaulted(k frameKind) string {
+	switch k {
+	case frameRequest:
+		return "req"
+	default:
+		return "other"
+	}
+}
+
+// Fixed: an alias with the same value covers the member.
+func aliased(k frameKind) string {
+	switch k {
+	case frameRequest, frameResponse:
+		return "sync"
+	case aliasOneWay:
+		return "oneway"
+	}
+	return ""
+}
+
+// Fixed: multiple members in one case.
+func grouped(k frameKind) bool {
+	switch k {
+	case frameRequest, frameResponse, frameOneWay:
+		return true
+	}
+	return false
+}
+
+// Clean: unmarked enums are not checked.
+func colors(c color) string {
+	switch c {
+	case red:
+		return "red"
+	}
+	return ""
+}
+
+// Clean: tagless switches have no enum to cover.
+func tagless(k frameKind) string {
+	switch {
+	case k == frameRequest:
+		return "req"
+	}
+	return ""
+}

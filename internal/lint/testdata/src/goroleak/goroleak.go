@@ -1,0 +1,150 @@
+// Package goroleak carries mutant/fixed pairs for the goroutine-leak
+// analyzer: channel-blocked infinite loops with no exit, and unbuffered
+// sends whose receiver can abandon the goroutine.
+package goroleak
+
+import "time"
+
+func work(ch chan int) int { return <-ch }
+
+// Mutant: the pump loop blocks on ch forever and nothing can stop it.
+func leakyPump(ch chan int) {
+	go func() {
+		for { // want `goroutine never exits: this loop blocks on channel operations but has no return`
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+// Fixed: a stop case that returns.
+func stoppablePump(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Fixed: ranging over the channel; the producer closing it ends the loop.
+func rangePump(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Fixed: a conditional loop owns its own exit.
+func boundedPump(ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			<-ch
+		}
+	}()
+}
+
+// Fixed: a break out of the loop.
+func breakingPump(ch chan int) {
+	go func() {
+		for {
+			if v := <-ch; v < 0 {
+				break
+			}
+		}
+	}()
+}
+
+// Mutant: a break that only leaves the inner select-less switch does not
+// exit the loop.
+func innerBreakPump(ch chan int) {
+	go func() {
+		for { // want `goroutine never exits`
+			switch v := <-ch; {
+			case v < 0:
+				break
+			default:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Named function spawned by go: analyzed like a literal.
+func pumpForever(ch chan int) {
+	for { // want `goroutine never exits`
+		ch <- 1
+	}
+}
+
+func spawnNamed(ch chan int) {
+	go pumpForever(ch)
+}
+
+// Clean: the same body called synchronously is the caller's problem, not
+// a goroutine leak.
+func callNamed(ch chan int) {
+	_ = work(ch)
+}
+
+// Mutant: the result send races a timeout; when the timeout wins, the
+// goroutine blocks on the unbuffered channel forever.
+func abandonedSender() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work(nil) // want `goroutine sends on unbuffered channel ch whose receiver selects against other cases`
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// Fixed: one slot of buffer lets the send complete and the channel be
+// collected even when the timeout wins.
+func bufferedSender() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work(nil)
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// Fixed: the receive is unconditional, so the send always finds its
+// partner.
+func drainedSender() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work(nil)
+	}()
+	return <-ch
+}
+
+// Fixed: the sender selects against a stop channel, so it can bail out.
+func selectingSender(stop chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- work(nil):
+		case <-stop:
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-stop:
+		return -1
+	}
+}

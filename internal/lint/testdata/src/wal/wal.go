@@ -1,0 +1,14 @@
+// Package wal is a fixture stub mirroring the durability surface of the
+// real elasticrmi/internal/wal package; the errdrop analyzer binds to it
+// structurally (package basename + type + method).
+package wal
+
+// Log mirrors the group-committed write-ahead log.
+type Log struct{}
+
+func (l *Log) Append(rec []byte) (uint64, error) { return 0, nil }
+func (l *Log) Commit() error                     { return nil }
+func (l *Log) Close() error                      { return nil }
+
+// SaveSnapshot mirrors the compaction entry point.
+func SaveSnapshot(dir string, lsn uint64, payload []byte) error { return nil }

@@ -19,14 +19,27 @@ import (
 // contract in cmd/go/internal/work (buildVetConfig / vetActionID): the go
 // command probes the tool with -flags (JSON flag inventory) and -V=full
 // (version line, hashed into vet's cache key), then invokes it once per
-// package with the path of a JSON config file carrying the file set and
-// the export data of every dependency. This is the same protocol
+// package with the path of a JSON config file carrying the file set, the
+// export data of every dependency, and — the part this suite now uses —
+// PackageVetx, a map from each direct import to the fact file its own vet
+// run produced. This is the same protocol
 // golang.org/x/tools/go/analysis/unitchecker speaks; it is restated here
 // so the tool stays dependency-free.
+//
+// Fact flow: every run (VetxOnly dependency runs included) builds this
+// package's function/enum facts merged with everything decoded from
+// PackageVetx and writes the merged table to VetxOutput. Because each
+// vetx embeds its imports' facts, handing dependents only their direct
+// imports' files still gives them the transitive closure. Staleness is
+// handled by construction — the go command keys cached vetx files on the
+// tool's own hash (see -V=full below) and the dependency's content, and
+// if a file is missing or fails to decode (foreign tool, interrupted
+// write) the import side just drops it: analysis degrades to
+// package-local, losing cross-package findings but never inventing any.
 
 // vetConfig mirrors cmd/go's vetConfig JSON. Fields the suite does not
-// consume (NonGoFiles, module identity, PackageVetx) are kept so the
-// whole file round-trips if the tool ever needs them.
+// consume (NonGoFiles, module identity) are kept so the whole file
+// round-trips if the tool ever needs them.
 type vetConfig struct {
 	ID           string
 	Compiler     string
@@ -51,8 +64,9 @@ type vetConfig struct {
 
 // Main is the entry point of cmd/ermi-vet. It terminates the process.
 func Main() {
-	args := os.Args[1:]
-	for _, arg := range args {
+	jsonMode := os.Getenv("ERMIVET_JSON") != ""
+	var cfgPath string
+	for _, arg := range os.Args[1:] {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
 			// The go command hashes this line into vet's action cache key.
@@ -62,16 +76,23 @@ func Main() {
 			fmt.Printf("ermi-vet version %s\n", selfHash())
 			os.Exit(0)
 		case arg == "-flags" || arg == "--flags":
-			// No analyzer-selection flags: the suite always runs whole.
-			fmt.Println("[]")
+			// Advertised flags may be passed on the `go vet` command line;
+			// the go command forwards them to every tool invocation.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON lines on stdout"}]`)
 			os.Exit(0)
+		case arg == "-json" || arg == "--json" || arg == "-json=true" || arg == "--json=true":
+			jsonMode = true
+		case arg == "-json=false" || arg == "--json=false":
+			jsonMode = false
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
 		}
 	}
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+	if cfgPath == "" {
 		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(which ermi-vet) ./...\n(direct invocation expects a single vet .cfg argument)\n")
 		os.Exit(1)
 	}
-	os.Exit(runUnit(args[0]))
+	os.Exit(runUnit(cfgPath, jsonMode))
 }
 
 func selfHash() string {
@@ -88,7 +109,7 @@ func selfHash() string {
 	return "unknown"
 }
 
-func runUnit(cfgPath string) int {
+func runUnit(cfgPath string, jsonMode bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -99,43 +120,184 @@ func runUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "ermi-vet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The go command schedules a VetxOnly run over every dependency so a
-	// facts-based tool could consume upstream summaries. This suite keeps
-	// all reasoning inside one package, so dependency runs only need to
-	// satisfy the protocol: produce the output file and succeed.
+	imported, hits, misses := readImportedFacts(cfg.PackageVetx)
+
+	// Dependency runs exist to produce facts for their importers. Only
+	// module code can carry the invariants this suite reasons about
+	// (flagged mutexes, transport budgets, marked enums live here, and
+	// direct calls into stdlib primitives are matched by name), so
+	// standard-library units get a pass-through vetx instead of a parse
+	// and type-check of half of GOROOT.
 	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+		facts := imported
+		if factsWorthBuilding(&cfg) {
+			if pkg, err := loadUnit(&cfg); err == nil {
+				facts = BuildFacts(pkg, imported)
+			}
+		}
+		writeVetx(cfg.VetxOutput, facts)
+		writeStats(&cfg, nil, hits, misses)
 		return 0
 	}
-	diags, err := checkUnit(&cfg)
-	writeVetx(cfg.VetxOutput)
+
+	pkg, err := loadUnit(&cfg)
 	if err != nil {
+		writeVetx(cfg.VetxOutput, imported)
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "ermi-vet: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	res := RunAnalyzers(pkg, All(), imported)
+	writeVetx(cfg.VetxOutput, res.Facts)
+	writeStats(&cfg, res, hits, misses)
+	emitDiagnostics(res, jsonMode)
+	if len(res.Kept) == 0 {
 		return 0
-	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
 	}
 	return 2
 }
 
-// writeVetx writes the (empty) facts output the go command caches for
-// downstream packages. Failure to write is not fatal to the analysis.
-func writeVetx(path string) {
-	if path != "" {
-		_ = os.WriteFile(path, []byte("ermi-vet\n"), 0o666)
+// factsWorthBuilding reports whether a VetxOnly unit deserves a real fact
+// pass. Module packages (ModulePath set) do; standard-library units
+// (no module identity) only re-export what they imported.
+func factsWorthBuilding(cfg *vetConfig) bool {
+	return cfg.ModulePath != "" && !cfg.Standard[cfg.ImportPath]
+}
+
+// readImportedFacts decodes every dependency vetx file the go command
+// handed over, merging them into one table. hits counts files decoded,
+// misses counts files that were absent, unreadable, or stale (wrong
+// magic/version) — those dependencies degrade to fact-free.
+func readImportedFacts(vetx map[string]string) (facts *Facts, hits, misses int) {
+	facts = NewFacts()
+	for _, path := range vetx {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			misses++
+			continue
+		}
+		fs, err := DecodeFacts(data)
+		if err != nil {
+			misses++
+			continue
+		}
+		facts.Merge(fs)
+		hits++
+	}
+	return facts, hits, misses
+}
+
+// writeVetx serializes the fact table for downstream packages. Failure to
+// write is not fatal to the analysis — importers will degrade to
+// package-local reasoning for this dependency.
+func writeVetx(path string, facts *Facts) {
+	if path == "" {
+		return
+	}
+	if facts == nil {
+		facts = NewFacts()
+	}
+	_ = os.WriteFile(path, facts.Encode(), 0o666)
+}
+
+// emitDiagnostics prints the run's findings: JSON lines on stdout in json
+// mode (suppressed findings included, carrying their reasons), the
+// classic file:line: [analyzer] format on stderr otherwise, plus GitHub
+// workflow annotations when running under Actions.
+func emitDiagnostics(res *UnitResult, jsonMode bool) {
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range res.Kept {
+			_ = enc.Encode(jsonDiag(d))
+		}
+		for _, d := range res.Suppressed {
+			_ = enc.Encode(jsonDiag(d))
+		}
+	} else {
+		for _, d := range res.Kept {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		for _, d := range res.Kept {
+			// ::error renders the finding on the offending line in the PR
+			// diff instead of burying it in a raw exit-2 log.
+			fmt.Printf("::error file=%s,line=%d,title=ermi-vet %s::%s\n",
+				d.Position.Filename, d.Position.Line, d.Analyzer, annotationEscape(d.Message))
+		}
 	}
 }
 
-// checkUnit parses and type-checks the package described by cfg and runs
-// the analyzer suite over it.
-func checkUnit(cfg *vetConfig) ([]Diagnostic, error) {
+// jsonDiagnostic is the machine-readable diagnostic shape, one JSON
+// object per line.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func jsonDiag(d Diagnostic) jsonDiagnostic {
+	return jsonDiagnostic{
+		File:       d.Position.Filename,
+		Line:       d.Position.Line,
+		Col:        d.Position.Column,
+		Analyzer:   d.Analyzer,
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+		Reason:     d.Reason,
+	}
+}
+
+// annotationEscape applies the workflow-command encoding for message data.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// writeStats appends one machine-parseable line per analyzed unit to the
+// file named by ERMIVET_STATS: fact-cache hit/miss counts and, for full
+// runs, per-analyzer wall time. `make lint` aggregates these into the
+// per-analyzer timing summary; CI asserts the file stays empty on a warm
+// re-run (cached packages never invoke the tool at all, so no lines means
+// no redundant re-analysis). The append is a single short write on an
+// O_APPEND descriptor, so concurrent vet processes interleave whole
+// lines.
+func writeStats(cfg *vetConfig, res *UnitResult, hits, misses int) {
+	path := os.Getenv("ERMIVET_STATS")
+	if path == "" {
+		return
+	}
+	var b strings.Builder
+	kind := "unit"
+	if cfg.VetxOnly {
+		kind = "facts-only"
+	}
+	fmt.Fprintf(&b, "%s pkg=%s facts_hit=%d facts_miss=%d", kind, cfg.ImportPath, hits, misses)
+	if res != nil {
+		fmt.Fprintf(&b, " findings=%d suppressed=%d", len(res.Kept), len(res.Suppressed))
+		for _, t := range res.Timing {
+			fmt.Fprintf(&b, " ns_%s=%d", t.Name, t.D.Nanoseconds())
+		}
+	}
+	b.WriteByte('\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_, _ = f.WriteString(b.String())
+}
+
+// loadUnit parses and type-checks the package described by cfg.
+func loadUnit(cfg *vetConfig) (*Package, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -173,7 +335,7 @@ func checkUnit(cfg *vetConfig) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(&Package{Fset: fset, Files: files, Types: tpkg, Info: info}, All()), nil
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // goarch is the architecture the package is being vetted for: the go

@@ -37,7 +37,7 @@ type Client struct {
 // failAll when the connection dies).
 type callResult struct {
 	payload []byte
-	status  byte         // statusOK, or an admission-control refusal
+	status  respStatus   // statusOK, or an admission-control refusal
 	errMsg  string       // non-empty => RemoteError
 	route   *route.Table // piggybacked route update, handed to onRoute
 	err     error        // transport-level failure
@@ -100,17 +100,23 @@ func (ca *Call) Done() <-chan struct{} {
 	return ca.done
 }
 
-// err translates the delivered result into the caller-visible error.
+// err translates the delivered result into the caller-visible error. The
+// status switch is exhaustive over respStatus (enforced by ermi-vet): a new
+// refusal status must decide here what callers see, or the build goes red —
+// it cannot silently fall through to "success".
 func (ca *Call) err() error {
-	switch {
-	case ca.res.err != nil:
+	if ca.res.err != nil {
 		return ca.res.err
-	case ca.res.status == statusOverload:
+	}
+	switch ca.res.status {
+	case statusOverload:
 		return fmt.Errorf("%s.%s: %w", ca.service, ca.method, ErrOverloaded)
-	case ca.res.status == statusExpired:
+	case statusExpired:
 		return fmt.Errorf("%s.%s: %w", ca.service, ca.method, ErrExpired)
-	case ca.res.errMsg != "":
-		return &RemoteError{Service: ca.service, Method: ca.method, Msg: ca.res.errMsg}
+	case statusOK:
+		if ca.res.errMsg != "" {
+			return &RemoteError{Service: ca.service, Method: ca.method, Msg: ca.res.errMsg}
+		}
 	}
 	return nil
 }
@@ -346,7 +352,10 @@ func (c *Client) readLoop() {
 			c.failAll(err)
 			return
 		}
-		if kind == frameEvent {
+		// Exhaustive over frameKind (enforced by ermi-vet): a kind added to
+		// the protocol must choose its client-side fate here explicitly.
+		switch kind {
+		case frameEvent:
 			var ev Event
 			perr := parseEvent(meta, payload, &ev)
 			arenaPut(meta)
@@ -362,12 +371,15 @@ func (c *Client) readLoop() {
 			// what it keeps); a handlerless client just drops the event.
 			arenaPut(payload)
 			continue
-		}
-		if kind != frameResponse {
+		case frameRequest, frameOneWay, frameBatch:
+			// Client-to-server kinds arriving at a client: the peer is not
+			// speaking our side of the protocol, so kill the connection.
 			arenaPut(meta)
 			arenaPut(payload)
 			c.failAll(fmt.Errorf("transport: protocol violation: frame kind %d", kind))
 			return
+		case frameResponse:
+			// Falls through to the response path below.
 		}
 		var res callResult
 		seq, err := parseResponse(meta, payload, &res)

@@ -87,6 +87,18 @@
 // elsewhere can never double-execute. Values above 2 are a protocol
 // violation, reserving them for future use.
 //
+// # Wire enums
+//
+// The frame-kind byte (frameKind) and the response status (respStatus) are
+// the protocol's two closed enums, and both carry the //ermi:exhaustive
+// marker: ermi-vet (make lint) flags any switch over them that neither
+// names every member nor declares an explicit default. readFrame bounds the
+// kind byte to the declared range before dispatch, so together the bound
+// and the marker guarantee that adding a sixth frame kind or a third
+// refusal status is a compile-red event at every reader — each dispatch
+// site must decide the new member's fate explicitly rather than dropping
+// it in a silent default arm.
+//
 // Route update: the epoch-versioned membership view of the elastic pool
 // (internal/route.Table), piggybacked by a server whose table is newer than
 // the request's epoch — the in-band view dissemination that replaced the

@@ -338,7 +338,7 @@ func (s *Server) process(it workItem) {
 
 // reply writes one response frame with the connection's flush-coalescing
 // discipline and keeps the Quiesce accounting (outstanding/written) true.
-func (s *Server) reply(st *connState, req *Request, status byte, payload []byte, errMsg string) {
+func (s *Server) reply(st *connState, req *Request, status respStatus, payload []byte, errMsg string) {
 	// The route update is computed after the handler ran: a view change
 	// during a long invocation still reaches the caller on this reply.
 	rt := s.routeUpdateFor(req.Epoch)
@@ -518,7 +518,11 @@ func (s *Server) serveConn(conn net.Conn) {
 					s.ingestRequest(st, it.req, arrival)
 				}
 			}
-		default:
+		case frameResponse, frameEvent:
+			// Server-to-client kinds arriving at a server: the peer is not
+			// speaking our side of the protocol, so drop the connection.
+			// Named (not a default) so the switch stays exhaustive over
+			// frameKind and ermi-vet forces a new kind to choose its fate.
 			arenaPut(meta)
 			arenaPut(payload)
 			return

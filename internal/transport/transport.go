@@ -178,7 +178,7 @@ func (r *Request) recycle() {
 // without materializing this struct.
 type Response struct {
 	Seq     uint64
-	Status  byte // statusOK, or an admission-control refusal
+	Status  respStatus // statusOK, or an admission-control refusal
 	Payload []byte
 	Err     string       // non-empty => RemoteError
 	Route   *route.Table // piggybacked route update (nil = none)

@@ -37,6 +37,14 @@ const protoVersion = 5
 
 var preamble = [5]byte{'e', 'R', 'M', 'I', protoVersion}
 
+// frameKind discriminates the frame types of the wire protocol. Every
+// reader-side switch over it must stay exhaustive — a kind added here but
+// missed by a reader would be dropped silently on one side of the
+// connection — so the type carries the //ermi:exhaustive marker and
+// ermi-vet flags any switch over it that neither names all kinds nor
+// declares an explicit default (see doc.go, "Wire enums").
+//
+//ermi:exhaustive
 type frameKind byte
 
 const (
@@ -58,6 +66,11 @@ const (
 	// installed at dial time; servers never accept one (events flow
 	// server→client only).
 	frameEvent frameKind = 5
+
+	// frameMax bounds the kind byte: readFrame rejects frames outside
+	// [frameRequest, frameMax] as malformed, so dispatch switches only
+	// ever see declared kinds.
+	frameMax = frameEvent
 )
 
 // frameHeaderSize is the fixed per-frame header after the u32 length field:
@@ -67,21 +80,28 @@ const frameHeaderSize = 5
 // oneWayFlag marks a batch entry whose response the client does not want.
 const oneWayFlag = 0x1
 
-// Response status codes (the status field of a response body). statusOK
-// responses carry the handler's result (or its application error in errmsg);
-// the other statuses are emitted by the server's admission controller and
+// respStatus is the status field of a response body. statusOK responses
+// carry the handler's result (or its application error in errmsg); the
+// other statuses are emitted by the server's admission controller and
 // carry neither payload nor errmsg — the request's handler never ran.
+// Like frameKind, the type is //ermi:exhaustive: client-side switches
+// translating a status into a caller-visible error must name every member,
+// so a new refusal status cannot be silently read as success.
+//
+//ermi:exhaustive
+type respStatus byte
+
 const (
-	statusOK byte = 0
+	statusOK respStatus = 0
 	// statusOverload: the admission queue was full when the request arrived;
 	// the server shed it unexecuted. The member is alive but saturated —
 	// callers should back off or prefer a less-loaded member, not declare
 	// the member dead.
-	statusOverload byte = 1
+	statusOverload respStatus = 1
 	// statusExpired: the request's remaining budget ran out while it waited
 	// in the admission queue; the server dropped it without invoking the
 	// handler (the caller's own deadline has passed, so the work is waste).
-	statusExpired byte = 2
+	statusExpired respStatus = 2
 
 	statusMax = statusExpired // parser bound; larger values are malformed
 )
@@ -488,7 +508,7 @@ func appendRouteUpdate(b []byte, rt *route.Table) []byte {
 }
 
 // responseMetaSize returns the metadata-section size of a response frame.
-func responseMetaSize(seq uint64, status byte, errMsg string, rt *route.Table) int {
+func responseMetaSize(seq uint64, status respStatus, errMsg string, rt *route.Table) int {
 	return uvarintLen(seq) + uvarintLen(uint64(status)) +
 		uvarintLen(uint64(len(errMsg))) + len(errMsg) +
 		routeUpdateSize(rt)
@@ -496,7 +516,7 @@ func responseMetaSize(seq uint64, status byte, errMsg string, rt *route.Table) i
 
 // responseFrameSize returns the frame size (everything after the u32 length
 // field) of a response.
-func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table) int {
+func responseFrameSize(seq uint64, status respStatus, payload []byte, errMsg string, rt *route.Table) int {
 	return frameHeaderSize + responseMetaSize(seq, status, errMsg, rt) + len(payload)
 }
 
@@ -508,7 +528,7 @@ func responseFrameSize(seq uint64, status byte, payload []byte, errMsg string, r
 // guarantees a later flush (last writer, or its straggler timer). A payload
 // at or above the scatter-gather threshold goes to the kernel immediately
 // regardless of hold (it is never copied into the connection buffer).
-func (w *connWriter) writeResponse(seq uint64, status byte, payload []byte, errMsg string, rt *route.Table, hold bool) error {
+func (w *connWriter) writeResponse(seq uint64, status respStatus, payload []byte, errMsg string, rt *route.Table, hold bool) error {
 	if rt != nil && (len(rt.Members) == 0 || len(rt.Members) > maxRouteMembers || rt.Epoch == 0) {
 		rt = nil // unencodable table: drop the piggyback, never the response
 	}
@@ -598,6 +618,12 @@ func readFrame(br *bufio.Reader) (frameKind, []byte, []byte, error) {
 		return 0, nil, nil, perr
 	}
 	kind := frameKind(hdr[4])
+	if kind < frameRequest || kind > frameMax {
+		// An undeclared kind is rejected here, before any section is read:
+		// the dispatch switches downstream enumerate every declared kind
+		// with no default, and this bound is what makes that total.
+		return 0, nil, nil, errMalformed
+	}
 	plen := binary.BigEndian.Uint32(hdr[5:9])
 	if _, err := br.Discard(frameHeaderSize + 4); err != nil {
 		return 0, nil, nil, err
@@ -819,11 +845,11 @@ func parseResponse(meta, payload []byte, res *callResult) (seq uint64, err error
 	if !ok {
 		return 0, errMalformed
 	}
-	status, rest, ok := takeUvarint(rest)
-	if !ok || status > uint64(statusMax) {
+	st, rest, ok := takeUvarint(rest)
+	if !ok || st > uint64(statusMax) {
 		return 0, errMalformed
 	}
-	res.status = byte(status)
+	res.status = respStatus(st)
 	errMsg, rest, ok := takeBytes(rest)
 	if !ok {
 		return 0, errMalformed

@@ -291,6 +291,7 @@ func (l *Log) createSegmentLocked(first uint64) error {
 // Best-effort: not every filesystem supports it.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
+		//ermi:ignore errdrop deliberate best-effort: directory fsync is unsupported on some filesystems, and the record/segment fsyncs are the durability points
 		d.Sync()
 		d.Close()
 	}

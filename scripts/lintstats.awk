@@ -1,0 +1,44 @@
+# Summarizes an ERMIVET_STATS file (one line per package unit the vettool
+# actually analyzed) into per-analyzer wall time and the vetx fact-cache
+# hit rate. On a warm tree the hit rate is 100% and no "facts-only"
+# dependency passes appear: the go command replays their cached fact
+# files (see make lint-cache-check).
+#
+# Line shape (written by internal/lint/unitchecker.go):
+#   unit pkg=<importpath> facts_hit=N facts_miss=N findings=N suppressed=N ns_<analyzer>=N...
+#   facts-only pkg=<importpath> facts_hit=N facts_miss=N
+{
+	units++
+	for (i = 1; i <= NF; i++) {
+		if (split($i, kv, "=") != 2)
+			continue
+		if (kv[1] == "facts_hit")
+			hit += kv[2]
+		else if (kv[1] == "facts_miss")
+			miss += kv[2]
+		else if (kv[1] ~ /^ns_/)
+			ns[substr(kv[1], 4)] += kv[2]
+	}
+}
+END {
+	if (units == 0) {
+		print "ermi-vet: all packages served from the build cache (0 units re-analyzed)"
+		exit
+	}
+	printf "ermi-vet: %d units analyzed; fact cache: %d hits / %d misses", units, hit, miss
+	if (hit + miss > 0)
+		printf " (%.0f%% hit)", 100 * hit / (hit + miss)
+	print ""
+	n = 0
+	for (a in ns)
+		names[n++] = a
+	# insertion sort: portable awk has no asorti
+	for (i = 1; i < n; i++) {
+		v = names[i]
+		for (j = i - 1; j >= 0 && names[j] > v; j--)
+			names[j+1] = names[j]
+		names[j+1] = v
+	}
+	for (i = 0; i < n; i++)
+		printf "  %-12s %9.2f ms\n", names[i], ns[names[i]] / 1e6
+}
